@@ -1,0 +1,67 @@
+// Figure 6: token-based proportional fair sharing (paper §5.4). Three
+// dataflows with 20% / 40% / 40% token shares start staggered; once the
+// cluster is at capacity, processed-volume shares must track token shares,
+// and the first dataflow gets full capacity while it runs alone.
+#include <cstdio>
+
+#include "bench_util/report.h"
+#include "bench_util/scenarios.h"
+
+namespace cameo {
+namespace {
+
+void Run() {
+  PrintFigureBanner(
+      "Figure 6", "proportional fair sharing via tokens (20/40/40)",
+      "dataflow 1 gets full capacity alone; at capacity, throughput shares "
+      "converge to token shares");
+  TokenScenarioOptions opt;
+  TokenScenarioResult result = RunTokenScenario(opt);
+
+  // Throughput time series, 10 s buckets.
+  PrintHeaderRow("t(s)", {"J1_ktuples/s", "J2_ktuples/s", "J3_ktuples/s",
+                          "J1_share", "J2_share", "J3_share"});
+  const std::size_t n = result.throughput[0].size();
+  for (std::size_t b = 0; b + 10 <= n; b += 10) {
+    double v[3] = {0, 0, 0};
+    for (int j = 0; j < 3; ++j) {
+      for (std::size_t i = b; i < b + 10; ++i) {
+        v[j] += static_cast<double>(
+            result.throughput[static_cast<std::size_t>(j)][i]);
+      }
+      v[j] /= 10.0;
+    }
+    double total = v[0] + v[1] + v[2];
+    char c0[32], c1[32], c2[32];
+    std::snprintf(c0, sizeof(c0), "%.0f", v[0] / 1000);
+    std::snprintf(c1, sizeof(c1), "%.0f", v[1] / 1000);
+    std::snprintf(c2, sizeof(c2), "%.0f", v[2] / 1000);
+    PrintRow(std::to_string(b) + "-" + std::to_string(b + 10),
+             {c0, c1, c2, total > 0 ? FormatPct(v[0] / total) : "-",
+              total > 0 ? FormatPct(v[1] / total) : "-",
+              total > 0 ? FormatPct(v[2] / total) : "-"});
+  }
+
+  // Steady-state shares over the fully contended phase.
+  std::size_t from = 50, to = 95;
+  double v[3] = {0, 0, 0}, total = 0;
+  for (int j = 0; j < 3; ++j) {
+    for (std::size_t i = from; i < to; ++i) {
+      v[j] += static_cast<double>(
+          result.throughput[static_cast<std::size_t>(j)][i]);
+    }
+    total += v[j];
+  }
+  std::printf("steady-state shares (t=%zu..%zu s): %.1f%% / %.1f%% / %.1f%% "
+              "(target 20/40/40)\n",
+              from, to, 100 * v[0] / total, 100 * v[1] / total,
+              100 * v[2] / total);
+}
+
+}  // namespace
+}  // namespace cameo
+
+int main() {
+  cameo::Run();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 8(b): latency-sensitive jobs under an increasing *number* of
+// bulk-analytics tenants. Paper: comparable up to ~12 Group-2 jobs; beyond,
+// Orleans is worse than Cameo by up to 2.2x/2.8x (median/p99) and FIFO by up
+// to 4.6x/13.6x, while Cameo stays stable.
+#include <cstdio>
+
+#include "bench_util/report.h"
+#include "bench_util/scenarios.h"
+
+namespace cameo {
+namespace {
+
+void Run() {
+  PrintFigureBanner(
+      "Figure 8(b)", "LS latency vs number of Group-2 tenants",
+      "comparable until ~12 tenants; beyond, FIFO degrades most, Orleans "
+      "next, Cameo stays stable");
+  PrintHeaderRow("scheduler",
+                 {"BA_jobs", "LS_med", "LS_p99", "BA_med", "util"});
+  for (SchedulerKind kind : {SchedulerKind::kCameo, SchedulerKind::kOrleans,
+                             SchedulerKind::kFifo}) {
+    for (int tenants : {4, 8, 12, 16, 20}) {
+      MultiTenantOptions opt;
+      opt.scheduler = kind;
+      opt.workers = 4;
+      opt.duration = Seconds(60);
+      opt.ls_jobs = 4;
+      opt.ba_jobs = tenants;
+      opt.ba_msgs_per_sec = 20;
+      RunResult r = RunMultiTenant(opt);
+      PrintRow(ToString(kind),
+               {std::to_string(tenants),
+                FormatMs(r.GroupPercentile("LS", 50)),
+                FormatMs(r.GroupPercentile("LS", 99)),
+                FormatMs(r.GroupPercentile("BA", 50)),
+                FormatPct(r.utilization)});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cameo
+
+int main() {
+  cameo::Run();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 11: pluggable policies -- LLF vs EDF vs SJF, implemented via the
+// context API (§5.3). Paper: SJF is consistently worse than LLF/EDF (except
+// on lightly-loaded IPQ4 where queueing is absent); EDF and LLF perform
+// comparably because operator execution time is small and consistent.
+#include <cstdio>
+
+#include "bench_util/report.h"
+#include "bench_util/scenarios.h"
+
+namespace cameo {
+namespace {
+
+void SingleQuery() {
+  PrintFigureBanner("Figure 11 (left)", "single-query latency by policy",
+                    "SJF worse than LLF/EDF (except lightly-loaded IPQ4); "
+                    "EDF ~ LLF");
+  PrintHeaderRow("query", {"policy", "median", "p99"});
+  for (int ipq = 1; ipq <= 4; ++ipq) {
+    for (const char* policy : {"LLF", "EDF", "SJF"}) {
+      SingleTenantOptions opt;
+      opt.ipq = ipq;
+      opt.scheduler = SchedulerKind::kCameo;
+      opt.policy = policy;
+      opt.workers = 2;
+      opt.duration = Seconds(40);
+      opt.seed = 500 + static_cast<std::uint64_t>(ipq) * 13;
+      SingleTenantResult r = RunSingleTenant(opt);
+      const JobResult& j = r.run.jobs[0];
+      PrintRow("IPQ" + std::to_string(ipq),
+               {policy, FormatMs(j.median_ms), FormatMs(j.p99_ms)});
+    }
+  }
+}
+
+void MultiQuery() {
+  PrintFigureBanner("Figure 11 (right)", "multi-query latency by policy",
+                    "same ordering under multi-tenancy");
+  PrintHeaderRow("policy", {"LS_med", "LS_p99", "BA_med", "BA_p99"});
+  for (const char* policy : {"LLF", "EDF", "SJF"}) {
+    MultiTenantOptions opt;
+    opt.scheduler = SchedulerKind::kCameo;
+    opt.policy = policy;
+    opt.workers = 4;
+    opt.duration = Seconds(60);
+    opt.ls_jobs = 4;
+    opt.ba_jobs = 8;
+    opt.ba_msgs_per_sec = 35;  // near saturation
+    RunResult r = RunMultiTenant(opt);
+    PrintRow(policy, {FormatMs(r.GroupPercentile("LS", 50)),
+                      FormatMs(r.GroupPercentile("LS", 99)),
+                      FormatMs(r.GroupPercentile("BA", 50)),
+                      FormatMs(r.GroupPercentile("BA", 99))});
+  }
+}
+
+}  // namespace
+}  // namespace cameo
+
+int main() {
+  cameo::SingleQuery();
+  cameo::MultiQuery();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: build a windowed-aggregation dataflow, run it on the
+// wall-clock thread runtime under the Cameo scheduler, feed it real columnar
+// events, and read the results.
+//
+//   source (2 replicas) -> tumbling 1 s sum per key (2 replicas)
+//          -> global sum -> sink
+//
+// Build & run:   ./quickstart
+#include <cstdio>
+
+#include "ops/sink.h"
+#include "runtime/thread_runtime.h"
+#include "workload/tenants.h"
+
+using namespace cameo;
+
+int main() {
+  // 1. Describe the query. QuerySpec is a convenience wrapper around
+  //    DataflowGraph::AddJob/AddStage/Connect; see workload/tenants.h.
+  QuerySpec spec = MakeLatencySensitiveSpec("quickstart");
+  spec.sources = 2;
+  spec.aggs = 2;
+  spec.domain = TimeDomain::kEventTime;
+  spec.window = Seconds(1);  // tumbling 1 s windows
+  spec.slide = Seconds(1);
+  spec.latency_constraint = Millis(800);
+
+  DataflowGraph graph;
+  JobHandles job = BuildAggregationJob(graph, spec);
+  std::vector<OperatorId> sources = graph.stage(job.source).operators;
+  OperatorId sink_id = graph.stage(job.sink).operators[0];
+
+  // 2. Start the runtime: 2 workers, Cameo scheduler, LLF policy.
+  RuntimeConfig cfg;
+  cfg.num_workers = 2;
+  cfg.scheduler = 0;  // Cameo
+  cfg.policy = "LLF";
+  cfg.emulate_cost = false;  // run at real speed, no synthetic spinning
+  ThreadRuntime runtime(cfg, std::move(graph));
+  runtime.Start();
+
+  // 3. Feed three logical seconds of events. Each batch carries (key, value,
+  //    event-time) tuples; a batch whose progress lands on a window boundary
+  //    closes that window (inclusive-right window semantics), so all three
+  //    windows flush.
+  double last_window_expected = 0;
+  for (int second = 1; second <= 3; ++second) {
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      EventBatch batch;
+      batch.progress = Seconds(second);
+      for (int i = 0; i < 100; ++i) {
+        double revenue = 0.01 * (second * 100 + i);
+        batch.Append(/*key=*/i % 7, revenue,
+                     Seconds(second) - Millis(5 * (i + 1)));
+        if (second == 3) last_window_expected += revenue;
+      }
+      runtime.IngestBatch(sources[s], std::move(batch));
+    }
+  }
+  runtime.Drain();
+  runtime.Stop();
+
+  // 4. Read results: per-window outputs arrived at the sink; the latency
+  //    recorder tracked the paper's end-to-end latency definition.
+  auto& sink = dynamic_cast<SinkOp&>(runtime.graph().Get(sink_id));
+  std::printf("windows produced: %llu\n",
+              static_cast<unsigned long long>(sink.outputs()));
+  const SampleStats& lat = runtime.latency().Latency(job.job);
+  if (!lat.empty()) {
+    std::printf("end-to-end latency: median %.2f ms, max %.2f ms\n",
+                lat.Median() / kMillisecond, lat.Max() / kMillisecond);
+  }
+  std::printf("deadline success rate: %.0f%%\n",
+              100 * runtime.latency().SuccessRate(job.job));
+  std::printf("window-3 revenue: %.2f (expected %.2f)\n", sink.last_value(),
+              last_window_expected);
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "bench_util/report.h"
+
+#include <cstdio>
+
+namespace cameo {
+
+void PrintFigureBanner(const std::string& figure, const std::string& title,
+                       const std::string& paper_expectation) {
+  std::printf("\n=== %s: %s ===\n", figure.c_str(), title.c_str());
+  if (!paper_expectation.empty()) {
+    std::printf("paper: %s\n", paper_expectation.c_str());
+  }
+}
+
+void PrintRow(const std::string& label, const std::vector<std::string>& cols) {
+  std::printf("%-24s", label.c_str());
+  for (const std::string& c : cols) std::printf(" %14s", c.c_str());
+  std::printf("\n");
+}
+
+void PrintHeaderRow(const std::string& label,
+                    const std::vector<std::string>& cols) {
+  PrintRow(label, cols);
+  std::printf("%.*s\n",
+              static_cast<int>(24 + cols.size() * 15),
+              "--------------------------------------------------------------"
+              "--------------------------------------------------------------"
+              "--------------------------------------------------------------");
+}
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  if (ms >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ms / 1000);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fms", ms);
+  }
+  return buf;
+}
+
+std::string FormatPct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100);
+  return buf;
+}
+
+void PrintJobTable(const RunResult& result) {
+  PrintHeaderRow("job", {"outputs", "median", "p95", "p99", "max", "success"});
+  for (const JobResult& j : result.jobs) {
+    PrintRow(j.name, {std::to_string(j.outputs), FormatMs(j.median_ms),
+                      FormatMs(j.p95_ms), FormatMs(j.p99_ms),
+                      FormatMs(j.max_ms), FormatPct(j.success_rate)});
+  }
+}
+
+void PrintCdf(const SampleStats& stats, const std::string& label,
+              std::size_t points) {
+  std::printf("CDF %s (latency_ms percentile):\n", label.c_str());
+  if (stats.empty()) {
+    std::printf("  (no samples)\n");
+    return;
+  }
+  for (std::size_t i = 1; i <= points; ++i) {
+    double q = 100.0 * static_cast<double>(i) / static_cast<double>(points);
+    std::printf("  %10.2f  %5.1f\n", stats.Percentile(q) / kMillisecond, q);
+  }
+}
+
+}  // namespace cameo

@@ -1,0 +1,33 @@
+// Console reporting helpers shared by the benchmark binaries: every bench
+// prints a figure banner, aligned rows, and (where useful) CSV-ready series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/driver.h"
+
+namespace cameo {
+
+/// Prints "=== Figure N: title ===" with the paper's expectation underneath.
+void PrintFigureBanner(const std::string& figure, const std::string& title,
+                       const std::string& paper_expectation);
+
+/// Prints one aligned row of label -> columns.
+void PrintRow(const std::string& label, const std::vector<std::string>& cols);
+
+/// Header variant of PrintRow.
+void PrintHeaderRow(const std::string& label,
+                    const std::vector<std::string>& cols);
+
+std::string FormatMs(double ms);
+std::string FormatPct(double fraction);
+
+/// Prints per-job latency rows of a run (median/p95/p99/max/success).
+void PrintJobTable(const RunResult& result);
+
+/// Prints a CDF as "value_ms percentile" lines, `points` rows.
+void PrintCdf(const SampleStats& stats, const std::string& label,
+              std::size_t points = 10);
+
+}  // namespace cameo

@@ -1,0 +1,230 @@
+#include "bench_util/scenarios.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cameo {
+
+namespace {
+
+ArrivalProcessFactory MakeFactory(ArrivalKind kind, double msgs_per_sec,
+                                  std::int64_t tuples_per_msg, SimTime start,
+                                  SimTime end, double pareto_alpha,
+                                  Duration base_phase = 0) {
+  switch (kind) {
+    case ArrivalKind::kConstant:
+      // Aligned batching clients: replica r sends each interval's batch a
+      // small, fixed phase after the boundary (paper model: 1000 events
+      // buffered per second, then sent).
+      return [=](int replica) {
+        Duration phase = base_phase + Millis(2) + replica * Millis(9);
+        return std::make_unique<ConstantRate>(msgs_per_sec, tuples_per_msg,
+                                              start, end, phase,
+                                              /*aligned=*/true);
+      };
+    case ArrivalKind::kPoisson:
+      return [=](int) {
+        return std::make_unique<PoissonArrivals>(msgs_per_sec, tuples_per_msg,
+                                                 start, end);
+      };
+    case ArrivalKind::kPareto: {
+      double mean_per_interval = msgs_per_sec * tuples_per_msg;
+      int msgs_per_interval = std::max(1, static_cast<int>(msgs_per_sec));
+      return [=](int) {
+        return std::make_unique<ParetoBurst>(mean_per_interval, pareto_alpha,
+                                             msgs_per_interval, kSecond, start,
+                                             end);
+      };
+    }
+  }
+  CAMEO_CHECK(false && "unknown arrival kind");
+  return {};
+}
+
+}  // namespace
+
+RunResult RunMultiTenant(const MultiTenantOptions& opt) {
+  DataflowGraph graph;
+  std::vector<JobHandles> handles;
+  std::vector<Duration> delays;
+
+  for (int i = 0; i < opt.ls_jobs; ++i) {
+    QuerySpec spec = MakeLatencySensitiveSpec("LS" + std::to_string(i));
+    spec.sources = opt.sources_per_job;
+    spec.aggs = opt.aggs_per_job;
+    spec.msgs_per_sec_per_source = opt.ls_msgs_per_sec;
+    spec.tuples_per_msg = opt.ls_tuples_per_msg;
+    if (opt.ls_constraint > 0) spec.latency_constraint = opt.ls_constraint;
+    handles.push_back(BuildAggregationJob(graph, spec));
+    delays.push_back(opt.event_time_delay + i * opt.interleave_step);
+  }
+  for (int i = 0; i < opt.ba_jobs; ++i) {
+    QuerySpec spec = MakeBulkAnalyticsSpec("BA" + std::to_string(i));
+    spec.sources = opt.sources_per_job;
+    spec.aggs = opt.aggs_per_job;
+    spec.msgs_per_sec_per_source = opt.ba_msgs_per_sec;
+    spec.tuples_per_msg = opt.ba_tuples_per_msg;
+    if (opt.ba_constraint > 0) spec.latency_constraint = opt.ba_constraint;
+    handles.push_back(BuildAggregationJob(graph, spec));
+    delays.push_back(opt.event_time_delay +
+                     (opt.ls_jobs + i) * opt.interleave_step);
+  }
+
+  ClusterConfig cfg;
+  cfg.num_workers = opt.workers;
+  cfg.scheduler = opt.scheduler;
+  cfg.sched.quantum = opt.quantum;
+  cfg.policy = opt.policy;
+  cfg.use_query_semantics = opt.use_query_semantics;
+  cfg.profiler_perturbation = opt.perturbation;
+  cfg.switch_cost = opt.switch_cost;
+  cfg.seed = opt.seed;
+  Cluster cluster(cfg, std::move(graph));
+
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    bool is_ls = i < static_cast<std::size_t>(opt.ls_jobs);
+    double rate = is_ls ? opt.ls_msgs_per_sec : opt.ba_msgs_per_sec;
+    std::int64_t tuples = is_ls ? opt.ls_tuples_per_msg : opt.ba_tuples_per_msg;
+    ArrivalKind kind = is_ls ? ArrivalKind::kConstant : opt.ba_arrivals;
+    // Per-job phase: interleave_step spreads jobs' window triggers across
+    // the interval (Fig. 14 right); the default keeps them clustered.
+    Duration base_phase = static_cast<Duration>(i) * opt.interleave_step +
+                          static_cast<Duration>(i) * Millis(1);
+    cluster.AddIngestion(handles[i].source,
+                         MakeFactory(kind, rate, tuples, 0, opt.duration,
+                                     opt.pareto_alpha, base_phase),
+                         delays[i]);
+  }
+
+  cluster.Run(opt.duration);
+  return SummarizeRun(cluster, opt.duration);
+}
+
+SingleTenantResult RunSingleTenant(const SingleTenantOptions& opt) {
+  DataflowGraph graph;
+  QuerySpec spec = MakeIpqSpec(opt.ipq);
+  spec.msgs_per_sec_per_source *= opt.load_factor;
+  JobHandles h = opt.ipq == 4 ? BuildJoinJob(graph, spec)
+                              : BuildAggregationJob(graph, spec);
+
+  ClusterConfig cfg;
+  cfg.num_workers = opt.workers;
+  cfg.scheduler = opt.scheduler;
+  cfg.sched.quantum = opt.quantum;
+  cfg.policy = opt.policy;
+  cfg.seed = opt.seed;
+  cfg.enable_timeline = opt.enable_timeline;
+  Cluster cluster(cfg, std::move(graph));
+  if (opt.enable_timeline) cluster.timeline().SetJobFilter(h.job);
+
+  auto factory = MakeFactory(ArrivalKind::kConstant,
+                             spec.msgs_per_sec_per_source, spec.tuples_per_msg,
+                             0, opt.duration, 1.5);
+  cluster.AddIngestion(h.source, factory, Millis(50));
+  if (opt.ipq == 4) cluster.AddIngestion(h.source_right, factory, Millis(50));
+
+  cluster.Run(opt.duration);
+  SingleTenantResult out;
+  out.run = SummarizeRun(cluster, opt.duration);
+  out.timeline = cluster.timeline().records();
+  out.latency = cluster.latency().Latency(h.job);
+  return out;
+}
+
+RunResult RunSkewedScenario(const SkewScenarioOptions& opt) {
+  DataflowGraph graph;
+  struct JobIngest {
+    JobHandles handles;
+    std::vector<std::vector<Arrival>> trace;
+  };
+  std::vector<JobIngest> jobs;
+  Rng trace_rng(opt.seed * 77 + 13);
+
+  auto add_jobs = [&](int count, const std::string& prefix,
+                      double tuples_per_sec, double skew) {
+    for (int i = 0; i < count; ++i) {
+      QuerySpec spec = MakeLatencySensitiveSpec(prefix + std::to_string(i));
+      spec.sources = opt.sources_per_job;
+      spec.latency_constraint = opt.constraint;
+      JobIngest ji;
+      ji.handles = BuildAggregationJob(graph, spec);
+      SkewedTraceSpec ts;
+      ts.sources = opt.sources_per_job;
+      ts.length = opt.duration;
+      ts.total_tuples_per_sec = tuples_per_sec;
+      ts.skew_ratio = skew;
+      ts.burst_alpha = opt.burst_alpha;
+      ts.msgs_per_interval = opt.msgs_per_interval;
+      ji.trace = SynthesizeSkewedTrace(ts, trace_rng);
+      jobs.push_back(std::move(ji));
+    }
+  };
+  add_jobs(opt.jobs_type1, "T1-", opt.type1_tuples_per_sec, opt.type1_skew);
+  add_jobs(opt.jobs_type2, "T2-", opt.type2_tuples_per_sec, opt.type2_skew);
+
+  ClusterConfig cfg;
+  cfg.num_workers = opt.workers;
+  cfg.scheduler = opt.scheduler;
+  cfg.sched.quantum = opt.quantum;
+  cfg.seed = opt.seed;
+  Cluster cluster(cfg, std::move(graph));
+
+  for (auto& ji : jobs) {
+    // Each replica replays its own per-source arrival list.
+    auto trace = std::make_shared<std::vector<std::vector<Arrival>>>(
+        std::move(ji.trace));
+    cluster.AddIngestion(
+        ji.handles.source,
+        [trace](int replica) {
+          return std::make_unique<ReplayTrace>(
+              (*trace)[static_cast<std::size_t>(replica)]);
+        },
+        Millis(50));
+  }
+
+  cluster.Run(opt.duration);
+  return SummarizeRun(cluster, opt.duration);
+}
+
+TokenScenarioResult RunTokenScenario(const TokenScenarioOptions& opt) {
+  DataflowGraph graph;
+  std::vector<JobHandles> handles;
+  for (std::size_t i = 0; i < opt.token_rates.size(); ++i) {
+    QuerySpec spec = MakeLatencySensitiveSpec("J" + std::to_string(i + 1));
+    spec.sources = opt.sources_per_job;
+    spec.aggs = 2;
+    spec.token_rate_per_sec = opt.token_rates[i];
+    spec.msgs_per_sec_per_source = opt.msgs_per_sec;
+    spec.tuples_per_msg = opt.tuples_per_msg;
+    // Keep per-message work large enough that the cluster saturates once all
+    // jobs are active (the regime where token shares matter).
+    handles.push_back(BuildAggregationJob(graph, spec));
+  }
+
+  ClusterConfig cfg;
+  cfg.num_workers = opt.workers;
+  cfg.scheduler = SchedulerKind::kCameo;
+  cfg.policy = "TokenFair";
+  cfg.seed = opt.seed;
+  Cluster cluster(cfg, std::move(graph));
+
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    SimTime start = static_cast<SimTime>(i) * opt.stagger;
+    cluster.AddIngestion(handles[i].source, [&, start](int) {
+      return std::make_unique<ConstantRate>(
+          opt.msgs_per_sec, opt.tuples_per_msg, start, opt.duration);
+    });
+  }
+
+  cluster.Run(opt.duration);
+  TokenScenarioResult out;
+  out.run = SummarizeRun(cluster, opt.duration);
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    out.throughput.push_back(cluster.latency().ProcessedBuckets(
+        handles[i].job, kSecond, opt.duration));
+  }
+  return out;
+}
+
+}  // namespace cameo

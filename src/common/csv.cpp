@@ -1,0 +1,38 @@
+#include "common/csv.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace cameo {
+
+namespace {
+std::string JoinHeader(const std::vector<std::string>& columns) {
+  std::string header;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) header += ',';
+    header += columns[i];
+  }
+  return header;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : file_(path), columns_(columns.size()) {
+  CAMEO_EXPECTS(!columns.empty());
+  WriteLine(JoinHeader(columns));
+}
+
+CsvWriter::CsvWriter(const std::vector<std::string>& columns)
+    : columns_(columns.size()) {
+  CAMEO_EXPECTS(!columns.empty());
+  WriteLine(JoinHeader(columns));
+}
+
+void CsvWriter::WriteLine(const std::string& line) {
+  lines_.push_back(line);
+  if (file_.is_open()) file_ << line << '\n';
+}
+
+}  // namespace cameo

@@ -1,0 +1,45 @@
+// Minimal CSV writer for benchmark series output. Every bench binary prints
+// human-readable rows to stdout and (optionally) machine-readable CSV files
+// so figures can be re-plotted.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cameo {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  /// No-file constructor: rows accumulate in memory only (for tests).
+  explicit CsvWriter(const std::vector<std::string>& columns);
+
+  template <typename... Ts>
+  void Row(const Ts&... fields) {
+    std::ostringstream os;
+    AppendFields(os, fields...);
+    WriteLine(os.str());
+  }
+
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  template <typename T, typename... Rest>
+  static void AppendFields(std::ostringstream& os, const T& first,
+                           const Rest&... rest) {
+    os << first;
+    ((os << ',' << rest), ...);
+  }
+
+  void WriteLine(const std::string& line);
+
+  std::ofstream file_;
+  std::vector<std::string> lines_;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace cameo

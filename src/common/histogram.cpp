@@ -1,0 +1,111 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cameo {
+
+void SampleStats::Add(double v) {
+  samples_.push_back(v);
+  sorted_ = false;
+}
+
+void SampleStats::Merge(const SampleStats& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+}
+
+void SampleStats::Sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleStats::Min() const {
+  CAMEO_EXPECTS(!empty());
+  Sort();
+  return samples_.front();
+}
+
+double SampleStats::Max() const {
+  CAMEO_EXPECTS(!empty());
+  Sort();
+  return samples_.back();
+}
+
+double SampleStats::Mean() const {
+  CAMEO_EXPECTS(!empty());
+  double sum = 0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleStats::Stdev() const {
+  CAMEO_EXPECTS(!empty());
+  double m = Mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double SampleStats::Percentile(double q) const {
+  CAMEO_EXPECTS(!empty());
+  CAMEO_EXPECTS(q >= 0 && q <= 100);
+  Sort();
+  if (samples_.size() == 1) return samples_[0];
+  double rank = q / 100.0 * static_cast<double>(samples_.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> SampleStats::Cdf(std::size_t points) const {
+  CAMEO_EXPECTS(points > 0);
+  std::vector<std::pair<double, double>> out;
+  if (empty()) return out;
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    double q = 100.0 * static_cast<double>(i) / static_cast<double>(points);
+    out.emplace_back(Percentile(q), q / 100.0);
+  }
+  return out;
+}
+
+LogHistogram::LogHistogram(double min_value, double base, std::size_t buckets)
+    : min_value_(min_value), log_base_(std::log(base)), counts_(buckets, 0) {
+  CAMEO_EXPECTS(min_value > 0);
+  CAMEO_EXPECTS(base > 1);
+  CAMEO_EXPECTS(buckets > 0);
+}
+
+void LogHistogram::Add(double v) {
+  ++count_;
+  if (v < min_value_) {
+    ++underflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>(std::log(v / min_value_) / log_base_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  ++counts_[idx];
+}
+
+double LogHistogram::Percentile(double q) const {
+  CAMEO_EXPECTS(count_ > 0);
+  CAMEO_EXPECTS(q >= 0 && q <= 100);
+  auto target = static_cast<std::uint64_t>(q / 100.0 * static_cast<double>(count_));
+  std::uint64_t seen = underflow_;
+  if (seen >= target) return min_value_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      return min_value_ * std::exp(log_base_ * static_cast<double>(i + 1));
+    }
+  }
+  return min_value_ * std::exp(log_base_ * static_cast<double>(counts_.size()));
+}
+
+}  // namespace cameo

@@ -1,0 +1,62 @@
+// Percentile statistics for latency reporting.
+//
+// `SampleStats` keeps raw samples (fine for simulation scales) and answers
+// the exact order statistics the paper reports: median, p95, p99, max, mean,
+// standard deviation, and CDF points. `LogHistogram` is a bounded-memory
+// log-bucketed alternative used by the wall-clock runtime's hot paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cameo {
+
+class SampleStats {
+ public:
+  void Add(double v);
+  void Merge(const SampleStats& other);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  /// Population standard deviation.
+  double Stdev() const;
+  /// Percentile by linear interpolation between closest ranks; q in [0, 100].
+  double Percentile(double q) const;
+  double Median() const { return Percentile(50); }
+
+  /// Evenly spaced CDF points (value at 1/n, 2/n, ... of the distribution),
+  /// used to print the paper's CDF figures.
+  std::vector<std::pair<double, double>> Cdf(std::size_t points = 100) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void Sort() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+class LogHistogram {
+ public:
+  /// Buckets are powers of `base` starting at `min_value`.
+  explicit LogHistogram(double min_value = 1e3, double base = 1.3,
+                        std::size_t buckets = 128);
+
+  void Add(double v);
+  std::uint64_t count() const { return count_; }
+  /// Percentile estimate (upper bound of the containing bucket); q in [0,100].
+  double Percentile(double q) const;
+
+ private:
+  double min_value_;
+  double log_base_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t underflow_ = 0;
+};
+
+}  // namespace cameo

@@ -1,0 +1,43 @@
+// Strongly typed identifiers. A thin wrapper prevents accidentally passing a
+// JobId where an OperatorId is expected; all ids are value types with total
+// order so they can key maps and break priority ties deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace cameo {
+
+template <typename Tag>
+struct Id {
+  std::int64_t value = -1;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::int64_t v) : value(v) {}
+
+  constexpr bool valid() const { return value >= 0; }
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+struct JobTag {};
+struct StageTag {};
+struct OperatorTag {};
+struct MessageTag {};
+struct WorkerTag {};
+
+using JobId = Id<JobTag>;
+using StageId = Id<StageTag>;
+using OperatorId = Id<OperatorTag>;
+using MessageId = Id<MessageTag>;
+using WorkerId = Id<WorkerTag>;
+
+}  // namespace cameo
+
+namespace std {
+template <typename Tag>
+struct hash<cameo::Id<Tag>> {
+  size_t operator()(cameo::Id<Tag> id) const noexcept {
+    return hash<std::int64_t>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,61 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cameo {
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  CAMEO_EXPECTS(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Exponential(double mean) {
+  CAMEO_EXPECTS(mean > 0);
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+double Rng::Normal(double mu, double sigma) {
+  CAMEO_EXPECTS(sigma >= 0);
+  if (sigma == 0) return mu;
+  std::normal_distribution<double> dist(mu, sigma);
+  return dist(engine_);
+}
+
+double Rng::Pareto(double alpha, double x_min) {
+  CAMEO_EXPECTS(alpha > 0);
+  CAMEO_EXPECTS(x_min > 0);
+  // Inverse-CDF sampling: F(x) = 1 - (x_min/x)^alpha.
+  double u = Uniform01();
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  return x_min / std::pow(1.0 - u, 1.0 / alpha);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  CAMEO_EXPECTS(n > 0);
+  cdf_.resize(n);
+  double sum = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = sum;
+  }
+  for (double& v : cdf_) v /= sum;
+}
+
+std::size_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.Uniform01();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(std::size_t k) const {
+  CAMEO_EXPECTS(k < cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace cameo

@@ -1,0 +1,63 @@
+// Deterministic random number generation for workloads and noise injection.
+//
+// Every stochastic component takes an explicit `Rng&` (never a global) so a
+// simulation run is reproducible from a single seed. The Pareto distribution
+// mirrors the paper's Section 6.2 "Pareto event arrival" experiments; the
+// power-law (Zipf) sampler models Figure 2(a)'s long-tail volume distribution.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace cameo {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  double Uniform01() { return unit_(engine_); }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform01(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Normal with mean mu and standard deviation sigma (>= 0).
+  double Normal(double mu, double sigma);
+
+  /// Pareto with shape alpha (> 0) and scale x_min (> 0): support [x_min, inf).
+  /// Mean = alpha * x_min / (alpha - 1) for alpha > 1.
+  double Pareto(double alpha, double x_min);
+
+  /// Bernoulli trial.
+  bool Chance(double p) { return Uniform01() < p; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+/// Zipf sampler over ranks {0, ..., n-1} with exponent s: P(k) ~ 1/(k+1)^s.
+/// Used to synthesize the long-tailed per-stream volume split of Fig. 2(a).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank k (for tests and workload sizing).
+  double Pmf(std::size_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace cameo

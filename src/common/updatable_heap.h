@@ -1,0 +1,155 @@
+// Handle-based binary min-heap with O(log n) update and erase.
+//
+// The Cameo scheduler keeps a heap of operators keyed by the priority of each
+// operator's *head* pending message (Fig. 5(b) in the paper). When a new
+// message arrives at an operator its key may improve, so the heap must support
+// re-keying an existing element, which std::priority_queue cannot do.
+//
+// Keys must be totally ordered; smaller key = higher priority. Each pushed
+// element returns a stable Handle usable until the element is popped/erased.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cameo {
+
+template <typename Key, typename Value>
+class UpdatableHeap {
+ public:
+  using Handle = std::size_t;
+  static constexpr Handle kInvalidHandle = static_cast<Handle>(-1);
+
+  bool empty() const { return heap_.size() == 0; }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Inserts and returns a stable handle.
+  Handle Push(Key key, Value value) {
+    Handle h;
+    if (free_handles_.empty()) {
+      h = nodes_.size();
+      nodes_.push_back(Node{std::move(key), std::move(value), heap_.size()});
+    } else {
+      h = free_handles_.back();
+      free_handles_.pop_back();
+      nodes_[h] = Node{std::move(key), std::move(value), heap_.size()};
+    }
+    heap_.push_back(h);
+    SiftUp(heap_.size() - 1);
+    return h;
+  }
+
+  const Key& TopKey() const {
+    CAMEO_EXPECTS(!empty());
+    return nodes_[heap_[0]].key;
+  }
+  const Value& TopValue() const {
+    CAMEO_EXPECTS(!empty());
+    return nodes_[heap_[0]].value;
+  }
+  Handle TopHandle() const {
+    CAMEO_EXPECTS(!empty());
+    return heap_[0];
+  }
+
+  /// Removes the minimum element and returns its (key, value).
+  std::pair<Key, Value> Pop() {
+    CAMEO_EXPECTS(!empty());
+    Handle h = heap_[0];
+    std::pair<Key, Value> out{std::move(nodes_[h].key), std::move(nodes_[h].value)};
+    RemoveAt(0);
+    return out;
+  }
+
+  /// Re-keys the element behind `h` (key may move either direction).
+  void Update(Handle h, Key new_key) {
+    CAMEO_EXPECTS(Contains(h));
+    std::size_t pos = nodes_[h].pos;
+    nodes_[h].key = std::move(new_key);
+    if (!SiftUp(pos)) SiftDown(pos);
+  }
+
+  void Erase(Handle h) {
+    CAMEO_EXPECTS(Contains(h));
+    RemoveAt(nodes_[h].pos);
+  }
+
+  const Key& KeyOf(Handle h) const {
+    CAMEO_EXPECTS(Contains(h));
+    return nodes_[h].key;
+  }
+  const Value& ValueOf(Handle h) const {
+    CAMEO_EXPECTS(Contains(h));
+    return nodes_[h].value;
+  }
+
+  bool Contains(Handle h) const {
+    return h < nodes_.size() && nodes_[h].pos != kInvalidHandle;
+  }
+
+ private:
+  struct Node {
+    Key key;
+    Value value;
+    std::size_t pos;  // index into heap_, kInvalidHandle when free
+  };
+
+  void RemoveAt(std::size_t pos) {
+    Handle h = heap_[pos];
+    Handle last = heap_.back();
+    heap_.pop_back();
+    nodes_[h].pos = kInvalidHandle;
+    free_handles_.push_back(h);
+    if (pos < heap_.size()) {
+      heap_[pos] = last;
+      nodes_[last].pos = pos;
+      if (!SiftUp(pos)) SiftDown(pos);
+    }
+  }
+
+  // Returns true if the element moved.
+  bool SiftUp(std::size_t pos) {
+    Handle h = heap_[pos];
+    bool moved = false;
+    while (pos > 0) {
+      std::size_t parent = (pos - 1) / 2;
+      if (!(nodes_[h].key < nodes_[heap_[parent]].key)) break;
+      heap_[pos] = heap_[parent];
+      nodes_[heap_[pos]].pos = pos;
+      pos = parent;
+      moved = true;
+    }
+    heap_[pos] = h;
+    nodes_[h].pos = pos;
+    return moved;
+  }
+
+  void SiftDown(std::size_t pos) {
+    Handle h = heap_[pos];
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t left = 2 * pos + 1;
+      if (left >= n) break;
+      std::size_t smallest = left;
+      std::size_t right = left + 1;
+      if (right < n && nodes_[heap_[right]].key < nodes_[heap_[left]].key) {
+        smallest = right;
+      }
+      if (!(nodes_[heap_[smallest]].key < nodes_[h].key)) break;
+      heap_[pos] = heap_[smallest];
+      nodes_[heap_[pos]].pos = pos;
+      pos = smallest;
+    }
+    heap_[pos] = h;
+    nodes_[h].pos = pos;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<Handle> heap_;          // heap of handles
+  std::vector<Handle> free_handles_;  // recycled node slots
+};
+
+}  // namespace cameo

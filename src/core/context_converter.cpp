@@ -1,0 +1,101 @@
+#include "core/context_converter.h"
+
+#include <algorithm>
+
+namespace cameo {
+
+namespace {
+const ReplyContext kEmptyReply{};
+}  // namespace
+
+PriorityContext ContextConverter::BuildCxtAtSource(const SourceEvent& e,
+                                                   const Operator& self,
+                                                   Duration latency_constraint,
+                                                   MessageId id) {
+  PriorityContext pc;
+  pc.id = id;
+  pc.job = self.job();
+  pc.latency_constraint = latency_constraint;
+  pc.pri_local = e.p;
+  pc.pri_global = e.t;
+  pc.has_token = e.has_token;
+  pc.token_tag = e.token_tag;
+  pc.token_interval = e.token_interval;
+  // External events have no upstream operator: S_ou = 0, so TRANSFORM
+  // extends the deadline iff the source operator itself is windowed.
+  CxtConvert(pc, e.p, e.t, /*sender_slide=*/0, self);
+  return pc;
+}
+
+PriorityContext ContextConverter::BuildCxtAtOperator(
+    const PriorityContext& upstream, const Operator& self,
+    const Operator& target, LogicalTime out_p, SimTime out_t, MessageId id) {
+  // PC(Md) <- PC(Mu): job identity, latency constraint, and token state are
+  // inherited so downstream traffic of untokened messages stays deprioritized
+  // (paper §5.4).
+  PriorityContext pc = upstream;
+  pc.id = id;
+  CxtConvert(pc, out_p, out_t, self.window().slide, target);
+  return pc;
+}
+
+void ContextConverter::CxtConvert(PriorityContext& pc, LogicalTime p,
+                                  SimTime t, LogicalTime sender_slide,
+                                  const Operator& target) {
+  LogicalTime p_mf = p;
+  SimTime t_mf = t;
+  if (options_.use_query_semantics) {
+    p_mf = Transform(p, sender_slide, target.window().slide);
+    if (options_.time_domain == TimeDomain::kEventTime) {
+      // Improve the prediction model with this observed (p, t) pair before
+      // querying it (Algorithm 1 line 15).
+      progress_map_.Update(p, t);
+    }
+    // No extension (regular target, or progress already at the boundary):
+    // the message's own physical time is the exact frontier time.
+    t_mf = (p_mf == p) ? t : progress_map_.MapToTime(p_mf, t);
+  }
+  pc.frontier_progress = p_mf;
+  pc.frontier_time = t_mf;
+  policy_->AssignPriority(pc, RcFor(target.id()));
+}
+
+void ContextConverter::ProcessCtxFromReply(OperatorId from,
+                                           const ReplyContext& rc) {
+  if (!rc.valid) return;
+  rc_local_[from] = rc;
+}
+
+ReplyContext ContextConverter::PrepareReply(Duration own_cost,
+                                            Duration queueing_delay,
+                                            bool is_sink) const {
+  ReplyContext rc;
+  rc.valid = true;
+  rc.cost_m = own_cost;
+  rc.queueing_delay = queueing_delay;
+  if (is_sink) {
+    rc.cost_path = 0;  // InitializeReplyContext: nothing runs below a sink
+  } else {
+    // Critical path below this operator: the max over downstream targets of
+    // their own cost plus their downstream path (Algorithm 1 line 24,
+    // generalized to fan-out).
+    Duration best = 0;
+    for (const auto& [op, down] : rc_local_) {
+      best = std::max(best, down.cost_m + down.cost_path);
+    }
+    rc.cost_path = best;
+  }
+  return rc;
+}
+
+void ContextConverter::SeedReply(OperatorId target, const ReplyContext& rc) {
+  auto it = rc_local_.find(target);
+  if (it == rc_local_.end()) rc_local_[target] = rc;
+}
+
+const ReplyContext& ContextConverter::RcFor(OperatorId target) const {
+  auto it = rc_local_.find(target);
+  return it == rc_local_.end() ? kEmptyReply : it->second;
+}
+
+}  // namespace cameo

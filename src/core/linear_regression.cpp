@@ -1,0 +1,66 @@
+#include "core/linear_regression.h"
+
+#include "common/check.h"
+
+namespace cameo {
+
+OnlineLinearRegression::OnlineLinearRegression(std::size_t window)
+    : window_(window) {
+  CAMEO_EXPECTS(window >= 2);
+}
+
+void OnlineLinearRegression::Observe(double x, double y) {
+  points_.emplace_back(x, y);
+  if (points_.size() > window_) points_.pop_front();
+  dirty_ = true;
+}
+
+bool OnlineLinearRegression::Ready() const {
+  if (dirty_) Fit();
+  return ready_;
+}
+
+double OnlineLinearRegression::Predict(double x) const {
+  CAMEO_EXPECTS(Ready());
+  return alpha_ * x + gamma_;
+}
+
+double OnlineLinearRegression::alpha() const {
+  if (dirty_) Fit();
+  return alpha_;
+}
+
+double OnlineLinearRegression::gamma() const {
+  if (dirty_) Fit();
+  return gamma_;
+}
+
+void OnlineLinearRegression::Fit() const {
+  dirty_ = false;
+  ready_ = false;
+  const std::size_t n = points_.size();
+  if (n < 2) return;
+
+  // Center on the mean for numerical stability: x values are nanosecond-scale
+  // timestamps (1e12+) whose squares would lose precision in double.
+  double mx = 0, my = 0;
+  for (const auto& [x, y] : points_) {
+    mx += x;
+    my += y;
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+
+  double sxx = 0, sxy = 0;
+  for (const auto& [x, y] : points_) {
+    sxx += (x - mx) * (x - mx);
+    sxy += (x - mx) * (y - my);
+  }
+  if (sxx <= 0) return;  // all x identical: slope undefined
+
+  alpha_ = sxy / sxx;
+  gamma_ = my - alpha_ * mx;
+  ready_ = true;
+}
+
+}  // namespace cameo

@@ -1,0 +1,43 @@
+// Online windowed linear regression used by PROGRESSMAP (paper §4.3): maps
+// logical stream progress to physical frontier time as t = alpha * p + gamma,
+// fit over a running window of recent (p, t) observations.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+#include "common/time.h"
+
+namespace cameo {
+
+class OnlineLinearRegression {
+ public:
+  /// Keeps at most `window` most recent observations.
+  explicit OnlineLinearRegression(std::size_t window = 64);
+
+  void Observe(double x, double y);
+
+  /// True once at least two observations with distinct x are present.
+  bool Ready() const;
+
+  /// Least-squares prediction; requires Ready().
+  double Predict(double x) const;
+
+  double alpha() const;  // slope
+  double gamma() const;  // intercept
+
+  std::size_t size() const { return points_.size(); }
+
+ private:
+  void Fit() const;
+
+  std::size_t window_;
+  std::deque<std::pair<double, double>> points_;
+  mutable bool dirty_ = true;
+  mutable double alpha_ = 1.0;
+  mutable double gamma_ = 0.0;
+  mutable bool ready_ = false;
+};
+
+}  // namespace cameo

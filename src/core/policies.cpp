@@ -1,0 +1,48 @@
+#include "core/policies.h"
+
+#include "common/check.h"
+
+namespace cameo {
+
+void LeastLaxityFirst::AssignPriority(PriorityContext& pc,
+                                      const ReplyContext& rc) const {
+  pc.pri_local = pc.frontier_progress;
+  pc.pri_global =
+      pc.frontier_time + pc.latency_constraint - rc.cost_m - rc.cost_path;
+}
+
+void EarliestDeadlineFirst::AssignPriority(PriorityContext& pc,
+                                           const ReplyContext& rc) const {
+  pc.pri_local = pc.frontier_progress;
+  // EDF considers the deadline prior to the operator executing, i.e. the
+  // LLF expression without the target operator's own cost (paper §4.2.2).
+  pc.pri_global = pc.frontier_time + pc.latency_constraint - rc.cost_path;
+}
+
+void ShortestJobFirst::AssignPriority(PriorityContext& pc,
+                                      const ReplyContext& rc) const {
+  pc.pri_local = pc.frontier_progress;
+  pc.pri_global = rc.cost_m;
+}
+
+void TokenFair::AssignPriority(PriorityContext& pc,
+                               const ReplyContext& /*rc*/) const {
+  if (pc.has_token) {
+    pc.pri_local = pc.token_interval;
+    pc.pri_global = pc.token_tag;
+  } else {
+    pc.pri_local = kPriorityFloor;
+    pc.pri_global = kPriorityFloor;
+  }
+}
+
+std::unique_ptr<SchedulingPolicy> MakePolicy(const std::string& name) {
+  if (name == "LLF") return std::make_unique<LeastLaxityFirst>();
+  if (name == "EDF") return std::make_unique<EarliestDeadlineFirst>();
+  if (name == "SJF") return std::make_unique<ShortestJobFirst>();
+  if (name == "TokenFair") return std::make_unique<TokenFair>();
+  CAMEO_CHECK(false && "unknown policy");
+  return nullptr;
+}
+
+}  // namespace cameo

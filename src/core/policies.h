@@ -1,0 +1,64 @@
+// Pluggable scheduling policies (paper §4, §5.4).
+//
+// A policy maps the dataflow-defined context fields (p_MF, t_MF, L) plus the
+// downstream Reply Context onto the (PRI_local, PRI_global) pair the
+// scheduler orders by. Smaller priority = more urgent.
+//
+//   LLF (default): ddl_M = t_MF + L − C_oM − C_path            (Eq. 3)
+//   EDF:           ddl_M = t_MF + L − C_path                   (§4.2: omit C_oM)
+//   SJF:           ddl_M = C_oM                                 (not deadline-aware)
+//   TokenFair:     token timestamp, or the floor when untokened (§5.4)
+//   Fifo:          arrival time (baseline used in tests)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dataflow/context.h"
+#include "dataflow/message.h"
+
+namespace cameo {
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  /// Fills pc.pri_local / pc.pri_global from the already-updated context
+  /// fields (frontier_progress, frontier_time, latency_constraint, token
+  /// state) and the Reply Context of the message's target operator.
+  virtual void AssignPriority(PriorityContext& pc,
+                              const ReplyContext& rc) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+class LeastLaxityFirst final : public SchedulingPolicy {
+ public:
+  void AssignPriority(PriorityContext& pc, const ReplyContext& rc) const override;
+  std::string name() const override { return "LLF"; }
+};
+
+class EarliestDeadlineFirst final : public SchedulingPolicy {
+ public:
+  void AssignPriority(PriorityContext& pc, const ReplyContext& rc) const override;
+  std::string name() const override { return "EDF"; }
+};
+
+class ShortestJobFirst final : public SchedulingPolicy {
+ public:
+  void AssignPriority(PriorityContext& pc, const ReplyContext& rc) const override;
+  std::string name() const override { return "SJF"; }
+};
+
+/// Token-based proportional fair sharing (paper §5.4): tokened messages are
+/// ordered by token timestamp; untokened traffic sinks to the priority floor
+/// and is served only when no tokened work is pending.
+class TokenFair final : public SchedulingPolicy {
+ public:
+  void AssignPriority(PriorityContext& pc, const ReplyContext& rc) const override;
+  std::string name() const override { return "TokenFair"; }
+};
+
+std::unique_ptr<SchedulingPolicy> MakePolicy(const std::string& name);
+
+}  // namespace cameo

@@ -1,0 +1,41 @@
+#include "core/profiler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cameo {
+
+void CostProfiler::Record(OperatorId op, Duration measured) {
+  CAMEO_EXPECTS(measured >= 0);
+  Entry& e = entries_[op];
+  if (e.count == 0) {
+    e.ewma = static_cast<double>(measured);
+  } else {
+    e.ewma = smoothing_ * static_cast<double>(measured) +
+             (1.0 - smoothing_) * e.ewma;
+  }
+  ++e.count;
+}
+
+void CostProfiler::Seed(OperatorId op, Duration estimate) {
+  CAMEO_EXPECTS(estimate >= 0);
+  Entry& e = entries_[op];
+  if (e.count == 0) e.ewma = static_cast<double>(estimate);
+}
+
+Duration CostProfiler::Estimate(OperatorId op) const {
+  auto it = entries_.find(op);
+  double base = it == entries_.end() ? 0.0 : it->second.ewma;
+  if (perturb_sigma_ > 0) {
+    base += noise_rng_.Normal(0.0, static_cast<double>(perturb_sigma_));
+  }
+  return std::max<Duration>(0, static_cast<Duration>(base));
+}
+
+std::uint64_t CostProfiler::samples(OperatorId op) const {
+  auto it = entries_.find(op);
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+}  // namespace cameo

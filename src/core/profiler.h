@@ -1,0 +1,55 @@
+// Execution-cost profiler (paper §4.2.1: "C_oM and C_path can be calculated
+// by profiling"; §5.3: RCs carry "processing cost (e.g., CPU time) ...
+// obtained via profiling").
+//
+// The runtime reports each invocation's measured cost; the profiler keeps an
+// exponentially weighted moving average per operator. Estimates can be
+// perturbed with N(0, sigma) noise to reproduce the paper's measurement-
+// inaccuracy study (Fig. 16).
+#pragma once
+
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace cameo {
+
+class CostProfiler {
+ public:
+  /// `smoothing` is the EWMA weight of the newest sample, in (0, 1].
+  explicit CostProfiler(double smoothing = 0.25, std::uint64_t noise_seed = 7)
+      : smoothing_(smoothing), noise_rng_(noise_seed) {}
+
+  /// Records one measured invocation cost.
+  void Record(OperatorId op, Duration measured);
+
+  /// Seeds a cold-start estimate (e.g., from static critical-path analysis);
+  /// overwritten as real measurements arrive.
+  void Seed(OperatorId op, Duration estimate);
+
+  /// Current estimate of C_o for `op`; 0 when never seen. When perturbation
+  /// is enabled, the returned estimate carries N(0, sigma) noise, clamped at
+  /// zero (a cost estimate cannot be negative).
+  Duration Estimate(OperatorId op) const;
+
+  /// Enables Fig. 16-style perturbation of reported estimates.
+  void SetPerturbation(Duration sigma) { perturb_sigma_ = sigma; }
+  Duration perturbation() const { return perturb_sigma_; }
+
+  std::uint64_t samples(OperatorId op) const;
+
+ private:
+  struct Entry {
+    double ewma = 0;
+    std::uint64_t count = 0;
+  };
+
+  double smoothing_;
+  Duration perturb_sigma_ = 0;
+  std::unordered_map<OperatorId, Entry> entries_;
+  mutable Rng noise_rng_;
+};
+
+}  // namespace cameo

@@ -1,0 +1,40 @@
+// PROGRESSMAP (paper §4.3, step 2): maps frontier progress p_MF to frontier
+// time t_MF — the physical time by which the triggering logical time is
+// expected to have been observed at all sources.
+//
+//  - Ingestion-time domain: logical time *is* the arrival timestamp, so the
+//    map is the identity.
+//  - Event-time domain: the map is learned online as t = alpha * p + gamma
+//    over a running window of (p_M, t_M) observations (paper: "linear fit
+//    with running window of historical p_MF's towards their respective
+//    t_MF's"). Until the fit is ready the map falls back to the conservative
+//    estimate t_MF = t_M (treat windowed operators as regular, §4.3 end).
+#pragma once
+
+#include "common/time.h"
+#include "core/linear_regression.h"
+#include "dataflow/graph.h"
+
+namespace cameo {
+
+class ProgressMap {
+ public:
+  explicit ProgressMap(TimeDomain domain, std::size_t fit_window = 64)
+      : domain_(domain), model_(fit_window) {}
+
+  /// Feeds an observed (logical, physical) pair; no-op for ingestion time.
+  void Update(LogicalTime p, SimTime t);
+
+  /// Predicted physical time at which progress `p_mf` completes. `t_fallback`
+  /// is the message's own physical time, used when no model is available.
+  SimTime MapToTime(LogicalTime p_mf, SimTime t_fallback) const;
+
+  TimeDomain domain() const { return domain_; }
+  const OnlineLinearRegression& model() const { return model_; }
+
+ private:
+  TimeDomain domain_;
+  OnlineLinearRegression model_;
+};
+
+}  // namespace cameo

@@ -1,0 +1,3 @@
+#include "core/token_bucket.h"
+
+namespace cameo {}  // namespace cameo

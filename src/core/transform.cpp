@@ -1,0 +1,23 @@
+#include "core/transform.h"
+
+#include "common/check.h"
+
+namespace cameo {
+
+LogicalTime Transform(LogicalTime p, LogicalTime slide_upstream,
+                      LogicalTime slide_downstream) {
+  CAMEO_EXPECTS(p >= 0);
+  CAMEO_EXPECTS(slide_upstream >= 0);
+  CAMEO_EXPECTS(slide_downstream >= 0);
+  if (slide_upstream < slide_downstream) {
+    return ((p + slide_downstream - 1) / slide_downstream) * slide_downstream;
+  }
+  return p;
+}
+
+LogicalTime Transform(LogicalTime p, const WindowSpec& upstream,
+                      const WindowSpec& downstream) {
+  return Transform(p, upstream.slide, downstream.slide);
+}
+
+}  // namespace cameo

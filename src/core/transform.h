@@ -1,0 +1,35 @@
+// TRANSFORM (paper §4.3, step 1): maps a message's logical time p_M to the
+// frontier progress p_MF — the logical time whose arrival triggers the
+// message's *target* operator:
+//
+//   p_MF = ceil(p_M / S_od) * S_od   if S_ou < S_od
+//        = p_M                        otherwise
+//
+// where S_o is an operator's slide size (0 for regular operators, window size
+// for tumbling windows, slide for sliding windows).
+//
+// Window semantics: window k of a slide-S operator covers logical times in
+// (k*S - W, k*S] and triggers once stream progress reaches k*S. These are the
+// inclusive-right windows of out-of-order processing (Li et al. [62], the
+// paper's reference): the batch whose progress lands exactly on a boundary
+// *completes that window and contributes to it*, so a window's output is not
+// delayed by one extra batch gap. For p_M not on a boundary this is exactly
+// the paper's (p_M / S_od + 1) * S_od; on a boundary the ceil form keeps the
+// closing batch in its own window.
+#pragma once
+
+#include "common/time.h"
+#include "dataflow/operator.h"
+
+namespace cameo {
+
+/// Frontier progress of a message with logical time `p` sent from an operator
+/// with slide `slide_upstream` to one with slide `slide_downstream`.
+LogicalTime Transform(LogicalTime p, LogicalTime slide_upstream,
+                      LogicalTime slide_downstream);
+
+/// Convenience overload taking the window specs of the two endpoints.
+LogicalTime Transform(LogicalTime p, const WindowSpec& upstream,
+                      const WindowSpec& downstream);
+
+}  // namespace cameo

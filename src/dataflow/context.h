@@ -1,0 +1,67 @@
+// Scheduling contexts (paper §5.1): data structures attached to messages that
+// carry everything a *stateless* scheduler needs to order work.
+//
+//  - PriorityContext (PC) travels downstream with each message. Layout per
+//    §5.3:  ID | PRI_local | PRI_global | Dataflow_DefinedField, where the
+//    dataflow-defined field holds (p_MF, t_MF, L) plus job identity and the
+//    token-policy tag.
+//  - ReplyContext (RC) travels upstream on acknowledgements and accumulates
+//    the downstream critical-path cost (Algorithm 1, PrepareReply).
+//
+// Only plain data lives here; conversion logic is in core/context_converter.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace cameo {
+
+/// Scalar priority; smaller = more urgent. For the LLF/EDF policies this is a
+/// deadline in SimTime nanoseconds; for SJF a cost; for the token policy a
+/// token timestamp (untokened traffic gets kPriorityFloor).
+using Priority = std::int64_t;
+
+inline constexpr Priority kPriorityFloor = std::numeric_limits<Priority>::max();
+
+struct PriorityContext {
+  MessageId id;
+
+  /// Orders messages *within* one operator (paper: PRI_local = p_MF).
+  Priority pri_local = 0;
+  /// Orders operators *across* the run queue (paper: PRI_global = ddl_M).
+  Priority pri_global = 0;
+
+  // ---- Dataflow_DefinedField (paper §5.3) ----
+  /// Frontier progress: logical time whose arrival triggers the target
+  /// operator's next output (paper: p_MF).
+  LogicalTime frontier_progress = 0;
+  /// Physical time at which the frontier is expected complete (paper: t_MF).
+  SimTime frontier_time = 0;
+  /// Dataflow latency constraint (paper: L).
+  Duration latency_constraint = 0;
+  /// Owning dataflow, used by pluggable policies and metrics.
+  JobId job;
+
+  // ---- Token fair-sharing policy (§5.4) ----
+  bool has_token = false;
+  /// Token timestamp within its allocation interval (PRI_global for §5.4).
+  SimTime token_tag = 0;
+  /// Allocation interval id (PRI_local for §5.4).
+  std::int64_t token_interval = 0;
+};
+
+struct ReplyContext {
+  /// Profiled execution cost of the replying operator (paper: C_m).
+  Duration cost_m = 0;
+  /// Max critical-path cost strictly downstream of the replying operator
+  /// (paper: C_path).
+  Duration cost_path = 0;
+  /// Queueing delay observed by the replying operator; exported runtime
+  /// statistic (paper §5.2 step 6).
+  Duration queueing_delay = 0;
+  bool valid = false;
+};
+
+}  // namespace cameo

@@ -1,0 +1,54 @@
+#include "dataflow/critical_path.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/check.h"
+
+namespace cameo {
+
+CriticalPathResult ComputeCriticalPath(const DataflowGraph& graph, JobId job,
+                                       std::int64_t nominal_tuples) {
+  CriticalPathResult result;
+
+  // Stage-level longest path to a sink, memoized. Stages form a DAG (Connect
+  // only appends forward edges; cycles would never terminate here, so we also
+  // guard with an on-stack marker).
+  std::unordered_map<std::int64_t, Duration> memo;
+  std::unordered_map<std::int64_t, bool> on_stack;
+
+  // Max expected cost across a stage's replicas (replicas share a factory so
+  // they normally agree; max is the conservative choice).
+  auto stage_cost = [&](StageId sid) {
+    Duration c = 0;
+    for (OperatorId oid : graph.stage(sid).operators) {
+      c = std::max(c, graph.Get(oid).cost_model().Expected(nominal_tuples));
+    }
+    return c;
+  };
+
+  std::function<Duration(StageId)> below = [&](StageId sid) -> Duration {
+    auto it = memo.find(sid.value);
+    if (it != memo.end()) return it->second;
+    CAMEO_CHECK(!on_stack[sid.value]);  // dataflow graphs must be acyclic
+    on_stack[sid.value] = true;
+    Duration best = 0;
+    for (StageId next : graph.stage(sid).downstream) {
+      best = std::max(best, stage_cost(next) + below(next));
+    }
+    on_stack[sid.value] = false;
+    memo[sid.value] = best;
+    return best;
+  };
+
+  for (StageId sid : graph.stages_of(job)) {
+    Duration below_cost = below(sid);
+    for (OperatorId oid : graph.stage(sid).operators) {
+      result.cost[oid] = graph.Get(oid).cost_model().Expected(nominal_tuples);
+      result.path_below[oid] = below_cost;
+    }
+  }
+  return result;
+}
+
+}  // namespace cameo

@@ -1,0 +1,32 @@
+// Static critical-path analysis (paper §4.2.1: C_path is "the maximum of
+// execution times of critical path from o to any output operator").
+//
+// At run time Cameo *learns* C_path through Reply Contexts (Algorithm 1);
+// this static calculator computes the same quantity from the graph and the
+// operators' expected cost models. It seeds cold-start estimates and gives
+// tests an oracle to validate the RC-learned values against.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "dataflow/graph.h"
+
+namespace cameo {
+
+struct CriticalPathResult {
+  /// Expected execution cost of each operator itself (C_oM with the nominal
+  /// tuple count).
+  std::unordered_map<OperatorId, Duration> cost;
+  /// Max-cost path strictly below each operator, excluding the operator
+  /// itself (C_path). Sinks map to 0.
+  std::unordered_map<OperatorId, Duration> path_below;
+};
+
+/// Computes expected costs using `nominal_tuples` as the batch size fed to
+/// every operator's cost model.
+CriticalPathResult ComputeCriticalPath(const DataflowGraph& graph, JobId job,
+                                       std::int64_t nominal_tuples);
+
+}  // namespace cameo

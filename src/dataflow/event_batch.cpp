@@ -1,0 +1,3 @@
+#include "dataflow/event_batch.h"
+
+namespace cameo {}  // namespace cameo

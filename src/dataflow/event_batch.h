@@ -1,0 +1,52 @@
+// Columnar event batches, modeled after Trill's batched dataflow (paper §6:
+// "Cameo encloses a columnar batch of data in each message like Trill").
+//
+// A batch is a struct-of-arrays of (key, value, event-time) triples plus the
+// batch's stream progress: the maximum logical time this batch advances its
+// channel to. Synthetic workloads that only exercise the scheduler may carry
+// `synthetic_count` tuples without materialized columns; operators that
+// compute real results fill the columns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+
+namespace cameo {
+
+struct EventBatch {
+  std::vector<std::int64_t> keys;
+  std::vector<double> values;
+  std::vector<LogicalTime> times;  // per-tuple logical time (event time)
+
+  /// Tuple count for column-less synthetic batches. Ignored when columns are
+  /// populated.
+  std::int64_t synthetic_count = 0;
+
+  /// Stream progress carried by this batch (paper: p_M). All future batches
+  /// on the same channel have logical time >= progress.
+  LogicalTime progress = 0;
+
+  std::int64_t size() const {
+    return keys.empty() ? synthetic_count
+                        : static_cast<std::int64_t>(keys.size());
+  }
+  bool columnar() const { return !keys.empty(); }
+
+  void Append(std::int64_t key, double value, LogicalTime time) {
+    keys.push_back(key);
+    values.push_back(value);
+    times.push_back(time);
+  }
+
+  /// Creates a column-less batch of `count` tuples at `progress`.
+  static EventBatch Synthetic(std::int64_t count, LogicalTime progress) {
+    EventBatch b;
+    b.synthetic_count = count;
+    b.progress = progress;
+    return b;
+  }
+};
+
+}  // namespace cameo

@@ -1,0 +1,180 @@
+#include "dataflow/graph.h"
+
+#include <algorithm>
+
+namespace cameo {
+
+JobId DataflowGraph::AddJob(JobSpec spec) {
+  CAMEO_EXPECTS(spec.latency_constraint >= 0);
+  JobId id{static_cast<std::int64_t>(jobs_.size())};
+  jobs_.push_back(std::move(spec));
+  job_ids_.push_back(id);
+  job_stages_.emplace_back();
+  return id;
+}
+
+StageId DataflowGraph::AddStage(JobId job, const std::string& name,
+                                int parallelism,
+                                const OperatorFactory& factory) {
+  CAMEO_EXPECTS(job.valid() &&
+                static_cast<std::size_t>(job.value) < jobs_.size());
+  CAMEO_EXPECTS(parallelism >= 1);
+  StageId sid{static_cast<std::int64_t>(stages_.size())};
+  StageInfo info;
+  info.id = sid;
+  info.job = job;
+  info.name = name;
+  info.parallelism = parallelism;
+  for (int i = 0; i < parallelism; ++i) {
+    auto op = factory(i);
+    CAMEO_CHECK(op != nullptr);
+    OperatorId oid{static_cast<std::int64_t>(operators_.size())};
+    op->Bind(oid, sid, job);
+    info.operators.push_back(oid);
+    operators_.push_back(std::move(op));
+  }
+  stages_.push_back(std::move(info));
+  job_stages_[static_cast<std::size_t>(job.value)].push_back(sid);
+  return sid;
+}
+
+int DataflowGraph::Connect(StageId from, StageId to, Partition partition) {
+  StageInfo& src = stage_mut(from);
+  StageInfo& dst = stage_mut(to);
+  CAMEO_EXPECTS(src.job == dst.job);
+  if (partition == Partition::kOneToOne) {
+    CAMEO_EXPECTS(src.parallelism == dst.parallelism);
+  }
+  src.downstream.push_back(to);
+  src.partition.push_back(partition);
+  dst.upstream.push_back(from);
+  return static_cast<int>(src.downstream.size()) - 1;
+}
+
+Operator& DataflowGraph::Get(OperatorId id) {
+  CAMEO_EXPECTS(Contains(id));
+  return *operators_[static_cast<std::size_t>(id.value)];
+}
+
+const Operator& DataflowGraph::Get(OperatorId id) const {
+  CAMEO_EXPECTS(Contains(id));
+  return *operators_[static_cast<std::size_t>(id.value)];
+}
+
+const JobSpec& DataflowGraph::job(JobId id) const {
+  CAMEO_EXPECTS(id.valid() && static_cast<std::size_t>(id.value) < jobs_.size());
+  return jobs_[static_cast<std::size_t>(id.value)];
+}
+
+JobSpec& DataflowGraph::job(JobId id) {
+  CAMEO_EXPECTS(id.valid() && static_cast<std::size_t>(id.value) < jobs_.size());
+  return jobs_[static_cast<std::size_t>(id.value)];
+}
+
+const StageInfo& DataflowGraph::stage(StageId id) const {
+  CAMEO_EXPECTS(id.valid() &&
+                static_cast<std::size_t>(id.value) < stages_.size());
+  return stages_[static_cast<std::size_t>(id.value)];
+}
+
+StageInfo& DataflowGraph::stage_mut(StageId id) {
+  CAMEO_EXPECTS(id.valid() &&
+                static_cast<std::size_t>(id.value) < stages_.size());
+  return stages_[static_cast<std::size_t>(id.value)];
+}
+
+const std::vector<StageId>& DataflowGraph::stages_of(JobId job) const {
+  CAMEO_EXPECTS(job.valid() &&
+                static_cast<std::size_t>(job.value) < job_stages_.size());
+  return job_stages_[static_cast<std::size_t>(job.value)];
+}
+
+std::vector<OperatorId> DataflowGraph::OperatorsOf(JobId job) const {
+  std::vector<OperatorId> out;
+  for (StageId sid : stages_of(job)) {
+    const StageInfo& s = stage(sid);
+    out.insert(out.end(), s.operators.begin(), s.operators.end());
+  }
+  return out;
+}
+
+std::vector<DataflowGraph::Delivery> DataflowGraph::Route(OperatorId sender,
+                                                          int port,
+                                                          EventBatch batch) {
+  const Operator& op = Get(sender);
+  const StageInfo& src = stage(op.stage());
+  CAMEO_EXPECTS(port >= 0 &&
+                static_cast<std::size_t>(port) < src.downstream.size());
+  const StageInfo& dst = stage(src.downstream[static_cast<std::size_t>(port)]);
+  Partition part = src.partition[static_cast<std::size_t>(port)];
+
+  std::vector<Delivery> out;
+  const auto replicas = static_cast<std::size_t>(dst.parallelism);
+
+  switch (part) {
+    case Partition::kOneToOne: {
+      // Position of the sender within its stage.
+      auto it = std::find(src.operators.begin(), src.operators.end(), sender);
+      CAMEO_CHECK(it != src.operators.end());
+      auto idx = static_cast<std::size_t>(it - src.operators.begin());
+      out.push_back({dst.operators[idx], std::move(batch)});
+      break;
+    }
+    case Partition::kShard: {
+      auto it = std::find(src.operators.begin(), src.operators.end(), sender);
+      CAMEO_CHECK(it != src.operators.end());
+      auto idx = static_cast<std::size_t>(it - src.operators.begin());
+      out.push_back({dst.operators[idx % replicas], std::move(batch)});
+      break;
+    }
+    case Partition::kBroadcast: {
+      for (std::size_t i = 0; i < replicas; ++i) {
+        out.push_back({dst.operators[i], batch});
+      }
+      break;
+    }
+    case Partition::kRoundRobin: {
+      std::int64_t edge = src.id.value * 1'000'000 + port;
+      std::size_t& next = rr_state_[edge];
+      out.push_back({dst.operators[next % replicas], std::move(batch)});
+      next = (next + 1) % replicas;
+      break;
+    }
+    case Partition::kKeyHash: {
+      if (replicas == 1 || !batch.columnar()) {
+        // Synthetic batches carry no keys; spread whole batches round-robin
+        // (deterministic, preserves per-channel ordering guarantees because
+        // each channel still delivers in send order).
+        std::int64_t edge = src.id.value * 1'000'000 + port + 500'000;
+        std::size_t& next = rr_state_[edge];
+        out.push_back({dst.operators[next % replicas], std::move(batch)});
+        next = (next + 1) % replicas;
+        break;
+      }
+      std::vector<EventBatch> split(replicas);
+      for (std::size_t i = 0; i < batch.keys.size(); ++i) {
+        auto h = static_cast<std::size_t>(
+                     std::hash<std::int64_t>{}(batch.keys[i])) %
+                 replicas;
+        split[h].Append(batch.keys[i], batch.values[i], batch.times[i]);
+      }
+      for (std::size_t r = 0; r < replicas; ++r) {
+        if (split[r].keys.empty()) continue;
+        split[r].progress = batch.progress;
+        out.push_back({dst.operators[r], std::move(split[r])});
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<StageId> DataflowGraph::SinkStages(JobId job) const {
+  std::vector<StageId> out;
+  for (StageId sid : stages_of(job)) {
+    if (stage(sid).downstream.empty()) out.push_back(sid);
+  }
+  return out;
+}
+
+}  // namespace cameo

@@ -1,0 +1,117 @@
+// Cluster-wide dataflow topology: multiple jobs, each a DAG of stages, each
+// stage parallelized into operators (paper §4.1). The graph owns the
+// operators and answers routing queries: given an emitting operator and an
+// output port, which operator(s) receive the batch and with what partitioning.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/time.h"
+#include "dataflow/operator.h"
+
+namespace cameo {
+
+/// How batches emitted by one stage are distributed to the next.
+enum class Partition {
+  kKeyHash,     // split columnar batch by hash(key) % parallelism
+  kRoundRobin,  // whole batch to replicas in rotation
+  kBroadcast,   // whole batch replicated to every replica
+  kOneToOne,    // replica i -> replica i (parallelisms must match)
+  kShard,       // sender replica i -> receiver replica i % parallelism;
+                // keeps (sender, receiver) channels stable so downstream
+                // watermarks advance at the senders' message rate
+};
+
+/// Stream progress domain of a job's logical time (paper §4.3).
+enum class TimeDomain {
+  kEventTime,      // logical time from the data; PROGRESSMAP is learned
+  kIngestionTime,  // logical time assigned on arrival; PROGRESSMAP = identity
+};
+
+struct JobSpec {
+  std::string name;
+  /// Paper: L, the dataflow latency constraint.
+  Duration latency_constraint = 0;
+  TimeDomain time_domain = TimeDomain::kIngestionTime;
+  /// Window size and slide (logical ticks) of the job's final windowed
+  /// stage; used by metrics to attribute outputs to the events that produced
+  /// them. Slide 0 marks a per-message (non-windowed) output.
+  LogicalTime output_window = 0;
+  LogicalTime output_slide = 0;
+  /// Target ingestion share for the token fair-sharing policy (§5.4);
+  /// <= 0 disables tokens for the job.
+  double token_rate_per_sec = 0;
+};
+
+struct StageInfo {
+  StageId id;
+  JobId job;
+  std::string name;
+  int parallelism = 1;
+  std::vector<OperatorId> operators;
+  /// Outgoing edges in port order.
+  std::vector<StageId> downstream;
+  std::vector<Partition> partition;
+  std::vector<StageId> upstream;
+};
+
+class DataflowGraph {
+ public:
+  JobId AddJob(JobSpec spec);
+
+  /// Adds a stage of `parallelism` operators built by `factory`.
+  StageId AddStage(JobId job, const std::string& name, int parallelism,
+                   const OperatorFactory& factory);
+
+  /// Connects `from` -> `to`; returns the output port index on `from`.
+  int Connect(StageId from, StageId to, Partition partition);
+
+  Operator& Get(OperatorId id);
+  const Operator& Get(OperatorId id) const;
+  bool Contains(OperatorId id) const {
+    return id.valid() && static_cast<std::size_t>(id.value) < operators_.size();
+  }
+
+  const JobSpec& job(JobId id) const;
+  JobSpec& job(JobId id);
+  const StageInfo& stage(StageId id) const;
+
+  std::size_t job_count() const { return jobs_.size(); }
+  std::size_t operator_count() const { return operators_.size(); }
+  const std::vector<JobId>& job_ids() const { return job_ids_; }
+  const std::vector<StageId>& stages_of(JobId job) const;
+
+  /// All operators of a job, across stages.
+  std::vector<OperatorId> OperatorsOf(JobId job) const;
+
+  /// One routed delivery: `batch` goes to `target`.
+  struct Delivery {
+    OperatorId target;
+    EventBatch batch;
+  };
+
+  /// Routes a batch emitted by `sender` on `port` to downstream operators.
+  /// Mutates round-robin state; a kKeyHash edge splits columnar batches by
+  /// key and spreads synthetic batches round-robin.
+  std::vector<Delivery> Route(OperatorId sender, int port, EventBatch batch);
+
+  /// Sink stages (no downstream edges) of a job.
+  std::vector<StageId> SinkStages(JobId job) const;
+
+ private:
+  StageInfo& stage_mut(StageId id);
+
+  std::vector<JobSpec> jobs_;
+  std::vector<JobId> job_ids_;
+  std::vector<std::vector<StageId>> job_stages_;
+  std::vector<StageInfo> stages_;
+  std::vector<std::unique_ptr<Operator>> operators_;
+  std::unordered_map<std::int64_t, std::size_t> rr_state_;  // edge -> next replica
+};
+
+}  // namespace cameo

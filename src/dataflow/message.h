@@ -1,0 +1,35 @@
+// The unit of scheduling: one message addressed to one operator, carrying a
+// columnar batch and its PriorityContext. Paper notation: M = (o_M, (p_M,
+// t_M)); logical time p_M lives in batch.progress, physical time t_M in
+// `event_time`.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "dataflow/context.h"
+#include "dataflow/event_batch.h"
+
+namespace cameo {
+
+struct Message {
+  MessageId id;
+  OperatorId target;
+  OperatorId sender;  // invalid for external/source ingestion
+
+  EventBatch batch;
+
+  /// Physical time of the last event required to produce this message
+  /// (paper: t_M). For source messages this is the ingestion time.
+  SimTime event_time = 0;
+  /// Time the message was enqueued at the scheduler (for queueing-delay
+  /// statistics carried back in ReplyContexts).
+  SimTime enqueue_time = 0;
+
+  PriorityContext pc;
+
+  LogicalTime progress() const { return batch.progress; }
+};
+
+}  // namespace cameo

@@ -1,0 +1,5 @@
+// Operator is header-only today; this TU anchors the vtable so the type's
+// key function lives in one object file.
+#include "dataflow/operator.h"
+
+namespace cameo {}  // namespace cameo

@@ -1,0 +1,15 @@
+#include "metrics/timeline.h"
+
+namespace cameo {
+
+void Timeline::Record(const DispatchRecord& r) {
+  if (!enabled_) return;
+  if (filter_.valid() && r.job != filter_) return;
+  if (records_.size() >= capacity_) {
+    truncated_ = true;
+    return;
+  }
+  records_.push_back(r);
+}
+
+}  // namespace cameo

@@ -1,0 +1,43 @@
+// Dispatch timeline capture for the paper's operator-schedule plots
+// (Fig. 7(c)): one record per message dispatch with the operator, its stage,
+// and the stream progress the message carries. Bounded capacity so long runs
+// cannot exhaust memory; capture can be scoped to one job.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace cameo {
+
+struct DispatchRecord {
+  SimTime time = 0;
+  OperatorId op;
+  StageId stage;
+  JobId job;
+  LogicalTime progress = 0;
+};
+
+class Timeline {
+ public:
+  explicit Timeline(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  void SetEnabled(bool on) { enabled_ = on; }
+  /// Restricts capture to one job; an invalid id captures all jobs.
+  void SetJobFilter(JobId job) { filter_ = job; }
+
+  void Record(const DispatchRecord& r);
+
+  const std::vector<DispatchRecord>& records() const { return records_; }
+  bool truncated() const { return truncated_; }
+
+ private:
+  std::size_t capacity_;
+  bool enabled_ = false;
+  JobId filter_;
+  bool truncated_ = false;
+  std::vector<DispatchRecord> records_;
+};
+
+}  // namespace cameo

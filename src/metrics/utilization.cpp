@@ -1,0 +1,34 @@
+#include "metrics/utilization.h"
+
+#include "common/check.h"
+
+namespace cameo {
+
+void UtilizationTracker::AddBusy(WorkerId w, Duration d) {
+  CAMEO_EXPECTS(d >= 0);
+  busy_[w] += d;
+}
+
+Duration UtilizationTracker::busy(WorkerId w) const {
+  auto it = busy_.find(w);
+  return it == busy_.end() ? 0 : it->second;
+}
+
+Duration UtilizationTracker::total_busy() const {
+  Duration total = 0;
+  for (const auto& [w, d] : busy_) total += d;
+  return total;
+}
+
+double UtilizationTracker::Utilization() const {
+  if (span_ <= 0 || workers_ <= 0) return 0;
+  return static_cast<double>(total_busy()) /
+         (static_cast<double>(span_) * workers_);
+}
+
+double UtilizationTracker::WorkerUtilization(WorkerId w) const {
+  if (span_ <= 0) return 0;
+  return static_cast<double>(busy(w)) / static_cast<double>(span_);
+}
+
+}  // namespace cameo

@@ -1,0 +1,3 @@
+#include "ops/sink.h"
+
+namespace cameo {}  // namespace cameo

@@ -1,0 +1,34 @@
+// Sink operator: terminal stage of a dataflow. Counts outputs and tuples;
+// the cluster driver records output latency when a sink invocation completes
+// (paper §4.1: latency is measured at the message "generated as the output
+// of a dataflow (at its sink operator)").
+#pragma once
+
+#include "dataflow/operator.h"
+
+namespace cameo {
+
+class SinkOp final : public Operator {
+ public:
+  SinkOp(std::string name, CostModel cost)
+      : Operator(std::move(name), WindowSpec::Regular(), cost) {}
+
+  void Invoke(const Message& m, InvokeContext& /*ctx*/) override {
+    ++outputs_;
+    tuples_ += m.batch.size();
+    last_value_ = m.batch.columnar() ? m.batch.values.back() : 0.0;
+  }
+
+  bool is_sink() const override { return true; }
+
+  std::uint64_t outputs() const { return outputs_; }
+  std::int64_t tuples() const { return tuples_; }
+  double last_value() const { return last_value_; }
+
+ private:
+  std::uint64_t outputs_ = 0;
+  std::int64_t tuples_ = 0;
+  double last_value_ = 0;
+};
+
+}  // namespace cameo

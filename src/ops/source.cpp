@@ -1,0 +1,3 @@
+#include "ops/source.h"
+
+namespace cameo {}  // namespace cameo

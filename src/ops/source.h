@@ -1,0 +1,22 @@
+// Source operator: the dataflow's entry point. Ingestion messages (built by
+// the cluster's ingestion driver with BuildCxtAtSource) target a source
+// replica, which forwards the batch downstream after an optional parse cost.
+#pragma once
+
+#include "dataflow/operator.h"
+
+namespace cameo {
+
+class SourceOp final : public Operator {
+ public:
+  SourceOp(std::string name, CostModel cost)
+      : Operator(std::move(name), WindowSpec::Regular(), cost) {}
+
+  void Invoke(const Message& m, InvokeContext& ctx) override {
+    ctx.emitter->Emit(0, m.batch, m.event_time);
+  }
+
+  bool is_source() const override { return true; }
+};
+
+}  // namespace cameo

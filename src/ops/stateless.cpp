@@ -1,0 +1,3 @@
+#include "ops/stateless.h"
+
+namespace cameo {}  // namespace cameo

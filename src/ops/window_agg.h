@@ -1,0 +1,71 @@
+// Windowed aggregation (paper §4.1 "windowed operators": partition the
+// stream into sections by logical time and trigger only when all data from
+// the section has been observed).
+//
+// Window model (inclusive-right, matching Li et al. [62] and TRANSFORM): an
+// operator with WindowSpec{size W, slide S} produces one output per window
+// *ending* at each multiple of S; the window ending at B covers logical
+// times in (B - W, B]. A tuple with logical time p therefore belongs to
+// every multiple-of-S window end in [p, p + W), the earliest being
+// ceil(p / S) * S -- exactly what TRANSFORM computes. The batch whose
+// progress lands on a boundary completes that window *and* contributes to
+// it, so output is not delayed by an extra batch gap.
+//
+// Triggering: the operator tracks per-channel stream progress (channels
+// deliver in order) and triggers all windows whose end B is <= the watermark,
+// the minimum progress across its expected upstream channels.
+//
+// Aggregations: Sum, Count, Max, optionally grouped per key. Synthetic
+// (column-less) batches contribute their tuple count to Count/Sum with unit
+// values, so scheduler-focused workloads flow through the same operator.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "dataflow/operator.h"
+
+namespace cameo {
+
+enum class AggKind { kSum, kCount, kMax };
+
+class WindowAggOp final : public Operator {
+ public:
+  WindowAggOp(std::string name, WindowSpec window, CostModel cost,
+              AggKind kind, bool per_key = false);
+
+  /// Number of upstream channels that must report progress before the
+  /// watermark advances. Wired by the scenario/cluster builder from the
+  /// topology; defaults to 1.
+  void SetExpectedChannels(int n);
+
+  void Invoke(const Message& m, InvokeContext& ctx) override;
+
+  LogicalTime watermark() const { return watermark_; }
+  std::size_t open_windows() const { return windows_.size(); }
+
+ private:
+  struct WindowState {
+    double sum = 0;
+    std::int64_t count = 0;
+    double max = 0;
+    bool max_valid = false;
+    SimTime last_event = kTimeMin;
+    std::unordered_map<std::int64_t, double> per_key;
+  };
+
+  void FoldTuple(WindowState& w, std::int64_t key, double value);
+  void FoldBatchInto(LogicalTime window_end, const Message& m);
+  void EmitWindow(LogicalTime window_end, const WindowState& w,
+                  InvokeContext& ctx);
+  double Finish(const WindowState& w) const;
+
+  AggKind kind_;
+  bool per_key_;
+  int expected_channels_ = 1;
+  LogicalTime watermark_ = -1;
+  std::map<LogicalTime, WindowState> windows_;  // keyed by window end B
+  std::unordered_map<std::int64_t, LogicalTime> channel_progress_;
+};
+
+}  // namespace cameo

@@ -1,0 +1,237 @@
+#include "runtime/thread_runtime.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "sched/cameo_scheduler.h"
+#include "sched/fifo_scheduler.h"
+#include "sched/orleans_scheduler.h"
+#include "sched/slot_scheduler.h"
+
+namespace cameo {
+
+namespace {
+
+class CollectingEmitter final : public Emitter {
+ public:
+  explicit CollectingEmitter(
+      std::vector<std::tuple<int, EventBatch, SimTime>>& outs)
+      : outs_(outs) {}
+
+  void Emit(int port, EventBatch batch, SimTime event_time) override {
+    outs_.emplace_back(port, std::move(batch), event_time);
+  }
+
+ private:
+  std::vector<std::tuple<int, EventBatch, SimTime>>& outs_;
+};
+
+std::unique_ptr<Scheduler> MakeRuntimeScheduler(const RuntimeConfig& cfg) {
+  switch (cfg.scheduler) {
+    case 0:
+      return std::make_unique<CameoScheduler>(cfg.sched);
+    case 1:
+      return std::make_unique<FifoScheduler>(cfg.sched);
+    case 2:
+      return std::make_unique<OrleansScheduler>(cfg.sched);
+    case 3:
+      return std::make_unique<SlotScheduler>(cfg.num_workers, cfg.sched);
+  }
+  CAMEO_CHECK(false && "unknown scheduler id");
+  return nullptr;
+}
+
+void SpinFor(Duration d) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::nanoseconds(d);
+  // Sleep for the bulk, spin the last stretch for accuracy.
+  if (d > Millis(2)) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(d - Millis(1)));
+  }
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+}
+
+}  // namespace
+
+ThreadRuntime::ThreadRuntime(RuntimeConfig config, DataflowGraph graph)
+    : config_(config),
+      graph_(std::move(graph)),
+      policy_(MakePolicy(config.policy)),
+      scheduler_(MakeRuntimeScheduler(config)),
+      start_(std::chrono::steady_clock::now()) {
+  CAMEO_EXPECTS(config.num_workers >= 1);
+  for (JobId job : graph_.job_ids()) {
+    const JobSpec& spec = graph_.job(job);
+    latency_.RegisterJob(job, spec.latency_constraint, spec.output_window,
+                         spec.output_slide);
+    ConverterOptions options;
+    options.use_query_semantics = config_.use_query_semantics;
+    options.time_domain = spec.time_domain;
+    for (OperatorId op : graph_.OperatorsOf(job)) {
+      converters_.emplace(
+          op, std::make_unique<ContextConverter>(policy_.get(), options));
+    }
+  }
+}
+
+ThreadRuntime::~ThreadRuntime() { Stop(); }
+
+ContextConverter& ThreadRuntime::converter(OperatorId op) {
+  auto it = converters_.find(op);
+  CAMEO_EXPECTS(it != converters_.end());
+  return *it->second;
+}
+
+SimTime ThreadRuntime::Now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void ThreadRuntime::Start() {
+  CAMEO_EXPECTS(threads_.empty());
+  start_ = std::chrono::steady_clock::now();
+  stop_ = false;
+  for (int i = 0; i < config_.num_workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+void ThreadRuntime::Drain() {
+  std::unique_lock lock(mu_);
+  drain_cv_.wait(lock, [this] {
+    return scheduler_->pending() == 0 && busy_workers_ == 0;
+  });
+}
+
+void ThreadRuntime::Stop() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void ThreadRuntime::Ingest(OperatorId source, std::int64_t tuples,
+                           std::optional<LogicalTime> p) {
+  const Operator& op = graph_.Get(source);
+  CAMEO_EXPECTS(op.is_source());
+  SimTime t = Now();
+  LogicalTime logical = p.value_or(t);
+  EventBatch batch = EventBatch::Synthetic(tuples, logical);
+  IngestBatch(source, std::move(batch));
+}
+
+void ThreadRuntime::IngestBatch(OperatorId source, EventBatch batch) {
+  const Operator& op = graph_.Get(source);
+  CAMEO_EXPECTS(op.is_source());
+  const JobSpec& spec = graph_.job(op.job());
+  SimTime t = Now();
+  {
+    std::lock_guard lock(mu_);
+    // Per-channel in-order guarantee: logical time must be monotone.
+    LogicalTime& last = source_progress_[source.value];
+    if (batch.progress <= last) batch.progress = last + 1;
+    last = batch.progress;
+    latency_.OnSourceEvent(op.job(), batch.progress, t);
+    SourceEvent e;
+    e.p = batch.progress;
+    e.t = t;
+    Message m;
+    m.pc = converter(source).BuildCxtAtSource(e, op, spec.latency_constraint,
+                                              MessageId{next_message_id_++});
+    m.id = m.pc.id;
+    m.target = source;
+    m.event_time = t;
+    m.batch = std::move(batch);
+    scheduler_->Enqueue(std::move(m), WorkerId{}, t);
+  }
+  cv_.notify_one();
+}
+
+void ThreadRuntime::RouteOutputs(
+    const Message& m, Operator& op,
+    std::vector<std::tuple<int, EventBatch, SimTime>>& outs, WorkerId w) {
+  for (auto& [port, batch, event_time] : outs) {
+    for (auto& d : graph_.Route(m.target, port, std::move(batch))) {
+      Message md;
+      md.pc = converter(m.target).BuildCxtAtOperator(
+          m.pc, op, graph_.Get(d.target), d.batch.progress, event_time,
+          MessageId{next_message_id_++});
+      md.id = md.pc.id;
+      md.target = d.target;
+      md.sender = m.target;
+      md.event_time = event_time;
+      md.batch = std::move(d.batch);
+      scheduler_->Enqueue(std::move(md), w, Now());
+    }
+  }
+}
+
+void ThreadRuntime::WorkerLoop(int index) {
+  WorkerId w{index};
+  Rng rng(config_.seed + static_cast<std::uint64_t>(index) * 7919);
+  std::vector<std::tuple<int, EventBatch, SimTime>> outs;
+
+  while (true) {
+    std::optional<Message> msg;
+    {
+      std::unique_lock lock(mu_);
+      msg = scheduler_->Dequeue(w, Now());
+      while (!msg) {
+        if (stop_) return;
+        drain_cv_.notify_all();
+        cv_.wait_for(lock, std::chrono::milliseconds(1));
+        if (stop_) return;
+        msg = scheduler_->Dequeue(w, Now());
+      }
+      ++busy_workers_;
+    }
+
+    Operator& op = graph_.Get(msg->target);
+    outs.clear();
+    CollectingEmitter emitter(outs);
+    SimTime exec_start = Now();
+    InvokeContext ctx{exec_start, &emitter, &rng};
+    op.Invoke(*msg, ctx);
+    if (config_.emulate_cost) {
+      SpinFor(op.cost_model().Sample(msg->batch.size(), rng));
+    }
+    SimTime exec_end = Now();
+
+    {
+      std::lock_guard lock(mu_);
+      profiler_.Record(msg->target, exec_end - exec_start);
+      RouteOutputs(*msg, op, outs, w);
+      if (msg->sender.valid()) {
+        ReplyContext rc = converter(msg->target)
+                              .PrepareReply(profiler_.Estimate(msg->target),
+                                            exec_start - msg->enqueue_time,
+                                            op.is_sink());
+        converter(msg->sender).ProcessCtxFromReply(msg->target, rc);
+      }
+      if (op.is_sink()) {
+        const JobSpec& spec = graph_.job(op.job());
+        if (spec.output_slide > 0) {
+          latency_.OnSinkOutput(op.job(), msg->progress(), exec_end);
+        } else {
+          latency_.OnSinkOutput(op.job(), msg->event_time, exec_end);
+        }
+        latency_.OnSinkTuples(op.job(), msg->batch.size(), exec_end);
+      }
+      scheduler_->OnComplete(msg->target, w, Now());
+      --busy_workers_;
+      if (scheduler_->pending() == 0 && busy_workers_ == 0) {
+        drain_cv_.notify_all();
+      }
+    }
+    cv_.notify_one();
+  }
+}
+
+}  // namespace cameo

@@ -1,0 +1,102 @@
+// Wall-clock runtime: the same schedulers, context converters, operators and
+// metrics as the simulator, driven by a real thread pool instead of the
+// discrete-event engine. Used by the runnable examples and the scheduling-
+// overhead microbenchmarks (Fig. 12); the large parameter-sweep experiments
+// use sim::Cluster (see DESIGN.md).
+//
+// Concurrency model: one mutex guards the scheduler, converters, routing and
+// metrics ("control plane"); operator invocation and cost emulation run
+// outside the lock, relying on the scheduler's operator-exclusivity (an
+// operator is never dispatched to two workers at once).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/context_converter.h"
+#include "core/profiler.h"
+#include "dataflow/graph.h"
+#include "metrics/latency_recorder.h"
+#include "sched/scheduler.h"
+
+namespace cameo {
+
+enum class SchedulerKind;  // defined in sim/cluster.h
+
+struct RuntimeConfig {
+  int num_workers = 2;
+  /// 0=Cameo, 1=FIFO, 2=Orleans, 3=Slot (mirrors sim::SchedulerKind; kept as
+  /// int to avoid a dependency cycle with sim/).
+  int scheduler = 0;
+  SchedulerConfig sched;
+  std::string policy = "LLF";
+  bool use_query_semantics = true;
+  /// Spin for each invocation's CostModel duration to emulate compute.
+  bool emulate_cost = true;
+  std::uint64_t seed = 1;
+};
+
+class ThreadRuntime {
+ public:
+  ThreadRuntime(RuntimeConfig config, DataflowGraph graph);
+  ~ThreadRuntime();
+
+  ThreadRuntime(const ThreadRuntime&) = delete;
+  ThreadRuntime& operator=(const ThreadRuntime&) = delete;
+
+  void Start();
+  /// Blocks until all enqueued work (including downstream messages it
+  /// produces) has completed.
+  void Drain();
+  void Stop();
+
+  /// Nanoseconds since Start().
+  SimTime Now() const;
+
+  /// Ingests a synthetic batch at `source`. Logical time defaults to the
+  /// current clock (ingestion-time domain); pass `p` for event-time jobs.
+  void Ingest(OperatorId source, std::int64_t tuples,
+              std::optional<LogicalTime> p = std::nullopt);
+  /// Ingests a columnar batch (its `progress` must be set).
+  void IngestBatch(OperatorId source, EventBatch batch);
+
+  DataflowGraph& graph() { return graph_; }
+  LatencyRecorder& latency() { return latency_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  CostProfiler& profiler() { return profiler_; }
+
+ private:
+  void WorkerLoop(int index);
+  void RouteOutputs(const Message& m, Operator& op,
+                    std::vector<std::tuple<int, EventBatch, SimTime>>& outs,
+                    WorkerId w);
+  ContextConverter& converter(OperatorId op);
+
+  RuntimeConfig config_;
+  DataflowGraph graph_;
+  std::unique_ptr<SchedulingPolicy> policy_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unordered_map<OperatorId, std::unique_ptr<ContextConverter>> converters_;
+  CostProfiler profiler_;
+  LatencyRecorder latency_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable drain_cv_;
+  std::atomic<bool> stop_{false};
+  int busy_workers_ = 0;
+  std::vector<std::thread> threads_;
+  std::chrono::steady_clock::time_point start_;
+  std::int64_t next_message_id_ = 0;
+  std::unordered_map<std::int64_t, LogicalTime> source_progress_;
+};
+
+}  // namespace cameo

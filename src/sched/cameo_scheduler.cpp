@@ -1,0 +1,122 @@
+#include "sched/cameo_scheduler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cameo {
+
+namespace {
+// Saturating add keeps enqueue_time + starvation_limit from overflowing when
+// the guard is disabled (limit = kTimeMax).
+SimTime SatAdd(SimTime a, Duration b) {
+  if (a > 0 && b > kTimeMax - a) return kTimeMax;
+  return a + b;
+}
+}  // namespace
+
+CameoScheduler::CameoScheduler(SchedulerConfig config) : Scheduler(config) {}
+
+CameoScheduler::GlobalKey CameoScheduler::HeadKey(const OpQueue& q) const {
+  CAMEO_EXPECTS(!q.mailbox.empty());
+  const auto& [key, msg] = *q.mailbox.begin();
+  Priority pri = msg.pc.pri_global;
+  if (config_.starvation_limit != kTimeMax) {
+    pri = std::min(pri, SatAdd(msg.enqueue_time, config_.starvation_limit));
+  }
+  return GlobalKey{pri, key.second};
+}
+
+Message CameoScheduler::PopHead(OpQueue& q) {
+  CAMEO_EXPECTS(!q.mailbox.empty());
+  auto node = q.mailbox.extract(q.mailbox.begin());
+  return std::move(node.mapped());
+}
+
+void CameoScheduler::PushRunnable(OperatorId id, OpQueue& q) {
+  CAMEO_EXPECTS(!q.queued && !q.active && !q.mailbox.empty());
+  q.handle = run_queue_.Push(HeadKey(q), id);
+  q.queued = true;
+}
+
+void CameoScheduler::RemoveFromRunQueue(OpQueue& q) {
+  if (q.queued) {
+    run_queue_.Erase(q.handle);
+    q.queued = false;
+  }
+}
+
+void CameoScheduler::Enqueue(Message m, WorkerId /*producer*/, SimTime now) {
+  m.enqueue_time = now;
+  OpQueue& q = ops_[m.target];
+  LocalKey key{m.pc.pri_local, m.id.value};
+  q.mailbox.emplace(key, std::move(m));
+  ++pending_;
+  ++stats_.enqueued;
+  if (q.active) return;  // will be reconsidered at OnComplete
+  if (q.queued) {
+    run_queue_.Update(q.handle, HeadKey(q));  // head may have changed
+  } else {
+    OperatorId id = q.mailbox.begin()->second.target;
+    PushRunnable(id, q);
+  }
+}
+
+std::optional<Message> CameoScheduler::Dequeue(WorkerId w, SimTime now) {
+  detail::WorkerSlot& slot = workers_[w];
+
+  // Continuation: keep draining the current operator within the quantum, or
+  // past it when no strictly higher-priority operator waits (paper §5.2).
+  if (slot.has_current) {
+    auto it = ops_.find(slot.current);
+    if (it != ops_.end() && !it->second.active && !it->second.mailbox.empty()) {
+      OpQueue& q = it->second;
+      bool cont = now - slot.quantum_start < config_.quantum;
+      if (!cont) {
+        RemoveFromRunQueue(q);
+        cont = run_queue_.empty() || !(run_queue_.TopKey() < HeadKey(q));
+        if (cont) slot.quantum_start = now;  // start a fresh quantum
+      }
+      if (cont) {
+        RemoveFromRunQueue(q);
+        q.active = true;
+        --pending_;
+        ++stats_.dispatched;
+        ++stats_.continuations;
+        return PopHead(q);
+      }
+      PushRunnable(slot.current, q);  // yield: back into the run queue
+    }
+  }
+
+  if (run_queue_.empty()) return std::nullopt;
+  auto [key, id] = run_queue_.Pop();
+  OpQueue& q = ops_[id];
+  q.queued = false;
+  q.active = true;
+  if (slot.has_current && slot.current != id) ++stats_.operator_swaps;
+  slot.current = id;
+  slot.has_current = true;
+  slot.quantum_start = now;
+  --pending_;
+  ++stats_.dispatched;
+  return PopHead(q);
+}
+
+void CameoScheduler::OnComplete(OperatorId op, WorkerId /*w*/,
+                                SimTime /*now*/) {
+  auto it = ops_.find(op);
+  CAMEO_EXPECTS(it != ops_.end() && it->second.active);
+  OpQueue& q = it->second;
+  q.active = false;
+  // Make remaining work visible to every worker; the completing worker's
+  // continuation path will pull it back out if it keeps the operator.
+  if (!q.mailbox.empty() && !q.queued) PushRunnable(op, q);
+}
+
+std::optional<Priority> CameoScheduler::TopPriority() const {
+  if (run_queue_.empty()) return std::nullopt;
+  return run_queue_.TopKey().pri;
+}
+
+}  // namespace cameo

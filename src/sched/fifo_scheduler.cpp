@@ -1,0 +1,96 @@
+#include "sched/fifo_scheduler.h"
+
+#include "common/check.h"
+
+namespace cameo {
+
+FifoScheduler::FifoScheduler(SchedulerConfig config) : Scheduler(config) {}
+
+void FifoScheduler::Enqueue(Message m, WorkerId /*producer*/, SimTime now) {
+  m.enqueue_time = now;
+  detail::OpState& q = ops_[m.target];
+  OperatorId id = m.target;
+  q.mailbox.push_back(std::move(m));
+  ++pending_;
+  ++stats_.enqueued;
+  if (!q.active && !q.queued) {
+    run_queue_.push_back(id);
+    q.queued = true;
+  }
+}
+
+detail::OpState* FifoScheduler::FindRunnable(OperatorId id) {
+  auto it = ops_.find(id);
+  if (it == ops_.end()) return nullptr;
+  detail::OpState& q = it->second;
+  if (q.active || q.mailbox.empty()) return nullptr;
+  return &q;
+}
+
+std::optional<OperatorId> FifoScheduler::PopRunnable() {
+  while (!run_queue_.empty()) {
+    OperatorId id = run_queue_.front();
+    run_queue_.pop_front();
+    auto it = ops_.find(id);
+    if (it == ops_.end() || !it->second.queued) continue;  // stale entry
+    it->second.queued = false;
+    if (it->second.active || it->second.mailbox.empty()) continue;
+    return id;
+  }
+  return std::nullopt;
+}
+
+std::optional<Message> FifoScheduler::Dequeue(WorkerId w, SimTime now) {
+  detail::WorkerSlot& slot = workers_[w];
+
+  if (slot.has_current) {
+    if (detail::OpState* q = FindRunnable(slot.current)) {
+      bool cont = now - slot.quantum_start < config_.quantum;
+      if (!cont && run_queue_.empty()) {
+        cont = true;  // nothing else to run: keep going, fresh quantum
+        slot.quantum_start = now;
+      }
+      if (cont) {
+        q->queued = false;  // claim it; any run-queue entry becomes stale
+        q->active = true;
+        Message m = std::move(q->mailbox.front());
+        q->mailbox.pop_front();
+        --pending_;
+        ++stats_.dispatched;
+        ++stats_.continuations;
+        return m;
+      }
+      if (!q->queued) {  // quantum expired: rotate to the tail
+        run_queue_.push_back(slot.current);
+        q->queued = true;
+      }
+    }
+  }
+
+  auto next = PopRunnable();
+  if (!next) return std::nullopt;
+  detail::OpState& q = ops_[*next];
+  q.active = true;
+  if (slot.has_current && slot.current != *next) ++stats_.operator_swaps;
+  slot.current = *next;
+  slot.has_current = true;
+  slot.quantum_start = now;
+  Message m = std::move(q.mailbox.front());
+  q.mailbox.pop_front();
+  --pending_;
+  ++stats_.dispatched;
+  return m;
+}
+
+void FifoScheduler::OnComplete(OperatorId op, WorkerId /*w*/, SimTime /*now*/) {
+  auto it = ops_.find(op);
+  CAMEO_EXPECTS(it != ops_.end() && it->second.active);
+  detail::OpState& q = it->second;
+  q.active = false;
+  if (!q.mailbox.empty() && !q.queued) {
+    run_queue_.push_back(op);
+    q.queued = true;
+  }
+}
+
+}  // namespace cameo

@@ -1,0 +1,38 @@
+// FIFO baseline (paper §6: "for the FIFO scheduler, we insert operators into
+// the global run queue and extract them in FIFO order; an operator processes
+// its messages in FIFO order"). Quantum semantics match the other schedulers:
+// a worker drains its current operator within the re-scheduling grain, then
+// moves the operator to the tail and takes the head (round-robin).
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "sched/scheduler.h"
+
+namespace cameo {
+
+class FifoScheduler final : public Scheduler {
+ public:
+  explicit FifoScheduler(SchedulerConfig config = {});
+
+  void Enqueue(Message m, WorkerId producer, SimTime now) override;
+  std::optional<Message> Dequeue(WorkerId w, SimTime now) override;
+  void OnComplete(OperatorId op, WorkerId w, SimTime now) override;
+
+  std::size_t pending() const override { return pending_; }
+  std::string name() const override { return "FIFO"; }
+
+ private:
+  detail::OpState* FindRunnable(OperatorId id);
+  /// Pops run-queue entries until one refers to a runnable operator
+  /// (lazy deletion: entries for drained/claimed operators are skipped).
+  std::optional<OperatorId> PopRunnable();
+
+  std::unordered_map<OperatorId, detail::OpState> ops_;
+  std::deque<OperatorId> run_queue_;
+  std::unordered_map<WorkerId, detail::WorkerSlot> workers_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace cameo

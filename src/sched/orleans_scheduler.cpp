@@ -1,0 +1,145 @@
+#include "sched/orleans_scheduler.h"
+
+#include "common/check.h"
+
+namespace cameo {
+
+OrleansScheduler::OrleansScheduler(SchedulerConfig config)
+    : Scheduler(config) {}
+
+void OrleansScheduler::Enqueue(Message m, WorkerId producer, SimTime now) {
+  m.enqueue_time = now;
+  detail::OpState& q = ops_[m.target];
+  OperatorId id = m.target;
+  q.mailbox.push_back(std::move(m));
+  ++pending_;
+  ++stats_.enqueued;
+  if (!q.active && !q.queued) {
+    if (producer.valid()) {
+      local_[producer].push_back(id);  // thread-local fast path
+    } else {
+      global_.push_back(id);
+    }
+    q.queued = true;
+  }
+}
+
+detail::OpState* OrleansScheduler::FindRunnable(OperatorId id) {
+  auto it = ops_.find(id);
+  if (it == ops_.end()) return nullptr;
+  detail::OpState& q = it->second;
+  if (q.active || q.mailbox.empty()) return nullptr;
+  return &q;
+}
+
+Message OrleansScheduler::Claim(detail::OpState& q) {
+  q.queued = false;  // any remaining bag entries become stale
+  q.active = true;
+  Message m = std::move(q.mailbox.front());
+  q.mailbox.pop_front();
+  --pending_;
+  ++stats_.dispatched;
+  return m;
+}
+
+std::optional<OperatorId> OrleansScheduler::TakeFor(WorkerId w) {
+  auto drain = [&](auto take) -> std::optional<OperatorId> {
+    while (auto id = take()) {
+      auto it = ops_.find(*id);
+      if (it == ops_.end() || !it->second.queued) continue;  // stale
+      it->second.queued = false;
+      if (it->second.active || it->second.mailbox.empty()) continue;
+      return id;
+    }
+    return std::nullopt;
+  };
+
+  // 1. Own bag, LIFO.
+  std::vector<OperatorId>& mine = local_[w];
+  if (auto id = drain([&]() -> std::optional<OperatorId> {
+        if (mine.empty()) return std::nullopt;
+        OperatorId id = mine.back();
+        mine.pop_back();
+        return id;
+      })) {
+    return id;
+  }
+  // 2. Global queue, FIFO.
+  if (auto id = drain([&]() -> std::optional<OperatorId> {
+        if (global_.empty()) return std::nullopt;
+        OperatorId id = global_.front();
+        global_.pop_front();
+        return id;
+      })) {
+    return id;
+  }
+  // 3. Steal the oldest entry from another worker's bag.
+  for (std::size_t i = 0; i < worker_order_.size(); ++i) {
+    steal_cursor_ = (steal_cursor_ + 1) % worker_order_.size();
+    WorkerId victim = worker_order_[steal_cursor_];
+    if (victim == w) continue;
+    std::vector<OperatorId>& bag = local_[victim];
+    if (auto id = drain([&]() -> std::optional<OperatorId> {
+          if (bag.empty()) return std::nullopt;
+          OperatorId id = bag.front();
+          bag.erase(bag.begin());
+          return id;
+        })) {
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Message> OrleansScheduler::Dequeue(WorkerId w, SimTime now) {
+  if (workers_.find(w) == workers_.end()) worker_order_.push_back(w);
+  detail::WorkerSlot& slot = workers_[w];
+
+  if (slot.has_current) {
+    if (detail::OpState* q = FindRunnable(slot.current)) {
+      bool cont = now - slot.quantum_start < config_.quantum;
+      if (cont) {
+        ++stats_.continuations;
+        return Claim(*q);
+      }
+      if (!q->queued) {  // quantum expired: yield the turn to the global tail
+        global_.push_back(slot.current);
+        q->queued = true;
+      }
+    }
+  }
+
+  auto next = TakeFor(w);
+  if (!next) {
+    // Nothing anywhere else: resume the current operator if it still has
+    // work (its yielded entry may be the only one and was claimed above).
+    if (slot.has_current) {
+      if (detail::OpState* q = FindRunnable(slot.current)) {
+        slot.quantum_start = now;
+        ++stats_.continuations;
+        return Claim(*q);
+      }
+    }
+    return std::nullopt;
+  }
+  detail::OpState& q = ops_[*next];
+  if (slot.has_current && slot.current != *next) ++stats_.operator_swaps;
+  slot.current = *next;
+  slot.has_current = true;
+  slot.quantum_start = now;
+  return Claim(q);
+}
+
+void OrleansScheduler::OnComplete(OperatorId op, WorkerId w, SimTime /*now*/) {
+  auto it = ops_.find(op);
+  CAMEO_EXPECTS(it != ops_.end() && it->second.active);
+  detail::OpState& q = it->second;
+  q.active = false;
+  if (!q.mailbox.empty() && !q.queued) {
+    // Pending work stays near the worker that ran it (bag locality).
+    local_[w].push_back(op);
+    q.queued = true;
+  }
+}
+
+}  // namespace cameo

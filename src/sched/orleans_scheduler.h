@@ -1,0 +1,51 @@
+// Model of the default Orleans scheduler (paper §6): a global run queue
+// backed by a ConcurrentBag, which "optimizes processing throughput by
+// prioritizing processing thread-local tasks over the global ones".
+//
+// Behavioural model:
+//  - work produced by an invocation on worker w lands in w's local bag,
+//    consumed LIFO (ConcurrentBag's same-thread fast path);
+//  - external arrivals land in the global FIFO queue;
+//  - a worker takes local work first, then global, then steals the oldest
+//    entry from another worker's bag;
+//  - at quantum expiry the current operator yields to the *global* tail.
+//
+// This reproduces the depth-first, locality-chasing behaviour that gives
+// Orleans good single-query cache locality (paper: IPQ4) but deadline-blind
+// tail latency under multi-tenancy.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace cameo {
+
+class OrleansScheduler final : public Scheduler {
+ public:
+  explicit OrleansScheduler(SchedulerConfig config = {});
+
+  void Enqueue(Message m, WorkerId producer, SimTime now) override;
+  std::optional<Message> Dequeue(WorkerId w, SimTime now) override;
+  void OnComplete(OperatorId op, WorkerId w, SimTime now) override;
+
+  std::size_t pending() const override { return pending_; }
+  std::string name() const override { return "Orleans"; }
+
+ private:
+  detail::OpState* FindRunnable(OperatorId id);
+  std::optional<OperatorId> TakeFor(WorkerId w);
+  Message Claim(detail::OpState& q);
+
+  std::unordered_map<OperatorId, detail::OpState> ops_;
+  std::unordered_map<WorkerId, std::vector<OperatorId>> local_;  // LIFO bags
+  std::deque<OperatorId> global_;                                // FIFO
+  std::vector<WorkerId> worker_order_;  // registration order, for stealing
+  std::unordered_map<WorkerId, detail::WorkerSlot> workers_;
+  std::size_t pending_ = 0;
+  std::size_t steal_cursor_ = 0;
+};
+
+}  // namespace cameo

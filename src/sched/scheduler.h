@@ -1,0 +1,93 @@
+// Scheduler interface shared by the discrete-event simulator and the
+// wall-clock thread runtime.
+//
+// A scheduler owns all pending messages, grouped per target operator
+// (actor-model exclusivity: an operator never runs on two workers at once).
+// Workers call Dequeue when free and OnComplete when an invocation finishes.
+// The re-scheduling quantum (paper §5.2, default 1 ms) controls how long a
+// worker sticks with its current operator before consulting the run queue
+// again; quantum 0 re-evaluates after every message.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "dataflow/message.h"
+
+namespace cameo {
+
+struct SchedulerConfig {
+  /// Minimum re-scheduling grain. While a worker's elapsed time on one
+  /// operator is below this, it keeps draining that operator's mailbox.
+  Duration quantum = kMillisecond;
+  /// Starvation guard (§6.3): a message's effective global priority never
+  /// exceeds enqueue_time + starvation_limit, so long-waiting work is
+  /// eventually ordered FIFO. kTimeMax disables the guard (paper default).
+  Duration starvation_limit = kTimeMax;
+};
+
+struct SchedulerStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dispatched = 0;
+  /// Worker switched from one operator to a different one.
+  std::uint64_t operator_swaps = 0;
+  /// Worker kept its current operator at a quantum boundary.
+  std::uint64_t continuations = 0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Hands a message to the scheduler. `producer` identifies the worker whose
+  /// invocation emitted it (invalid WorkerId for external arrivals); the
+  /// Orleans bag model uses it for thread-local affinity.
+  virtual void Enqueue(Message m, WorkerId producer, SimTime now) = 0;
+
+  /// Picks the next message for worker `w`; nullopt when nothing is runnable
+  /// for this worker. Marks the target operator active.
+  virtual std::optional<Message> Dequeue(WorkerId w, SimTime now) = 0;
+
+  /// Reports that worker `w` finished an invocation of `op`.
+  virtual void OnComplete(OperatorId op, WorkerId w, SimTime now) = 0;
+
+  virtual std::size_t pending() const = 0;
+  virtual std::string name() const = 0;
+
+  const SchedulerStats& stats() const { return stats_; }
+  const SchedulerConfig& config() const { return config_; }
+
+ protected:
+  explicit Scheduler(SchedulerConfig config) : config_(config) {}
+
+  SchedulerConfig config_;
+  SchedulerStats stats_;
+};
+
+namespace detail {
+
+/// Per-operator mailbox state shared by the scheduler implementations.
+struct OpState {
+  std::deque<Message> mailbox;  // FIFO arrival order
+  bool active = false;          // currently running on some worker
+  bool queued = false;          // present in the scheduler's run structure
+};
+
+/// Per-worker quantum bookkeeping shared by the scheduler implementations.
+struct WorkerSlot {
+  OperatorId current;      // operator this worker last ran
+  SimTime quantum_start = 0;
+  bool has_current = false;
+};
+
+}  // namespace detail
+
+}  // namespace cameo

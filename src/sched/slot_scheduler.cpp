@@ -1,0 +1,108 @@
+#include "sched/slot_scheduler.h"
+
+#include "common/check.h"
+
+namespace cameo {
+
+SlotScheduler::SlotScheduler(int num_workers, SchedulerConfig config)
+    : Scheduler(config), num_workers_(num_workers) {
+  CAMEO_EXPECTS(num_workers >= 1);
+}
+
+void SlotScheduler::Assign(OperatorId op, WorkerId worker) {
+  CAMEO_EXPECTS(worker.valid() && worker.value < num_workers_);
+  assignment_[op] = worker;
+}
+
+WorkerId SlotScheduler::SlotOf(OperatorId op) {
+  auto it = assignment_.find(op);
+  if (it != assignment_.end()) return it->second;
+  WorkerId w{next_slot_ % num_workers_};
+  ++next_slot_;
+  assignment_[op] = w;
+  return w;
+}
+
+void SlotScheduler::Enqueue(Message m, WorkerId /*producer*/, SimTime now) {
+  m.enqueue_time = now;
+  detail::OpState& q = ops_[m.target];
+  OperatorId id = m.target;
+  q.mailbox.push_back(std::move(m));
+  ++pending_;
+  ++stats_.enqueued;
+  if (!q.active && !q.queued) {
+    run_queues_[SlotOf(id)].push_back(id);
+    q.queued = true;
+  }
+}
+
+detail::OpState* SlotScheduler::FindRunnable(OperatorId id) {
+  auto it = ops_.find(id);
+  if (it == ops_.end()) return nullptr;
+  detail::OpState& q = it->second;
+  if (q.active || q.mailbox.empty()) return nullptr;
+  return &q;
+}
+
+std::optional<Message> SlotScheduler::Dequeue(WorkerId w, SimTime now) {
+  detail::WorkerSlot& slot = workers_[w];
+  std::deque<OperatorId>& queue = run_queues_[w];
+
+  if (slot.has_current) {
+    if (detail::OpState* q = FindRunnable(slot.current)) {
+      bool cont = now - slot.quantum_start < config_.quantum;
+      if (!cont && queue.empty()) {
+        cont = true;
+        slot.quantum_start = now;
+      }
+      if (cont) {
+        q->queued = false;
+        q->active = true;
+        Message m = std::move(q->mailbox.front());
+        q->mailbox.pop_front();
+        --pending_;
+        ++stats_.dispatched;
+        ++stats_.continuations;
+        return m;
+      }
+      if (!q->queued) {
+        queue.push_back(slot.current);
+        q->queued = true;
+      }
+    }
+  }
+
+  while (!queue.empty()) {
+    OperatorId id = queue.front();
+    queue.pop_front();
+    auto it = ops_.find(id);
+    if (it == ops_.end() || !it->second.queued) continue;  // stale
+    it->second.queued = false;
+    if (it->second.active || it->second.mailbox.empty()) continue;
+    detail::OpState& q = it->second;
+    q.active = true;
+    if (slot.has_current && slot.current != id) ++stats_.operator_swaps;
+    slot.current = id;
+    slot.has_current = true;
+    slot.quantum_start = now;
+    Message m = std::move(q.mailbox.front());
+    q.mailbox.pop_front();
+    --pending_;
+    ++stats_.dispatched;
+    return m;
+  }
+  return std::nullopt;
+}
+
+void SlotScheduler::OnComplete(OperatorId op, WorkerId /*w*/, SimTime /*now*/) {
+  auto it = ops_.find(op);
+  CAMEO_EXPECTS(it != ops_.end() && it->second.active);
+  detail::OpState& q = it->second;
+  q.active = false;
+  if (!q.mailbox.empty() && !q.queued) {
+    run_queues_[SlotOf(op)].push_back(op);
+    q.queued = true;
+  }
+}
+
+}  // namespace cameo

@@ -1,0 +1,45 @@
+// Slot-based scheduler modeling Flink-style static resource allocation
+// (paper §1, Fig. 1): every operator is pinned to one worker ("task slot")
+// and workers only execute their own operators, FIFO. Isolation is perfect
+// but idle slots cannot help overloaded ones, which is the low-utilization /
+// over-provisioning pathology Cameo targets.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "sched/scheduler.h"
+
+namespace cameo {
+
+class SlotScheduler final : public Scheduler {
+ public:
+  /// Operators are assigned to `num_workers` slots round-robin at first
+  /// sight, unless pinned beforehand with Assign().
+  SlotScheduler(int num_workers, SchedulerConfig config = {});
+
+  /// Pins `op` to `worker` (call before the first message for `op`).
+  void Assign(OperatorId op, WorkerId worker);
+
+  void Enqueue(Message m, WorkerId producer, SimTime now) override;
+  std::optional<Message> Dequeue(WorkerId w, SimTime now) override;
+  void OnComplete(OperatorId op, WorkerId w, SimTime now) override;
+
+  std::size_t pending() const override { return pending_; }
+  std::string name() const override { return "Slot"; }
+
+  WorkerId SlotOf(OperatorId op);
+
+ private:
+  detail::OpState* FindRunnable(OperatorId id);
+
+  int num_workers_;
+  std::int64_t next_slot_ = 0;
+  std::unordered_map<OperatorId, WorkerId> assignment_;
+  std::unordered_map<OperatorId, detail::OpState> ops_;
+  std::unordered_map<WorkerId, std::deque<OperatorId>> run_queues_;
+  std::unordered_map<WorkerId, detail::WorkerSlot> workers_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace cameo

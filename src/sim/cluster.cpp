@@ -1,0 +1,303 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "dataflow/critical_path.h"
+#include "sched/cameo_scheduler.h"
+#include "sched/fifo_scheduler.h"
+#include "sched/orleans_scheduler.h"
+#include "sched/slot_scheduler.h"
+
+namespace cameo {
+
+namespace {
+
+/// Buffers the batches one invocation emits so the cluster can route them
+/// after the invocation returns.
+class CollectingEmitter final : public Emitter {
+ public:
+  struct Out {
+    int port;
+    EventBatch batch;
+    SimTime event_time;
+  };
+
+  void Emit(int port, EventBatch batch, SimTime event_time) override {
+    outs_.push_back({port, std::move(batch), event_time});
+  }
+
+  std::vector<Out>& outs() { return outs_; }
+
+ private:
+  std::vector<Out> outs_;
+};
+
+std::unique_ptr<Scheduler> MakeScheduler(const ClusterConfig& cfg) {
+  switch (cfg.scheduler) {
+    case SchedulerKind::kCameo:
+      return std::make_unique<CameoScheduler>(cfg.sched);
+    case SchedulerKind::kFifo:
+      return std::make_unique<FifoScheduler>(cfg.sched);
+    case SchedulerKind::kOrleans:
+      return std::make_unique<OrleansScheduler>(cfg.sched);
+    case SchedulerKind::kSlot:
+      return std::make_unique<SlotScheduler>(cfg.num_workers, cfg.sched);
+  }
+  CAMEO_CHECK(false && "unknown scheduler kind");
+  return nullptr;
+}
+
+}  // namespace
+
+std::string ToString(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kCameo:
+      return "Cameo";
+    case SchedulerKind::kFifo:
+      return "FIFO";
+    case SchedulerKind::kOrleans:
+      return "Orleans";
+    case SchedulerKind::kSlot:
+      return "Slot";
+  }
+  return "?";
+}
+
+Cluster::Cluster(ClusterConfig config, DataflowGraph graph)
+    : config_(config),
+      graph_(std::move(graph)),
+      rng_(config.seed),
+      policy_(MakePolicy(config.policy)),
+      scheduler_(MakeScheduler(config)),
+      profiler_(/*smoothing=*/0.25, /*noise_seed=*/config.seed ^ 0x9e3779b9),
+      workers_(static_cast<std::size_t>(config.num_workers)) {
+  CAMEO_EXPECTS(config.num_workers >= 1);
+  profiler_.SetPerturbation(config_.profiler_perturbation);
+  timeline_.SetEnabled(config_.enable_timeline);
+  SetupConverters();
+  for (JobId job : graph_.job_ids()) {
+    const JobSpec& spec = graph_.job(job);
+    latency_.RegisterJob(job, spec.latency_constraint, spec.output_window,
+                         spec.output_slide);
+  }
+  if (config_.seed_static_estimates) SeedEstimates();
+}
+
+void Cluster::SetupConverters() {
+  for (JobId job : graph_.job_ids()) {
+    const JobSpec& spec = graph_.job(job);
+    ConverterOptions options;
+    options.use_query_semantics = config_.use_query_semantics;
+    options.time_domain = spec.time_domain;
+    for (OperatorId op : graph_.OperatorsOf(job)) {
+      converters_.emplace(
+          op, std::make_unique<ContextConverter>(policy_.get(), options));
+    }
+  }
+}
+
+void Cluster::SeedEstimates() {
+  for (JobId job : graph_.job_ids()) {
+    CriticalPathResult cp =
+        ComputeCriticalPath(graph_, job, config_.seed_nominal_tuples);
+    for (const auto& [op, cost] : cp.cost) profiler_.Seed(op, cost);
+    for (StageId sid : graph_.stages_of(job)) {
+      const StageInfo& stage = graph_.stage(sid);
+      for (StageId did : stage.downstream) {
+        for (OperatorId u : stage.operators) {
+          for (OperatorId t : graph_.stage(did).operators) {
+            ReplyContext rc;
+            rc.valid = true;
+            rc.cost_m = cp.cost.at(t);
+            rc.cost_path = cp.path_below.at(t);
+            converters_.at(u)->SeedReply(t, rc);
+          }
+        }
+      }
+    }
+  }
+}
+
+ContextConverter& Cluster::converter(OperatorId op) {
+  auto it = converters_.find(op);
+  CAMEO_EXPECTS(it != converters_.end());
+  return *it->second;
+}
+
+void Cluster::AddIngestion(StageId source_stage,
+                           const ArrivalProcessFactory& factory,
+                           Duration event_time_delay) {
+  const StageInfo& stage = graph_.stage(source_stage);
+  const JobSpec& spec = graph_.job(stage.job);
+  for (int r = 0; r < stage.parallelism; ++r) {
+    SourceState s;
+    s.op = stage.operators[static_cast<std::size_t>(r)];
+    s.process = factory(r);
+    CAMEO_CHECK(s.process != nullptr);
+    s.event_time_delay = event_time_delay;
+    if (spec.token_rate_per_sec > 0) {
+      auto budget = static_cast<std::int64_t>(spec.token_rate_per_sec);
+      token_buckets_.emplace(s.op, TokenBucket(std::max<std::int64_t>(
+                                       1, budget)));
+    }
+    sources_.push_back(std::move(s));
+  }
+}
+
+void Cluster::PumpSource(std::size_t idx) {
+  SourceState& s = sources_[idx];
+  auto next = s.process->Next(rng_);
+  if (!next) return;
+  events_.Schedule(next->time, [this, idx, a = *next] {
+    SourceState& src = sources_[idx];
+    const Operator& op = graph_.Get(src.op);
+    const JobSpec& spec = graph_.job(op.job());
+    const SimTime t = events_.now();
+    LogicalTime p;
+    if (spec.time_domain == TimeDomain::kEventTime) {
+      // Prefer the generator's explicit stream progress (batching clients
+      // stamp interval boundaries); otherwise assume a constant event delay.
+      p = a.logical >= 0 ? a.logical : t - src.event_time_delay;
+    } else {
+      p = t;  // ingestion time: logical time is the arrival clock
+    }
+    if (p <= src.last_logical) p = src.last_logical + 1;  // in-order channel
+    src.last_logical = p;
+    latency_.OnSourceEvent(op.job(), p, t);
+
+    SourceEvent e;
+    e.p = p;
+    e.t = t;
+    auto tb = token_buckets_.find(src.op);
+    if (tb != token_buckets_.end()) {
+      TokenBucket::Token token = tb->second.TryAcquire(t);
+      e.has_token = token.granted;
+      e.token_tag = token.tag;
+      e.token_interval = token.interval_id;
+    }
+
+    Message m;
+    m.pc = converter(src.op).BuildCxtAtSource(e, op, spec.latency_constraint,
+                                              NextMessageId());
+    m.id = m.pc.id;
+    m.target = src.op;
+    m.batch = EventBatch::Synthetic(a.tuples, p);
+    m.event_time = t;
+    Deliver(std::move(m), WorkerId{});
+    PumpSource(idx);
+  });
+}
+
+void Cluster::Deliver(Message m, WorkerId producer) {
+  ++messages_delivered_;
+  scheduler_->Enqueue(std::move(m), producer, events_.now());
+  KickIdleWorker();
+}
+
+void Cluster::KickIdleWorker() {
+  // Kick every idle worker: slot-based scheduling pins operators to specific
+  // workers, so only the owning worker can serve a given message. A kicked
+  // worker that finds nothing simply goes idle again.
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    WorkerState& ws = workers_[i];
+    if (ws.busy || ws.kicked) continue;
+    ws.kicked = true;
+    WorkerId w{static_cast<std::int64_t>(i)};
+    events_.Schedule(events_.now(), [this, w] { TryDispatch(w); });
+  }
+}
+
+void Cluster::TryDispatch(WorkerId w) {
+  WorkerState& ws = workers_[static_cast<std::size_t>(w.value)];
+  ws.kicked = false;
+  if (ws.busy) return;
+  auto msg = scheduler_->Dequeue(w, events_.now());
+  if (!msg) return;
+
+  const Operator& op = graph_.Get(msg->target);
+  Duration exec = op.cost_model().Sample(msg->batch.size(), rng_);
+  if (config_.straggler_prob > 0 && rng_.Chance(config_.straggler_prob)) {
+    exec = static_cast<Duration>(static_cast<double>(exec) *
+                                 config_.straggler_factor);
+  }
+  Duration total = exec;
+  if (!(ws.last_op == msg->target)) total += config_.switch_cost;
+  ws.busy = true;
+  ws.last_op = msg->target;
+  utilization_.AddBusy(w, total);
+  timeline_.Record({events_.now(), msg->target, op.stage(), op.job(),
+                    msg->progress()});
+  const SimTime dispatch_time = events_.now();
+  events_.Schedule(
+      events_.now() + total,
+      [this, w, m = std::move(*msg), dispatch_time, exec]() mutable {
+        Complete(w, std::move(m), dispatch_time, exec);
+      });
+}
+
+void Cluster::Complete(WorkerId w, Message m, SimTime dispatch_time,
+                       Duration exec_cost) {
+  Operator& op = graph_.Get(m.target);
+  profiler_.Record(m.target, exec_cost);
+  if (op.is_source()) {
+    latency_.OnProcessed(op.job(), m.batch.size(), events_.now());
+  }
+
+  CollectingEmitter emitter;
+  InvokeContext ctx{events_.now(), &emitter, &rng_};
+  op.Invoke(m, ctx);
+
+  for (auto& out : emitter.outs()) {
+    for (auto& d : graph_.Route(m.target, out.port, std::move(out.batch))) {
+      Message md;
+      md.pc = converter(m.target).BuildCxtAtOperator(
+          m.pc, op, graph_.Get(d.target), d.batch.progress, out.event_time,
+          NextMessageId());
+      md.id = md.pc.id;
+      md.target = d.target;
+      md.sender = m.target;
+      md.event_time = out.event_time;
+      md.batch = std::move(d.batch);
+      events_.Schedule(events_.now() + config_.network_delay,
+                       [this, md = std::move(md), w]() mutable {
+                         Deliver(std::move(md), w);
+                       });
+    }
+  }
+
+  // Acknowledge upstream with a Reply Context (paper Fig. 5(a), steps 5-6).
+  if (m.sender.valid()) {
+    ReplyContext rc = converter(m.target).PrepareReply(
+        profiler_.Estimate(m.target), dispatch_time - m.enqueue_time,
+        op.is_sink());
+    events_.Schedule(events_.now() + config_.network_delay,
+                     [this, sender = m.sender, from = m.target, rc] {
+                       converter(sender).ProcessCtxFromReply(from, rc);
+                     });
+  }
+
+  if (op.is_sink()) {
+    const JobSpec& spec = graph_.job(op.job());
+    if (spec.output_slide > 0) {
+      latency_.OnSinkOutput(op.job(), m.progress(), events_.now());
+    } else {
+      latency_.OnSinkOutput(op.job(), m.event_time, events_.now());
+    }
+    latency_.OnSinkTuples(op.job(), m.batch.size(), events_.now());
+  }
+
+  scheduler_->OnComplete(m.target, w, events_.now());
+  WorkerState& ws = workers_[static_cast<std::size_t>(w.value)];
+  ws.busy = false;
+  TryDispatch(w);
+}
+
+void Cluster::Run(SimTime until) {
+  for (std::size_t i = 0; i < sources_.size(); ++i) PumpSource(i);
+  events_.RunUntil(until);
+  utilization_.SetSpan(until);
+  utilization_.SetWorkerCount(config_.num_workers);
+}
+
+}  // namespace cameo

@@ -1,0 +1,137 @@
+// The simulated cluster: N workers executing a multi-tenant DataflowGraph
+// under a pluggable Scheduler, in virtual time.
+//
+// This substitutes for the paper's 32-node Azure deployment (see DESIGN.md):
+// per-message execution costs come from the operators' cost models, messages
+// between operators incur a configurable network delay, and switching a
+// worker between operators incurs a context-switch cost. Everything above
+// the clock — schedulers, contexts, policies, operators, metrics — is the
+// same code the wall-clock runtime uses.
+//
+// Per message lifecycle (paper Fig. 5(a)):
+//   ingestion -> BuildCxtAtSource -> Enqueue -> Dequeue (worker free)
+//   -> execute for cost -> Invoke (emits) -> per delivery:
+//        BuildCxtAtOperator -> network delay -> Enqueue
+//   -> ack: PrepareReply -> network delay -> ProcessCtxFromReply (sender)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/context_converter.h"
+#include "core/profiler.h"
+#include "core/token_bucket.h"
+#include "dataflow/graph.h"
+#include "metrics/latency_recorder.h"
+#include "metrics/timeline.h"
+#include "metrics/utilization.h"
+#include "sched/scheduler.h"
+#include "sim/event_queue.h"
+#include "workload/generators.h"
+
+namespace cameo {
+
+enum class SchedulerKind { kCameo, kFifo, kOrleans, kSlot };
+
+std::string ToString(SchedulerKind kind);
+
+struct ClusterConfig {
+  int num_workers = 4;
+  SchedulerKind scheduler = SchedulerKind::kCameo;
+  SchedulerConfig sched;
+  /// Cameo policy: "LLF", "EDF", "SJF", or "TokenFair".
+  std::string policy = "LLF";
+  /// Fig. 15 ablation: topology-aware but not query-semantics-aware.
+  bool use_query_semantics = true;
+  /// Seed profiler and Reply Contexts from static critical-path analysis so
+  /// the first windows are scheduled sensibly (cold-start prior).
+  bool seed_static_estimates = true;
+  /// Batch size assumed by the static seeding.
+  std::int64_t seed_nominal_tuples = 1000;
+  Duration network_delay = kMillisecond;  // VM-to-VM hop
+  /// Charged when a worker switches to a different operator (cache refill,
+  /// activation swap). Drives the Fig. 14 quantum trade-off.
+  Duration switch_cost = Micros(20);
+  /// Fig. 16: N(0, sigma) noise on profiled cost estimates.
+  Duration profiler_perturbation = 0;
+  /// Rare execution stragglers (GC pauses, page faults, JIT): with this
+  /// probability an invocation runs `straggler_factor` times longer. The
+  /// recovery from such hiccups is where deadline-aware ordering separates
+  /// from FIFO/LIFO baselines in the tail.
+  double straggler_prob = 0.003;
+  double straggler_factor = 15.0;
+  std::uint64_t seed = 1;
+  bool enable_timeline = false;
+};
+
+class Cluster {
+ public:
+  Cluster(ClusterConfig config, DataflowGraph graph);
+
+  /// Attaches one ArrivalProcess per replica of `source_stage`. For
+  /// event-time jobs, each event's logical time is its arrival time minus
+  /// `event_time_delay` (the paper's "events affect results within a
+  /// constant delay" assumption).
+  void AddIngestion(StageId source_stage, const ArrivalProcessFactory& factory,
+                    Duration event_time_delay = 0);
+
+  /// Runs the simulation until virtual time `until`.
+  void Run(SimTime until);
+
+  SimTime now() const { return events_.now(); }
+
+  DataflowGraph& graph() { return graph_; }
+  LatencyRecorder& latency() { return latency_; }
+  UtilizationTracker& utilization() { return utilization_; }
+  Timeline& timeline() { return timeline_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  CostProfiler& profiler() { return profiler_; }
+  ContextConverter& converter(OperatorId op);
+  const ClusterConfig& config() const { return config_; }
+
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+
+ private:
+  struct WorkerState {
+    bool busy = false;
+    bool kicked = false;  // a TryDispatch event is in flight
+    OperatorId last_op;
+  };
+  struct SourceState {
+    OperatorId op;
+    std::unique_ptr<ArrivalProcess> process;
+    Duration event_time_delay = 0;
+    LogicalTime last_logical = 0;  // logical times start at 1
+  };
+
+  void SetupConverters();
+  void SeedEstimates();
+  void PumpSource(std::size_t idx);
+  void Deliver(Message m, WorkerId producer);
+  void KickIdleWorker();
+  void TryDispatch(WorkerId w);
+  void Complete(WorkerId w, Message m, SimTime dispatch_time, Duration cost);
+  MessageId NextMessageId() { return MessageId{next_message_id_++}; }
+
+  ClusterConfig config_;
+  DataflowGraph graph_;
+  EventQueue events_;
+  Rng rng_;
+  std::unique_ptr<SchedulingPolicy> policy_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unordered_map<OperatorId, std::unique_ptr<ContextConverter>> converters_;
+  std::unordered_map<OperatorId, TokenBucket> token_buckets_;
+  CostProfiler profiler_;
+  LatencyRecorder latency_;
+  UtilizationTracker utilization_;
+  Timeline timeline_;
+  std::vector<WorkerState> workers_;
+  std::vector<SourceState> sources_;
+  std::int64_t next_message_id_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+};
+
+}  // namespace cameo

@@ -1,0 +1,3 @@
+#include "sim/event_queue.h"
+
+namespace cameo {}  // namespace cameo

@@ -1,0 +1,71 @@
+// Discrete-event engine: a time-ordered queue of closures. Events at equal
+// timestamps run in scheduling order (stable sequence numbers), which makes
+// whole-cluster simulations deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time.h"
+
+namespace cameo {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `t` (>= now).
+  void Schedule(SimTime t, Action fn) {
+    CAMEO_EXPECTS(t >= now_);
+    heap_.push(Event{t, seq_++, std::move(fn)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  SimTime now() const { return now_; }
+  SimTime NextTime() const {
+    CAMEO_EXPECTS(!empty());
+    return heap_.top().time;
+  }
+
+  /// Pops and runs the earliest event; advances now().
+  void RunNext() {
+    CAMEO_EXPECTS(!empty());
+    // Moving the action out before running lets the action schedule freely.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.action();
+  }
+
+  /// Runs until the queue drains or the next event is past `until`.
+  void RunUntil(SimTime until) {
+    while (!empty() && NextTime() <= until) RunNext();
+    now_ = std::max(now_, until);
+  }
+
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace cameo

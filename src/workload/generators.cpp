@@ -1,0 +1,120 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cameo {
+
+ConstantRate::ConstantRate(double msgs_per_sec, std::int64_t tuples_per_msg,
+                           SimTime start, SimTime end, Duration phase,
+                           bool aligned)
+    : gap_(static_cast<Duration>(kSecond / msgs_per_sec)),
+      tuples_(tuples_per_msg),
+      end_(end),
+      phase_(phase),
+      aligned_(aligned),
+      start_(start) {
+  CAMEO_EXPECTS(msgs_per_sec > 0);
+  CAMEO_EXPECTS(tuples_per_msg > 0);
+  CAMEO_EXPECTS(start <= end);
+  CAMEO_EXPECTS(phase >= 0);
+}
+
+std::optional<Arrival> ConstantRate::Next(Rng& /*rng*/) {
+  Arrival a;
+  if (aligned_) {
+    // k-th boundary batch: events through start + k*gap, sent `phase` later.
+    a.logical = start_ + k_ * gap_;
+    a.time = a.logical + phase_;
+  } else {
+    a.time = start_ + (k_ - 1) * gap_ + phase_;
+  }
+  a.tuples = tuples_;
+  ++k_;
+  if (a.time >= end_) return std::nullopt;
+  return a;
+}
+
+PoissonArrivals::PoissonArrivals(double msgs_per_sec,
+                                 std::int64_t tuples_per_msg, SimTime start,
+                                 SimTime end)
+    : mean_gap_(kSecond / msgs_per_sec),
+      tuples_(tuples_per_msg),
+      next_(start),
+      end_(end) {
+  CAMEO_EXPECTS(msgs_per_sec > 0);
+  CAMEO_EXPECTS(tuples_per_msg > 0);
+}
+
+std::optional<Arrival> PoissonArrivals::Next(Rng& rng) {
+  if (!first_) {
+    next_ += static_cast<Duration>(rng.Exponential(mean_gap_));
+  } else {
+    // Random phase so replicas do not arrive in lock-step.
+    next_ += static_cast<Duration>(rng.Uniform(0, mean_gap_));
+    first_ = false;
+  }
+  if (next_ >= end_) return std::nullopt;
+  return Arrival{next_, tuples_};
+}
+
+ParetoBurst::ParetoBurst(double mean_tuples_per_interval, double alpha,
+                         int msgs_per_interval, Duration interval,
+                         SimTime start, SimTime end)
+    : alpha_(alpha),
+      msgs_per_interval_(msgs_per_interval),
+      interval_(interval),
+      interval_start_(start),
+      end_(end),
+      emitted_in_interval_(msgs_per_interval) {
+  CAMEO_EXPECTS(alpha > 1);  // finite mean required to size the scale
+  CAMEO_EXPECTS(msgs_per_interval >= 1);
+  CAMEO_EXPECTS(interval > 0);
+  // E[Pareto(alpha, xm)] = alpha*xm/(alpha-1)  =>  xm = mean*(alpha-1)/alpha.
+  scale_ = mean_tuples_per_interval * (alpha - 1.0) / alpha;
+  CAMEO_EXPECTS(scale_ >= 1.0);
+}
+
+void ParetoBurst::RollInterval(Rng& rng) {
+  interval_volume_ =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                    rng.Pareto(alpha_, scale_)));
+  emitted_in_interval_ = 0;
+}
+
+std::optional<Arrival> ParetoBurst::Next(Rng& rng) {
+  if (emitted_in_interval_ >= msgs_per_interval_) {
+    if (!first_) interval_start_ += interval_;
+    first_ = false;
+    if (interval_start_ >= end_) return std::nullopt;
+    RollInterval(rng);
+  }
+  SimTime t = interval_start_ +
+              emitted_in_interval_ * (interval_ / msgs_per_interval_);
+  std::int64_t base = interval_volume_ / msgs_per_interval_;
+  std::int64_t extra =
+      emitted_in_interval_ <
+              static_cast<int>(interval_volume_ % msgs_per_interval_)
+          ? 1
+          : 0;
+  ++emitted_in_interval_;
+  std::int64_t tuples = std::max<std::int64_t>(1, base + extra);
+  if (t >= end_) return std::nullopt;
+  return Arrival{t, tuples};
+}
+
+ReplayTrace::ReplayTrace(std::vector<Arrival> arrivals)
+    : arrivals_(std::move(arrivals)) {
+  for (std::size_t i = 1; i < arrivals_.size(); ++i) {
+    CAMEO_EXPECTS(arrivals_[i - 1].time <= arrivals_[i].time);
+  }
+}
+
+std::optional<Arrival> ReplayTrace::Next(Rng& /*rng*/) {
+  if (next_ >= arrivals_.size()) return std::nullopt;
+  return arrivals_[next_++];
+}
+
+}  // namespace cameo

@@ -1,0 +1,115 @@
+// Arrival processes for ingestion workloads (paper §6).
+//
+// An ArrivalProcess produces a monotone sequence of (time, tuple-count)
+// ingestion messages for one source replica. Implementations cover the
+// paper's workload shapes: constant rate (§6.1/6.2 control groups), Poisson,
+// Pareto per-interval volume ("temporal variation", Fig. 9), and trace replay
+// for the skewed production-derived workloads (Fig. 10).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace cameo {
+
+struct Arrival {
+  SimTime time = 0;
+  std::int64_t tuples = 0;
+  /// Explicit stream progress for event-time jobs: the batch contains events
+  /// up to this logical time (e.g. the interval boundary a batching client
+  /// just closed). -1 derives progress from arrival time instead.
+  LogicalTime logical = -1;
+};
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  /// Next arrival, or nullopt when the process is exhausted. Times are
+  /// non-decreasing across calls.
+  virtual std::optional<Arrival> Next(Rng& rng) = 0;
+};
+
+/// Fixed message rate, fixed batch size (e.g. "1 msg/s per source with 1000
+/// events/msg" for the paper's latency-sensitive group).
+///
+/// Aligned mode models a batching client: the k-th message carries the events
+/// of interval ((k-1)*gap, k*gap], is stamped logical = k*gap, and arrives
+/// `phase` after the interval closes. This is what lets inclusive-right
+/// windows trigger on the batch that completes them (sub-gap latency).
+class ConstantRate final : public ArrivalProcess {
+ public:
+  ConstantRate(double msgs_per_sec, std::int64_t tuples_per_msg, SimTime start,
+               SimTime end, Duration phase = 0, bool aligned = false);
+  std::optional<Arrival> Next(Rng& rng) override;
+
+ private:
+  Duration gap_;
+  std::int64_t tuples_;
+  SimTime end_;
+  Duration phase_;
+  bool aligned_;
+  std::int64_t k_ = 1;  // next interval index
+  SimTime start_;
+};
+
+/// Poisson arrivals with exponential inter-arrival gaps.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  PoissonArrivals(double msgs_per_sec, std::int64_t tuples_per_msg,
+                  SimTime start, SimTime end);
+  std::optional<Arrival> Next(Rng& rng) override;
+
+ private:
+  double mean_gap_;
+  std::int64_t tuples_;
+  SimTime next_;
+  SimTime end_;
+  bool first_ = true;
+};
+
+/// Per-interval tuple volume drawn from a Pareto distribution (paper §6.2,
+/// Fig. 9: "a Pareto distribution for data volume"), emitted as a fixed
+/// number of messages spread evenly across each interval.
+class ParetoBurst final : public ArrivalProcess {
+ public:
+  /// Mean volume is approximately `mean_tuples_per_interval` when alpha > 1
+  /// (scale is derived from the mean and alpha).
+  ParetoBurst(double mean_tuples_per_interval, double alpha,
+              int msgs_per_interval, Duration interval, SimTime start,
+              SimTime end);
+  std::optional<Arrival> Next(Rng& rng) override;
+
+ private:
+  void RollInterval(Rng& rng);
+
+  double scale_;  // Pareto x_min
+  double alpha_;
+  int msgs_per_interval_;
+  Duration interval_;
+  SimTime interval_start_;
+  SimTime end_;
+  int emitted_in_interval_ = 0;
+  std::int64_t interval_volume_ = 0;
+  bool first_ = true;
+};
+
+/// Replays a precomputed arrival list (used by the trace synthesizer).
+class ReplayTrace final : public ArrivalProcess {
+ public:
+  explicit ReplayTrace(std::vector<Arrival> arrivals);
+  std::optional<Arrival> Next(Rng& rng) override;
+
+ private:
+  std::vector<Arrival> arrivals_;
+  std::size_t next_ = 0;
+};
+
+using ArrivalProcessFactory =
+    std::function<std::unique_ptr<ArrivalProcess>(int replica)>;
+
+}  // namespace cameo

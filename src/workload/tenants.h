@@ -1,0 +1,78 @@
+// Canonical query topologies and tenant groups from the paper's evaluation
+// (§6). All benchmarks, examples, and integration tests assemble their
+// workloads from these builders so the shapes stay consistent:
+//
+//  - BuildAggregationJob: source stage -> parallel windowed pre-aggregation
+//    -> global windowed aggregation -> sink (the paper's "multiple stages of
+//    windowed aggregation parallelized into a group of operators", stages
+//    0..3 of Fig. 7(c)). Tumbling or sliding according to the spec.
+//  - BuildJoinJob (IPQ4): two source groups -> windowed join -> tumbling
+//    aggregation -> sink.
+//  - Group 1 "Latency Sensitive" (LS): sparse input (1 msg/s/source, 1000
+//    events/msg), 1 s windows, strict constraint (800 ms in §6.2).
+//  - Group 2 "Bulk Analytics" (BA): high/variable volume, 10 s windows, lax
+//    constraint (7200 s).
+//
+// Scale note: replica counts and rates default to a laptop-scale version of
+// the paper's 32-node setup; benches override them per experiment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataflow/graph.h"
+
+namespace cameo {
+
+struct QuerySpec {
+  std::string name = "query";
+  int sources = 8;
+  int aggs = 4;
+  LogicalTime window = Seconds(1);
+  LogicalTime slide = Seconds(1);  // == window: tumbling
+  Duration latency_constraint = Millis(800);
+  TimeDomain domain = TimeDomain::kEventTime;
+  double token_rate_per_sec = 0;  // per source; 0 = no tokens
+  bool per_key = false;           // grouped aggregation (IPQ3)
+
+  // Ingestion shape (consumed by benches when creating ArrivalProcesses).
+  double msgs_per_sec_per_source = 1.0;
+  std::int64_t tuples_per_msg = 1000;
+
+  // Cost models per stage, calibrated so a 1000-tuple message costs ~2 ms of
+  // pipeline work (Trill-like columnar operators on cloud VMs) and the
+  // Fig. 8(a) saturation knee lands near the paper's 30K tuples/s/source.
+  CostModel source_cost{Micros(100), 0, 0.05};
+  CostModel agg_cost{Micros(300), /*per_tuple=*/1500, 0.05};  // 1.5us/tuple
+  CostModel final_cost{Micros(500), Micros(5), 0.05};  // folds partials
+  CostModel sink_cost{Micros(50), 0, 0.0};
+};
+
+struct JobHandles {
+  JobId job;
+  StageId source;
+  StageId sink;
+  std::vector<StageId> stages;  // in pipeline order
+  /// Second source stage for join jobs; invalid otherwise.
+  StageId source_right;
+};
+
+/// 4-stage windowed aggregation pipeline.
+JobHandles BuildAggregationJob(DataflowGraph& g, const QuerySpec& spec);
+
+/// IPQ4: join of two streams followed by tumbling aggregation.
+JobHandles BuildJoinJob(DataflowGraph& g, const QuerySpec& spec);
+
+/// Wires SetExpectedChannels on every windowed operator of `job` from the
+/// topology (how many upstream operators can deliver to each replica).
+/// Builders call this; call it again after manual graph surgery.
+void FinalizeChannels(DataflowGraph& g, JobId job);
+
+/// Paper §6.2 control groups.
+QuerySpec MakeLatencySensitiveSpec(const std::string& name);
+QuerySpec MakeBulkAnalyticsSpec(const std::string& name);
+
+/// Paper §6.1 single-tenant queries IPQ1..IPQ4 (1-based index).
+QuerySpec MakeIpqSpec(int which);
+
+}  // namespace cameo

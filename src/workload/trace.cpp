@@ -1,0 +1,76 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cameo {
+
+std::vector<double> TraceMeanRates(const SkewedTraceSpec& spec) {
+  CAMEO_EXPECTS(spec.sources >= 1);
+  CAMEO_EXPECTS(spec.skew_ratio >= 1.0);
+  // Geometric progression r_i = r_min * ratio^(i/(n-1)); normalized to the
+  // requested total.
+  std::vector<double> rates(spec.sources);
+  double sum = 0;
+  for (int i = 0; i < spec.sources; ++i) {
+    double expo = spec.sources == 1
+                      ? 0.0
+                      : static_cast<double>(i) / (spec.sources - 1);
+    rates[static_cast<std::size_t>(i)] = std::pow(spec.skew_ratio, expo);
+    sum += rates[static_cast<std::size_t>(i)];
+  }
+  for (double& r : rates) r *= spec.total_tuples_per_sec / sum;
+  return rates;
+}
+
+std::vector<std::vector<Arrival>> SynthesizeSkewedTrace(
+    const SkewedTraceSpec& spec, Rng& rng) {
+  CAMEO_EXPECTS(spec.burst_alpha > 1);
+  CAMEO_EXPECTS(spec.idle_prob >= 0 && spec.idle_prob < 1);
+  std::vector<double> rates = TraceMeanRates(spec);
+  std::vector<std::vector<Arrival>> trace(
+      static_cast<std::size_t>(spec.sources));
+
+  const std::int64_t intervals = spec.length / spec.interval;
+  for (int s = 0; s < spec.sources; ++s) {
+    auto& arrivals = trace[static_cast<std::size_t>(s)];
+    double mean_per_interval = rates[static_cast<std::size_t>(s)] *
+                               ToSeconds(spec.interval) /
+                               (1.0 - spec.idle_prob);
+    // Pareto scale for the requested mean (alpha > 1).
+    double xm = mean_per_interval * (spec.burst_alpha - 1) / spec.burst_alpha;
+    xm = std::max(xm, 1.0);
+    for (std::int64_t k = 0; k < intervals; ++k) {
+      if (spec.idle_prob > 0 && rng.Chance(spec.idle_prob)) continue;
+      auto volume = static_cast<std::int64_t>(
+          rng.Pareto(spec.burst_alpha, xm));
+      if (volume <= 0) continue;
+      SimTime base = k * spec.interval;
+      for (int m = 0; m < spec.msgs_per_interval; ++m) {
+        std::int64_t share = volume / spec.msgs_per_interval +
+                             (m < volume % spec.msgs_per_interval ? 1 : 0);
+        if (share <= 0) continue;
+        arrivals.push_back(
+            {base + m * (spec.interval / spec.msgs_per_interval), share});
+      }
+    }
+  }
+  return trace;
+}
+
+std::vector<double> SynthesizeVolumeDistribution(int streams, double zipf_s,
+                                                 double total_volume) {
+  CAMEO_EXPECTS(streams >= 1);
+  ZipfSampler zipf(static_cast<std::size_t>(streams), zipf_s);
+  std::vector<double> volumes(static_cast<std::size_t>(streams));
+  for (int k = 0; k < streams; ++k) {
+    volumes[static_cast<std::size_t>(k)] =
+        zipf.Pmf(static_cast<std::size_t>(k)) * total_volume;
+  }
+  std::sort(volumes.rbegin(), volumes.rend());
+  return volumes;
+}
+
+}  // namespace cameo

@@ -1,0 +1,51 @@
+// Synthetic production-like traces.
+//
+// The paper's production data is unavailable; these synthesizers reproduce
+// the *shapes* it reports so the workload-sensitive experiments remain
+// meaningful (see DESIGN.md, substitutions):
+//  - Fig. 2(a): long-tailed per-stream volume split (top 10% of streams carry
+//    the majority of data) -- Zipf volume shares.
+//  - Fig. 2(c): per-source ingestion heat map with second-scale spikes and
+//    idle gaps -- per-interval Pareto volume modulated by on/off periods.
+//  - Fig. 10: "Type 1" (2x total volume, mild skew) and "Type 2" (ingestion
+//    rate varying 200x across sources) workload distributions.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/generators.h"
+
+namespace cameo {
+
+struct SkewedTraceSpec {
+  int sources = 16;
+  Duration length = Seconds(60);
+  /// Mean tuples/second summed over all sources.
+  double total_tuples_per_sec = 10000;
+  /// Ratio between the hottest and coldest source's mean rate (Fig. 10:
+  /// 200x for Type 2).
+  double skew_ratio = 1.0;
+  /// Pareto tail index for per-interval volume; lower = burstier.
+  double burst_alpha = 2.0;
+  /// Probability a source is idle in any given interval.
+  double idle_prob = 0.0;
+  int msgs_per_interval = 4;
+  Duration interval = kSecond;
+};
+
+/// Per-source arrival lists. Source i's mean rate follows a geometric
+/// progression so max/min == skew_ratio; per-interval volume is Pareto with
+/// the source's mean; idle intervals emit nothing.
+std::vector<std::vector<Arrival>> SynthesizeSkewedTrace(
+    const SkewedTraceSpec& spec, Rng& rng);
+
+/// Per-source mean rates (tuples/sec) implied by `spec` (for tests/reports).
+std::vector<double> TraceMeanRates(const SkewedTraceSpec& spec);
+
+/// Fig. 2(a)-style volume distribution: `streams` volume shares drawn from a
+/// Zipf(s) split of `total_volume`, sorted descending.
+std::vector<double> SynthesizeVolumeDistribution(int streams, double zipf_s,
+                                                 double total_volume);
+
+}  // namespace cameo

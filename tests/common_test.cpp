@@ -1,0 +1,356 @@
+// Unit tests for src/common: time helpers, ids, RNG distributions,
+// percentile statistics, the updatable heap, and the CSV writer.
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/histogram.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "common/updatable_heap.h"
+
+namespace cameo {
+namespace {
+
+using namespace cameo::literals;
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(Millis(1), 1'000'000);
+  EXPECT_EQ(Seconds(2), 2'000'000'000);
+  EXPECT_EQ(Micros(3), 3'000);
+  EXPECT_EQ(1_s, Seconds(1));
+  EXPECT_EQ(5_ms, Millis(5));
+  EXPECT_EQ(7_us, Micros(7));
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(1500)), 1500.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(Millis(1500)), 1.5);
+}
+
+TEST(IdsTest, ValidityAndOrdering) {
+  OperatorId unset;
+  EXPECT_FALSE(unset.valid());
+  OperatorId a{3}, b{5};
+  EXPECT_TRUE(a.valid());
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, OperatorId{3});
+  EXPECT_NE(a, b);
+}
+
+TEST(IdsTest, DistinctTagTypesDoNotMix) {
+  static_assert(!std::is_same_v<JobId, OperatorId>);
+  static_assert(std::is_same_v<decltype(JobId{1}.value), std::int64_t>);
+}
+
+TEST(IdsTest, Hashable) {
+  std::hash<OperatorId> h;
+  EXPECT_EQ(h(OperatorId{42}), h(OperatorId{42}));
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Uniform01(), b.Uniform01());
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.UniformInt(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(3);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(4);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, NormalZeroSigmaIsDeterministic) {
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(rng.Normal(3.5, 0.0), 3.5);
+}
+
+TEST(RngTest, ParetoSupportAndMean) {
+  Rng rng(6);
+  double sum = 0;
+  const int n = 50000;
+  const double alpha = 3.0, xm = 2.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Pareto(alpha, xm);
+    ASSERT_GE(v, xm);
+    sum += v;
+  }
+  // E = alpha*xm/(alpha-1) = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, ParetoIsHeavyTailed) {
+  Rng rng(7);
+  // With alpha = 1.2 the max of 10k draws should dwarf the median draw.
+  std::vector<double> v;
+  for (int i = 0; i < 10000; ++i) v.push_back(rng.Pareto(1.2, 1.0));
+  std::sort(v.begin(), v.end());
+  EXPECT_GT(v.back(), 50 * v[v.size() / 2]);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler zipf(100, 1.2);
+  double sum = 0;
+  for (std::size_t k = 0; k < 100; ++k) sum += zipf.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankZeroIsMostLikely) {
+  ZipfSampler zipf(50, 1.0);
+  EXPECT_GT(zipf.Pmf(0), zipf.Pmf(1));
+  EXPECT_GT(zipf.Pmf(1), zipf.Pmf(49));
+}
+
+TEST(ZipfTest, SamplesFollowPmf) {
+  ZipfSampler zipf(10, 1.5);
+  Rng rng(8);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.Pmf(k), 0.01);
+  }
+}
+
+TEST(SampleStatsTest, BasicOrderStatistics) {
+  SampleStats s;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 5.0);
+}
+
+TEST(SampleStatsTest, PercentileInterpolates) {
+  SampleStats s;
+  s.Add(0.0);
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 2.5);
+}
+
+TEST(SampleStatsTest, SingleSample) {
+  SampleStats s;
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 7.0);
+  EXPECT_DOUBLE_EQ(s.Stdev(), 0.0);
+}
+
+TEST(SampleStatsTest, StdevMatchesClosedForm) {
+  SampleStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_NEAR(s.Stdev(), 2.0, 1e-12);  // classic example, population stdev
+}
+
+TEST(SampleStatsTest, MergeCombinesSamples) {
+  SampleStats a, b;
+  a.Add(1.0);
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+}
+
+TEST(SampleStatsTest, CdfIsMonotone) {
+  SampleStats s;
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) s.Add(rng.Uniform(0, 100));
+  auto cdf = s.Cdf(20);
+  ASSERT_EQ(cdf.size(), 20u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].first, cdf[i].first);
+    EXPECT_LT(cdf[i - 1].second, cdf[i].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(LogHistogramTest, PercentileApproximatesExact) {
+  LogHistogram h(1.0, 1.1, 256);
+  SampleStats exact;
+  Rng rng(10);
+  for (int i = 0; i < 20000; ++i) {
+    double v = rng.Pareto(2.0, 10.0);
+    h.Add(v);
+    exact.Add(v);
+  }
+  // Log-bucketed estimate is within one bucket multiplier (1.1x) + rank noise.
+  for (double q : {50.0, 90.0, 99.0}) {
+    double approx = h.Percentile(q);
+    double truth = exact.Percentile(q);
+    EXPECT_GT(approx, truth * 0.85) << q;
+    EXPECT_LT(approx, truth * 1.25) << q;
+  }
+}
+
+TEST(LogHistogramTest, UnderflowGoesToMinValue) {
+  LogHistogram h(100.0, 2.0, 8);
+  h.Add(1.0);
+  h.Add(2.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 100.0);
+}
+
+// ---- UpdatableHeap ----
+
+TEST(UpdatableHeapTest, PushPopOrdersByKey) {
+  UpdatableHeap<int, char> h;
+  h.Push(3, 'c');
+  h.Push(1, 'a');
+  h.Push(2, 'b');
+  EXPECT_EQ(h.Pop().second, 'a');
+  EXPECT_EQ(h.Pop().second, 'b');
+  EXPECT_EQ(h.Pop().second, 'c');
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(UpdatableHeapTest, UpdateMovesElementUp) {
+  UpdatableHeap<int, char> h;
+  h.Push(5, 'x');
+  auto hy = h.Push(10, 'y');
+  h.Update(hy, 1);
+  EXPECT_EQ(h.TopValue(), 'y');
+}
+
+TEST(UpdatableHeapTest, UpdateMovesElementDown) {
+  UpdatableHeap<int, char> h;
+  auto hx = h.Push(1, 'x');
+  h.Push(5, 'y');
+  h.Update(hx, 10);
+  EXPECT_EQ(h.TopValue(), 'y');
+}
+
+TEST(UpdatableHeapTest, EraseRemovesElement) {
+  UpdatableHeap<int, char> h;
+  auto ha = h.Push(1, 'a');
+  h.Push(2, 'b');
+  h.Erase(ha);
+  EXPECT_FALSE(h.Contains(ha));
+  EXPECT_EQ(h.TopValue(), 'b');
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(UpdatableHeapTest, HandleReuseAfterPop) {
+  UpdatableHeap<int, int> h;
+  auto h1 = h.Push(1, 100);
+  h.Pop();
+  EXPECT_FALSE(h.Contains(h1));
+  auto h2 = h.Push(2, 200);
+  EXPECT_TRUE(h.Contains(h2));
+  EXPECT_EQ(h.ValueOf(h2), 200);
+}
+
+TEST(UpdatableHeapTest, RandomizedAgainstReferenceModel) {
+  // Property test: a long random sequence of push/pop/update/erase must pop
+  // elements in exactly sorted-key order versus a reference multimap.
+  UpdatableHeap<std::int64_t, int> h;
+  std::multimap<std::int64_t, int> ref;
+  std::unordered_map<int, UpdatableHeap<std::int64_t, int>::Handle> handles;
+  Rng rng(11);
+  int next_val = 0;
+
+  for (int step = 0; step < 5000; ++step) {
+    double action = rng.Uniform01();
+    if (action < 0.45 || ref.empty()) {
+      std::int64_t key = rng.UniformInt(0, 1000);
+      int val = next_val++;
+      handles[val] = h.Push(key, val);
+      ref.emplace(key, val);
+    } else if (action < 0.65) {
+      auto [key, val] = h.Pop();
+      auto range = ref.equal_range(key);
+      ASSERT_NE(range.first, range.second) << "popped key absent in model";
+      bool found = false;
+      for (auto it = range.first; it != range.second; ++it) {
+        if (it->second == val) {
+          ref.erase(it);
+          found = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(found);
+      handles.erase(val);
+      EXPECT_EQ(key, ref.empty() ? key : std::min(key, ref.begin()->first))
+          << "pop must return the minimum key";
+    } else if (action < 0.85) {
+      // Update a random live element.
+      auto it = handles.begin();
+      std::advance(it, rng.UniformInt(0, static_cast<std::int64_t>(
+                                             handles.size()) - 1));
+      std::int64_t new_key = rng.UniformInt(0, 1000);
+      // Update model first.
+      for (auto rit = ref.begin(); rit != ref.end(); ++rit) {
+        if (rit->second == it->first) {
+          ref.erase(rit);
+          break;
+        }
+      }
+      ref.emplace(new_key, it->first);
+      h.Update(it->second, new_key);
+    } else {
+      auto it = handles.begin();
+      std::advance(it, rng.UniformInt(0, static_cast<std::int64_t>(
+                                             handles.size()) - 1));
+      for (auto rit = ref.begin(); rit != ref.end(); ++rit) {
+        if (rit->second == it->first) {
+          ref.erase(rit);
+          break;
+        }
+      }
+      h.Erase(it->second);
+      handles.erase(it);
+    }
+    ASSERT_EQ(h.size(), ref.size());
+    if (!h.empty()) {
+      EXPECT_EQ(h.TopKey(), ref.begin()->first);
+    }
+  }
+}
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  CsvWriter csv({"a", "b", "c"});
+  csv.Row(1, 2.5, "x");
+  ASSERT_EQ(csv.lines().size(), 2u);
+  EXPECT_EQ(csv.lines()[0], "a,b,c");
+  EXPECT_EQ(csv.lines()[1], "1,2.5,x");
+}
+
+}  // namespace
+}  // namespace cameo

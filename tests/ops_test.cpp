@@ -1,0 +1,359 @@
+// Unit tests for src/ops: windowed aggregation (tumbling, sliding, grouped),
+// windowed join, stateless operators, source and sink.
+#include <gtest/gtest.h>
+
+#include "ops/sink.h"
+#include "ops/source.h"
+#include "ops/stateless.h"
+#include "ops/window_agg.h"
+#include "ops/windowed_join.h"
+
+namespace cameo {
+namespace {
+
+struct CapturedOut {
+  int port;
+  EventBatch batch;
+  SimTime event_time;
+};
+
+class TestEmitter final : public Emitter {
+ public:
+  void Emit(int port, EventBatch batch, SimTime event_time) override {
+    outs.push_back({port, std::move(batch), event_time});
+  }
+  std::vector<CapturedOut> outs;
+};
+
+class OpsTest : public ::testing::Test {
+ protected:
+  InvokeContext Ctx(SimTime now = 0) {
+    emitter_.outs.clear();
+    return InvokeContext{now, &emitter_, &rng_};
+  }
+
+  Message ColumnarMsg(std::int64_t sender, LogicalTime progress,
+                      std::vector<std::tuple<std::int64_t, double, LogicalTime>>
+                          tuples,
+                      SimTime event_time = 0) {
+    Message m;
+    m.id = MessageId{next_id_++};
+    m.sender = OperatorId{sender};
+    m.event_time = event_time;
+    m.batch.progress = progress;
+    for (auto& [k, v, t] : tuples) m.batch.Append(k, v, t);
+    return m;
+  }
+
+  Message SyntheticMsg(std::int64_t sender, LogicalTime progress,
+                       std::int64_t count, SimTime event_time = 0) {
+    Message m;
+    m.id = MessageId{next_id_++};
+    m.sender = OperatorId{sender};
+    m.event_time = event_time;
+    m.batch = EventBatch::Synthetic(count, progress);
+    return m;
+  }
+
+  TestEmitter emitter_;
+  Rng rng_{1};
+  std::int64_t next_id_ = 0;
+};
+
+// ---------------- SourceOp / SinkOp ----------------
+
+TEST_F(OpsTest, SourceForwardsBatchUnchanged) {
+  SourceOp src("s", {});
+  auto ctx = Ctx();
+  src.Invoke(SyntheticMsg(-1, Seconds(1), 500, Millis(7)), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  EXPECT_EQ(emitter_.outs[0].batch.size(), 500);
+  EXPECT_EQ(emitter_.outs[0].batch.progress, Seconds(1));
+  EXPECT_EQ(emitter_.outs[0].event_time, Millis(7));
+  EXPECT_TRUE(src.is_source());
+  EXPECT_FALSE(src.is_sink());
+}
+
+TEST_F(OpsTest, SinkCountsOutputsAndTuples) {
+  SinkOp sink("k", {});
+  auto ctx = Ctx();
+  sink.Invoke(SyntheticMsg(0, 1, 10), ctx);
+  sink.Invoke(SyntheticMsg(0, 2, 30), ctx);
+  EXPECT_EQ(sink.outputs(), 2u);
+  EXPECT_EQ(sink.tuples(), 40);
+  EXPECT_TRUE(emitter_.outs.empty());
+  EXPECT_TRUE(sink.is_sink());
+}
+
+// ---------------- Map / Filter ----------------
+
+TEST_F(OpsTest, MapTransformsTuples) {
+  MapOp map("m", {}, [](std::int64_t& k, double& v) {
+    k += 1;
+    v *= 2;
+  });
+  auto ctx = Ctx();
+  map.Invoke(ColumnarMsg(0, 10, {{1, 2.0, 5}, {3, 4.0, 6}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  const EventBatch& out = emitter_.outs[0].batch;
+  EXPECT_EQ(out.keys[0], 2);
+  EXPECT_DOUBLE_EQ(out.values[0], 4.0);
+  EXPECT_EQ(out.keys[1], 4);
+  EXPECT_DOUBLE_EQ(out.values[1], 8.0);
+  EXPECT_EQ(out.progress, 10);
+}
+
+TEST_F(OpsTest, FilterDropsNonMatchingTuples) {
+  FilterOp filter("f", {}, [](std::int64_t k, double) { return k % 2 == 0; });
+  auto ctx = Ctx();
+  filter.Invoke(
+      ColumnarMsg(0, 10, {{1, 1.0, 1}, {2, 2.0, 2}, {4, 4.0, 3}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  const EventBatch& out = emitter_.outs[0].batch;
+  ASSERT_EQ(out.keys.size(), 2u);
+  EXPECT_EQ(out.keys[0], 2);
+  EXPECT_EQ(out.keys[1], 4);
+}
+
+TEST_F(OpsTest, FilterAlwaysPropagatesProgress) {
+  // Even a fully-dropped batch must advance downstream watermarks.
+  FilterOp filter("f", {}, [](std::int64_t, double) { return false; });
+  auto ctx = Ctx();
+  filter.Invoke(ColumnarMsg(0, Seconds(9), {{1, 1.0, 1}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  EXPECT_EQ(emitter_.outs[0].batch.progress, Seconds(9));
+  EXPECT_EQ(emitter_.outs[0].batch.size(), 0);
+}
+
+TEST_F(OpsTest, FilterScalesSyntheticBySelectivity) {
+  FilterOp filter("f", {}, [](std::int64_t, double) { return true; }, 0.25);
+  auto ctx = Ctx();
+  filter.Invoke(SyntheticMsg(0, 10, 1000), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  EXPECT_EQ(emitter_.outs[0].batch.size(), 250);
+}
+
+// ---------------- WindowAggOp: tumbling ----------------
+
+TEST_F(OpsTest, TumblingWindowTriggersAtBoundary) {
+  WindowAggOp agg("a", WindowSpec::Tumbling(10), {}, AggKind::kSum);
+  auto ctx = Ctx();
+  agg.Invoke(ColumnarMsg(0, 5, {{1, 2.0, 3}, {1, 3.0, 5}}), ctx);
+  EXPECT_TRUE(emitter_.outs.empty()) << "window 10 still open at progress 5";
+  agg.Invoke(ColumnarMsg(0, 10, {{1, 5.0, 10}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u) << "progress 10 closes window 10";
+  const EventBatch& out = emitter_.outs[0].batch;
+  EXPECT_EQ(out.progress, 10);
+  ASSERT_EQ(out.values.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.values[0], 10.0) << "2 + 3 + 5, boundary inclusive";
+}
+
+TEST_F(OpsTest, BoundaryTupleBelongsToItsWindow) {
+  // Inclusive-right: a tuple at exactly t=10 is in window (0, 10].
+  WindowAggOp agg("a", WindowSpec::Tumbling(10), {}, AggKind::kCount);
+  auto ctx = Ctx();
+  agg.Invoke(ColumnarMsg(0, 10, {{1, 1.0, 10}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  EXPECT_DOUBLE_EQ(emitter_.outs[0].batch.values[0], 1.0);
+}
+
+TEST_F(OpsTest, TumblingWindowsTriggerInOrder) {
+  WindowAggOp agg("a", WindowSpec::Tumbling(10), {}, AggKind::kCount);
+  auto ctx = Ctx();
+  agg.Invoke(ColumnarMsg(0, 3, {{1, 1.0, 3}}), ctx);
+  agg.Invoke(ColumnarMsg(0, 15, {{1, 1.0, 15}}), ctx);
+  // Progress 30 closes windows 20 and 30 (20 is empty, emits nothing).
+  agg.Invoke(ColumnarMsg(0, 30, {{1, 1.0, 25}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 3u);
+  EXPECT_EQ(emitter_.outs[0].batch.progress, 10);
+  EXPECT_EQ(emitter_.outs[1].batch.progress, 20);
+  EXPECT_EQ(emitter_.outs[2].batch.progress, 30);
+}
+
+TEST_F(OpsTest, AggKindsComputeCorrectValues) {
+  auto run = [&](AggKind kind) {
+    WindowAggOp agg("a", WindowSpec::Tumbling(10), {}, kind);
+    auto ctx = Ctx();
+    agg.Invoke(
+        ColumnarMsg(0, 10, {{1, 4.0, 2}, {2, 7.0, 3}, {1, 1.0, 10}}), ctx);
+    return emitter_.outs.at(0).batch.values.at(0);
+  };
+  EXPECT_DOUBLE_EQ(run(AggKind::kSum), 12.0);
+  EXPECT_DOUBLE_EQ(run(AggKind::kCount), 3.0);
+  EXPECT_DOUBLE_EQ(run(AggKind::kMax), 7.0);
+}
+
+TEST_F(OpsTest, PerKeyAggregationEmitsOneTuplePerKey) {
+  WindowAggOp agg("a", WindowSpec::Tumbling(10), {}, AggKind::kSum,
+                  /*per_key=*/true);
+  auto ctx = Ctx();
+  agg.Invoke(
+      ColumnarMsg(0, 10, {{1, 2.0, 1}, {2, 3.0, 2}, {1, 4.0, 10}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  const EventBatch& out = emitter_.outs[0].batch;
+  ASSERT_EQ(out.keys.size(), 2u);
+  double sum_k1 = 0, sum_k2 = 0;
+  for (std::size_t i = 0; i < out.keys.size(); ++i) {
+    (out.keys[i] == 1 ? sum_k1 : sum_k2) = out.values[i];
+  }
+  EXPECT_DOUBLE_EQ(sum_k1, 6.0);
+  EXPECT_DOUBLE_EQ(sum_k2, 3.0);
+}
+
+TEST_F(OpsTest, SyntheticBatchesFoldByCount) {
+  WindowAggOp agg("a", WindowSpec::Tumbling(Seconds(1)), {}, AggKind::kCount);
+  auto ctx = Ctx();
+  agg.Invoke(SyntheticMsg(0, Millis(400), 700), ctx);
+  agg.Invoke(SyntheticMsg(0, Seconds(1), 300), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  EXPECT_DOUBLE_EQ(emitter_.outs[0].batch.values[0], 1000.0);
+}
+
+TEST_F(OpsTest, EventTimePropagatedAsLastContributingArrival) {
+  WindowAggOp agg("a", WindowSpec::Tumbling(10), {}, AggKind::kSum);
+  auto ctx = Ctx(Millis(99));
+  agg.Invoke(ColumnarMsg(0, 4, {{1, 1.0, 4}}, /*event_time=*/Millis(3)), ctx);
+  agg.Invoke(ColumnarMsg(0, 10, {{1, 1.0, 9}}, /*event_time=*/Millis(8)), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  EXPECT_EQ(emitter_.outs[0].event_time, Millis(8));
+}
+
+// ---------------- WindowAggOp: watermark across channels ----------------
+
+TEST_F(OpsTest, WatermarkWaitsForAllExpectedChannels) {
+  WindowAggOp agg("a", WindowSpec::Tumbling(10), {}, AggKind::kCount);
+  agg.SetExpectedChannels(2);
+  auto ctx = Ctx();
+  agg.Invoke(ColumnarMsg(/*sender=*/100, 10, {{1, 1.0, 5}}), ctx);
+  EXPECT_TRUE(emitter_.outs.empty()) << "channel 101 has not reported";
+  agg.Invoke(ColumnarMsg(/*sender=*/101, 10, {{1, 1.0, 7}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  EXPECT_DOUBLE_EQ(emitter_.outs[0].batch.values[0], 2.0);
+}
+
+TEST_F(OpsTest, WatermarkIsMinimumAcrossChannels) {
+  WindowAggOp agg("a", WindowSpec::Tumbling(10), {}, AggKind::kCount);
+  agg.SetExpectedChannels(2);
+  auto ctx = Ctx();
+  agg.Invoke(ColumnarMsg(100, 30, {{1, 1.0, 5}}), ctx);
+  agg.Invoke(ColumnarMsg(101, 10, {{1, 1.0, 7}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u) << "only window 10 is complete";
+  EXPECT_EQ(agg.watermark(), 10);
+  agg.Invoke(ColumnarMsg(101, 30, {{1, 1.0, 28}}), ctx);
+  // Watermark reaches 30: window 30 (tuple at 28) emits; the empty window 20
+  // was never materialized and emits nothing.
+  EXPECT_EQ(emitter_.outs.size(), 2u);
+  EXPECT_EQ(emitter_.outs[1].batch.progress, 30);
+}
+
+TEST_F(OpsTest, ChannelProgressIsMonotone) {
+  WindowAggOp agg("a", WindowSpec::Tumbling(10), {}, AggKind::kCount);
+  auto ctx = Ctx();
+  agg.Invoke(ColumnarMsg(100, 20, {{1, 1.0, 15}}), ctx);
+  EXPECT_EQ(agg.watermark(), 20);
+  // A late lower-progress message must not regress the watermark.
+  agg.Invoke(ColumnarMsg(100, 5, {{1, 1.0, 25}}), ctx);
+  EXPECT_EQ(agg.watermark(), 20);
+}
+
+// ---------------- WindowAggOp: sliding ----------------
+
+TEST_F(OpsTest, SlidingWindowAssignsTupleToMultipleWindows) {
+  // W=20, S=10: tuple at t=5 is in windows ending 10 and 20.
+  WindowAggOp agg("a", WindowSpec::Sliding(20, 10), {}, AggKind::kSum);
+  auto ctx = Ctx();
+  agg.Invoke(ColumnarMsg(0, 5, {{1, 3.0, 5}}), ctx);
+  agg.Invoke(ColumnarMsg(0, 20, {{1, 10.0, 20}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 2u);
+  EXPECT_EQ(emitter_.outs[0].batch.progress, 10);
+  EXPECT_DOUBLE_EQ(emitter_.outs[0].batch.values[0], 3.0);
+  EXPECT_EQ(emitter_.outs[1].batch.progress, 20);
+  EXPECT_DOUBLE_EQ(emitter_.outs[1].batch.values[0], 13.0) << "overlap: 3+10";
+}
+
+TEST_F(OpsTest, SlidingWindowCountOverlapProperty) {
+  // Property: with W = 3*S every tuple appears in exactly 3 windows, so the
+  // sum of all window counts = 3 * tuple count once all windows flush.
+  WindowAggOp agg("a", WindowSpec::Sliding(30, 10), {}, AggKind::kCount);
+  auto ctx = Ctx();
+  const int kTuples = 50;
+  Rng rng(3);
+  for (int i = 0; i < kTuples; ++i) {
+    LogicalTime t = 1 + rng.UniformInt(0, 58);
+    agg.Invoke(ColumnarMsg(0, t, {{1, 1.0, t}}), ctx);
+  }
+  agg.Invoke(ColumnarMsg(0, 200, {{1, 1.0, 150}}), ctx);  // flush everything
+  double total = 0;
+  for (const auto& out : emitter_.outs) {
+    for (double v : out.batch.values) total += v;
+  }
+  EXPECT_DOUBLE_EQ(total, 3.0 * kTuples + 3.0);  // +3 for the flush tuple
+}
+
+// ---------------- WindowedJoinOp ----------------
+
+TEST_F(OpsTest, JoinMatchesKeysWithinWindow) {
+  WindowedJoinOp join("j", 10, {});
+  join.SetLeftInputs({OperatorId{100}});
+  join.SetExpectedChannels(2);
+  auto ctx = Ctx();
+  join.Invoke(ColumnarMsg(100, 10, {{1, 2.0, 3}, {2, 5.0, 4}}), ctx);
+  join.Invoke(ColumnarMsg(200, 10, {{1, 10.0, 6}, {3, 1.0, 7}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  const EventBatch& out = emitter_.outs[0].batch;
+  ASSERT_EQ(out.keys.size(), 1u) << "only key 1 appears on both sides";
+  EXPECT_EQ(out.keys[0], 1);
+  EXPECT_DOUBLE_EQ(out.values[0], 20.0);  // 2 * 10
+}
+
+TEST_F(OpsTest, JoinSeparatesWindows) {
+  WindowedJoinOp join("j", 10, {});
+  join.SetLeftInputs({OperatorId{100}});
+  join.SetExpectedChannels(2);
+  auto ctx = Ctx();
+  // Key 1 on left in window 10, on right only in window 20: no match.
+  join.Invoke(ColumnarMsg(100, 15, {{1, 2.0, 3}}), ctx);
+  join.Invoke(ColumnarMsg(200, 15, {{1, 10.0, 12}}), ctx);
+  join.Invoke(ColumnarMsg(100, 30, {{9, 1.0, 25}}), ctx);
+  join.Invoke(ColumnarMsg(200, 30, {{8, 1.0, 25}}), ctx);
+  for (const auto& out : emitter_.outs) {
+    EXPECT_EQ(out.batch.keys.size(), 0u) << "cross-window keys must not join";
+  }
+}
+
+TEST_F(OpsTest, JoinHandlesMultiMatch) {
+  WindowedJoinOp join("j", 10, {});
+  join.SetLeftInputs({OperatorId{100}});
+  join.SetExpectedChannels(2);
+  auto ctx = Ctx();
+  join.Invoke(ColumnarMsg(100, 10, {{1, 2.0, 3}, {1, 3.0, 4}}), ctx);
+  join.Invoke(ColumnarMsg(200, 10, {{1, 10.0, 6}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  EXPECT_EQ(emitter_.outs[0].batch.keys.size(), 2u) << "2 left x 1 right";
+}
+
+TEST_F(OpsTest, JoinSyntheticVolumeIsMinOfSides) {
+  WindowedJoinOp join("j", Seconds(1), {});
+  join.SetLeftInputs({OperatorId{100}});
+  join.SetExpectedChannels(2);
+  auto ctx = Ctx();
+  join.Invoke(SyntheticMsg(100, Seconds(1), 300), ctx);
+  join.Invoke(SyntheticMsg(200, Seconds(1), 100), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  EXPECT_EQ(emitter_.outs[0].batch.size(), 100);
+}
+
+TEST_F(OpsTest, JoinEmitsEmptyWindowToAdvanceProgress) {
+  WindowedJoinOp join("j", 10, {});
+  join.SetLeftInputs({OperatorId{100}});
+  join.SetExpectedChannels(2);
+  auto ctx = Ctx();
+  join.Invoke(ColumnarMsg(100, 10, {{1, 1.0, 5}}), ctx);
+  join.Invoke(ColumnarMsg(200, 10, {{2, 1.0, 5}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u) << "no matches, but progress must flow";
+  EXPECT_EQ(emitter_.outs[0].batch.progress, 10);
+  EXPECT_EQ(emitter_.outs[0].batch.size(), 0);
+}
+
+}  // namespace
+}  // namespace cameo

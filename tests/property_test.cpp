@@ -1,0 +1,351 @@
+// Property-based sweeps across window shapes, loads, and schedulers:
+// conservation laws and ordering invariants that must hold for any
+// parameter combination, plus failure-injection behaviour.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bench_util/scenarios.h"
+#include "core/transform.h"
+#include "ops/sink.h"
+#include "ops/window_agg.h"
+#include "sched/cameo_scheduler.h"
+#include "sim/cluster.h"
+#include "workload/tenants.h"
+
+namespace cameo {
+namespace {
+
+// ---------------- Window algebra properties ----------------
+
+struct WindowCase {
+  LogicalTime size;
+  LogicalTime slide;
+};
+
+class WindowProperty : public ::testing::TestWithParam<WindowCase> {};
+
+TEST_P(WindowProperty, TupleCountConservation) {
+  // Every tuple lands in exactly size/slide windows, so once all windows
+  // flush, the sum of per-window counts equals tuples * (size/slide).
+  const auto [size, slide] = GetParam();
+  ASSERT_EQ(size % slide, 0) << "test cases use integral overlap";
+  const std::int64_t overlap = size / slide;
+
+  WindowAggOp agg("a", WindowSpec{size, slide}, {}, AggKind::kCount);
+  struct Collect final : Emitter {
+    void Emit(int, EventBatch b, SimTime) override {
+      for (double v : b.values) total += v;
+      ++outputs;
+    }
+    double total = 0;
+    int outputs = 0;
+  } sink;
+  Rng rng(99);
+  InvokeContext ctx{0, &sink, &rng};
+
+  const int kTuples = 200;
+  std::int64_t id = 0;
+  LogicalTime horizon = 20 * size;
+  for (int i = 0; i < kTuples; ++i) {
+    LogicalTime t = 1 + rng.UniformInt(0, horizon - 2);
+    Message m;
+    m.id = MessageId{id++};
+    m.sender = OperatorId{0};
+    m.batch.progress = t;
+    m.batch.Append(0, 1.0, t);
+    agg.Invoke(m, ctx);
+  }
+  // Flush: advance progress far past every open window.
+  Message flush;
+  flush.id = MessageId{id++};
+  flush.sender = OperatorId{0};
+  flush.batch.progress = horizon + size * 2;
+  flush.batch.Append(0, 1.0, horizon + size);
+  agg.Invoke(flush, ctx);
+
+  EXPECT_DOUBLE_EQ(sink.total,
+                   static_cast<double>((kTuples + 1) * overlap));
+  EXPECT_EQ(agg.open_windows(), 0u) << "everything flushed";
+}
+
+TEST_P(WindowProperty, TransformAgreesWithOperatorAssignment) {
+  // TRANSFORM's frontier is exactly the first window the operator will
+  // trigger for a tuple at p.
+  const auto [size, slide] = GetParam();
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    LogicalTime p = 1 + rng.UniformInt(0, 10 * size);
+    LogicalTime frontier = Transform(p, 0, slide);
+    // Operator model: earliest multiple-of-slide window end in [p, p+size).
+    LogicalTime first = ((p + slide - 1) / slide) * slide;
+    EXPECT_EQ(frontier, first) << "p=" << p;
+    EXPECT_GE(frontier, p);
+    EXPECT_LT(frontier - p, slide);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WindowProperty,
+    ::testing::Values(WindowCase{10, 10}, WindowCase{20, 10},
+                      WindowCase{30, 10}, WindowCase{100, 25},
+                      WindowCase{Seconds(1), Seconds(1)},
+                      WindowCase{Seconds(10), Seconds(1)}),
+    [](const ::testing::TestParamInfo<WindowCase>& info) {
+      return "w" + std::to_string(info.param.size) + "s" +
+             std::to_string(info.param.slide);
+    });
+
+// ---------------- End-to-end conservation across schedulers ----------------
+
+class SchedulerSweep : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(SchedulerSweep, WindowSumsIndependentOfScheduler) {
+  // The *values* computed by the pipeline must not depend on the scheduler:
+  // scheduling changes order and latency, never results. Compare total sink
+  // tuple volume and output count over windows that every run flushed.
+  auto run = [&](SchedulerKind kind) {
+    DataflowGraph graph;
+    QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+    spec.sources = 4;
+    spec.aggs = 2;
+    JobHandles h = BuildAggregationJob(graph, spec);
+    ClusterConfig cfg;
+    cfg.num_workers = 2;
+    cfg.scheduler = kind;
+    cfg.straggler_prob = 0;  // keep every run comfortably inside the horizon
+    Cluster cluster(cfg, std::move(graph));
+    cluster.AddIngestion(h.source, [&](int r) {
+      return std::make_unique<ConstantRate>(1.0, 500, 0, Seconds(15),
+                                            Millis(3 + 2 * r), true);
+    });
+    cluster.Run(Seconds(30));
+    return std::pair(cluster.latency().outputs(h.job),
+                     cluster.latency().sink_tuples(h.job));
+  };
+  auto [outputs, tuples] = run(GetParam());
+  auto [ref_outputs, ref_tuples] = run(SchedulerKind::kCameo);
+  EXPECT_EQ(outputs, ref_outputs);
+  EXPECT_EQ(tuples, ref_tuples);
+}
+
+TEST_P(SchedulerSweep, NoMessageLostUnderBurstOverload) {
+  // Failure injection: a 20x burst in the middle of the run overloads the
+  // cluster; afterwards every ingested tuple must still be accounted for at
+  // the sources (processed counter) once the queues drain.
+  DataflowGraph graph;
+  QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+  spec.sources = 2;
+  spec.aggs = 2;
+  JobHandles h = BuildAggregationJob(graph, spec);
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.scheduler = GetParam();
+  Cluster cluster(cfg, std::move(graph));
+
+  // Steady 1 msg/s plus a burst of 40 messages at t=10s on each source.
+  std::int64_t expected_tuples = 0;
+  std::vector<Arrival> arrivals;
+  for (int k = 1; k <= 20; ++k) {
+    arrivals.push_back({Seconds(k) + Millis(5), 1000, Seconds(k)});
+    expected_tuples += 1000;
+  }
+  for (int i = 0; i < 40; ++i) {
+    arrivals.push_back({Seconds(10) + Millis(6 + i), 1000, -1});
+    expected_tuples += 1000;
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Arrival& a, const Arrival& b) { return a.time < b.time; });
+  cluster.AddIngestion(h.source, [&](int) {
+    return std::make_unique<ReplayTrace>(arrivals);
+  });
+  cluster.Run(Seconds(120));  // long tail to drain the burst
+  EXPECT_EQ(cluster.latency().processed(h.job),
+            expected_tuples * 2);  // two sources
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerSweep,
+                         ::testing::Values(SchedulerKind::kCameo,
+                                           SchedulerKind::kFifo,
+                                           SchedulerKind::kOrleans,
+                                           SchedulerKind::kSlot),
+                         [](const auto& info) { return ToString(info.param); });
+
+// ---------------- Deadline / policy properties ----------------
+
+TEST(DeadlineProperty, LaxerConstraintNeverIncreasesPriority) {
+  LeastLaxityFirst llf;
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    PriorityContext a, b;
+    a.frontier_time = b.frontier_time = rng.UniformInt(0, Seconds(100));
+    a.frontier_progress = b.frontier_progress = a.frontier_time;
+    a.latency_constraint = rng.UniformInt(0, Seconds(10));
+    b.latency_constraint = a.latency_constraint + rng.UniformInt(1, Seconds(10));
+    ReplyContext rc;
+    rc.valid = true;
+    rc.cost_m = rng.UniformInt(0, Millis(10));
+    rc.cost_path = rng.UniformInt(0, Millis(10));
+    llf.AssignPriority(a, rc);
+    llf.AssignPriority(b, rc);
+    EXPECT_LT(a.pri_global, b.pri_global)
+        << "tighter constraint must be more urgent";
+  }
+}
+
+TEST(DeadlineProperty, LongerCriticalPathIsMoreUrgent) {
+  LeastLaxityFirst llf;
+  PriorityContext shallow, deep;
+  shallow.frontier_time = deep.frontier_time = Seconds(5);
+  shallow.latency_constraint = deep.latency_constraint = Millis(800);
+  ReplyContext rc_shallow, rc_deep;
+  rc_shallow.valid = rc_deep.valid = true;
+  rc_shallow.cost_m = rc_deep.cost_m = Millis(1);
+  rc_shallow.cost_path = Millis(2);
+  rc_deep.cost_path = Millis(50);
+  llf.AssignPriority(shallow, rc_shallow);
+  llf.AssignPriority(deep, rc_deep);
+  EXPECT_LT(deep.pri_global, shallow.pri_global)
+      << "more downstream work leaves less slack";
+}
+
+TEST(DeadlineProperty, ExtensionNeverShrinksDeadline) {
+  // TRANSFORM + PROGRESSMAP may only push a message's deadline later
+  // (windowed target) or keep it (regular target) -- never earlier.
+  Rng rng(11);
+  LeastLaxityFirst llf;
+  for (int i = 0; i < 200; ++i) {
+    SimTime t = rng.UniformInt(Millis(1), Seconds(50));
+    LogicalTime p = t;  // ingestion-time style
+    LogicalTime slide = Seconds(1);
+    LogicalTime frontier = Transform(p, 0, slide);
+    EXPECT_GE(frontier, p);
+    PriorityContext regular, windowed;
+    regular.frontier_time = t;
+    windowed.frontier_time = frontier;  // ingestion time: map is identity
+    regular.latency_constraint = windowed.latency_constraint = Millis(800);
+    ReplyContext rc;
+    rc.valid = true;
+    llf.AssignPriority(regular, rc);
+    llf.AssignPriority(windowed, rc);
+    EXPECT_GE(windowed.pri_global, regular.pri_global);
+  }
+}
+
+// ---------------- Failure injection on the cluster ----------------
+
+TEST(FailureInjection, ExtremePerturbationStillDeliversAllWindows) {
+  // Even with completely unreliable cost estimates (sigma = 10 s), Cameo
+  // must remain live: every window is eventually produced.
+  DataflowGraph graph;
+  QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+  spec.sources = 4;
+  spec.aggs = 2;
+  JobHandles h = BuildAggregationJob(graph, spec);
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.profiler_perturbation = Seconds(10);
+  Cluster cluster(cfg, std::move(graph));
+  cluster.AddIngestion(h.source, [](int r) {
+    return std::make_unique<ConstantRate>(1.0, 1000, 0, Seconds(20),
+                                          Millis(2 + 3 * r), true);
+  });
+  cluster.Run(Seconds(40));
+  EXPECT_GE(cluster.latency().outputs(h.job), 18u);
+}
+
+TEST(FailureInjection, FrequentStragglersDegradeButDoNotWedge) {
+  DataflowGraph graph;
+  QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+  spec.sources = 4;
+  spec.aggs = 2;
+  JobHandles h = BuildAggregationJob(graph, spec);
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.straggler_prob = 0.2;  // 1 in 5 invocations runs 15x long
+  Cluster cluster(cfg, std::move(graph));
+  cluster.AddIngestion(h.source, [](int r) {
+    return std::make_unique<ConstantRate>(1.0, 1000, 0, Seconds(20),
+                                          Millis(2 + 3 * r), true);
+  });
+  cluster.Run(Seconds(60));
+  EXPECT_GE(cluster.latency().outputs(h.job), 15u);
+  // Latency suffers but stays bounded by the drain horizon.
+  EXPECT_LT(cluster.latency().Latency(h.job).Max(),
+            static_cast<double>(Seconds(40)));
+}
+
+TEST(FailureInjection, ColdStartWithoutSeedsConverges) {
+  // With no static seeding and no prior acks, the first windows run on
+  // zero-cost estimates; the system must still converge to the same
+  // steady-state latency as the seeded run.
+  auto run = [&](bool seeded) {
+    DataflowGraph graph;
+    QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+    spec.sources = 4;
+    spec.aggs = 2;
+    JobHandles h = BuildAggregationJob(graph, spec);
+    ClusterConfig cfg;
+    cfg.num_workers = 2;
+    cfg.seed_static_estimates = seeded;
+    Cluster cluster(cfg, std::move(graph));
+    cluster.AddIngestion(h.source, [](int r) {
+      return std::make_unique<ConstantRate>(1.0, 1000, 0, Seconds(60),
+                                            Millis(2 + 3 * r), true);
+    });
+    cluster.Run(Seconds(60));
+    // Steady state: median over the run's second half.
+    const auto& series = cluster.latency().Series(h.job);
+    SampleStats tail_half;
+    for (const auto& [t, lat] : series) {
+      if (t > Seconds(30)) tail_half.Add(static_cast<double>(lat));
+    }
+    return tail_half.Median();
+  };
+  double seeded = run(true);
+  double cold = run(false);
+  EXPECT_NEAR(cold, seeded, 0.5 * seeded);
+}
+
+// ---------------- Starvation guard (§6.3) ----------------
+
+TEST(StarvationGuard, BoundsLowPriorityWaitUnderPressure) {
+  // Without the guard, untokened/lax traffic can wait indefinitely behind a
+  // saturating stream of urgent work; with the guard its wait is capped.
+  auto run = [&](Duration limit) {
+    SchedulerConfig cfg;
+    cfg.quantum = 0;
+    cfg.starvation_limit = limit;
+    CameoScheduler sched(cfg);
+    // One lax message at t=0...
+    Message lax;
+    lax.id = MessageId{0};
+    lax.target = OperatorId{99};
+    lax.pc.pri_global = Seconds(7200);
+    lax.batch = EventBatch::Synthetic(1, 0);
+    sched.Enqueue(std::move(lax), WorkerId{}, 0);
+    // ...competing against a steady stream of urgent messages.
+    SimTime now = 0;
+    std::int64_t id = 1;
+    for (int i = 0; i < 1000; ++i) {
+      now += Millis(1);
+      Message urgent;
+      urgent.id = MessageId{id++};
+      urgent.target = OperatorId{1};
+      urgent.pc.pri_global = now + Millis(10);
+      urgent.batch = EventBatch::Synthetic(1, 0);
+      sched.Enqueue(std::move(urgent), WorkerId{}, now);
+      auto m = sched.Dequeue(WorkerId{0}, now);
+      if (!m) continue;
+      if (m->target == OperatorId{99}) return now;  // lax message served
+      sched.OnComplete(m->target, WorkerId{0}, now);
+    }
+    return kTimeMax;
+  };
+  EXPECT_EQ(run(kTimeMax), kTimeMax) << "no guard: starves for the whole run";
+  SimTime served_at = run(Millis(50));
+  EXPECT_LE(served_at, Millis(60)) << "guard caps the wait near the limit";
+}
+
+}  // namespace
+}  // namespace cameo

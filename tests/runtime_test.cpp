@@ -1,0 +1,153 @@
+// Tests for the wall-clock thread runtime: the same pipeline code running on
+// real threads produces correct results and sane latencies.
+#include <gtest/gtest.h>
+
+#include "ops/sink.h"
+#include "runtime/thread_runtime.h"
+#include "workload/tenants.h"
+
+namespace cameo {
+namespace {
+
+RuntimeConfig FastConfig() {
+  RuntimeConfig cfg;
+  cfg.num_workers = 2;
+  cfg.emulate_cost = false;  // CI-friendly: no spinning
+  return cfg;
+}
+
+TEST(ThreadRuntimeTest, ProcessesWindowsEndToEnd) {
+  DataflowGraph graph;
+  QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+  spec.sources = 2;
+  spec.aggs = 2;
+  spec.domain = TimeDomain::kEventTime;
+  JobHandles h = BuildAggregationJob(graph, spec);
+  std::vector<OperatorId> sources = graph.stage(h.source).operators;
+
+  ThreadRuntime rt(FastConfig(), std::move(graph));
+  rt.Start();
+  // Three logical seconds of data from both sources; boundary batches close
+  // each window.
+  for (int k = 1; k <= 3; ++k) {
+    for (OperatorId src : sources) {
+      rt.Ingest(src, /*tuples=*/100, /*p=*/Seconds(k));
+    }
+  }
+  rt.Drain();
+  rt.Stop();
+  // Windows 1s and 2s must have flushed (3s lacks a closing batch).
+  EXPECT_GE(rt.latency().outputs(h.job), 2u);
+}
+
+TEST(ThreadRuntimeTest, ColumnarResultsAreCorrect) {
+  DataflowGraph graph;
+  QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+  spec.sources = 1;
+  spec.aggs = 1;
+  spec.domain = TimeDomain::kEventTime;
+  JobHandles h = BuildAggregationJob(graph, spec);
+  OperatorId src = graph.stage(h.source).operators[0];
+  OperatorId sink_op = graph.stage(h.sink).operators[0];
+
+  ThreadRuntime rt(FastConfig(), std::move(graph));
+  rt.Start();
+  EventBatch b1;
+  b1.progress = Millis(500);
+  b1.Append(1, 10.0, Millis(400));
+  b1.Append(2, 32.0, Millis(450));
+  rt.IngestBatch(src, std::move(b1));
+  EventBatch b2;
+  b2.progress = Seconds(1);  // closes window (0, 1s]
+  b2.Append(3, 8.0, Seconds(1));
+  rt.IngestBatch(src, std::move(b2));
+  rt.Drain();
+  rt.Stop();
+
+  auto& sink = dynamic_cast<SinkOp&>(rt.graph().Get(sink_op));
+  EXPECT_EQ(sink.outputs(), 1u);
+  EXPECT_DOUBLE_EQ(sink.last_value(), 50.0) << "10 + 32 + 8";
+}
+
+TEST(ThreadRuntimeTest, DrainWaitsForDownstreamWork) {
+  DataflowGraph graph;
+  QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+  spec.sources = 4;
+  spec.aggs = 2;
+  spec.domain = TimeDomain::kEventTime;
+  JobHandles h = BuildAggregationJob(graph, spec);
+  std::vector<OperatorId> sources = graph.stage(h.source).operators;
+
+  ThreadRuntime rt(FastConfig(), std::move(graph));
+  rt.Start();
+  for (int k = 1; k <= 10; ++k) {
+    for (OperatorId src : sources) rt.Ingest(src, 1000, Seconds(k));
+  }
+  rt.Drain();
+  // After Drain, nothing is pending and all windows <= 9s have flushed.
+  EXPECT_EQ(rt.scheduler().pending(), 0u);
+  EXPECT_GE(rt.latency().outputs(h.job), 9u);
+  rt.Stop();
+}
+
+TEST(ThreadRuntimeTest, AllSchedulersDrainCleanly) {
+  for (int sched = 0; sched < 4; ++sched) {
+    DataflowGraph graph;
+    QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+    spec.sources = 2;
+    spec.aggs = 2;
+    spec.domain = TimeDomain::kEventTime;
+    JobHandles h = BuildAggregationJob(graph, spec);
+    std::vector<OperatorId> sources = graph.stage(h.source).operators;
+    RuntimeConfig cfg = FastConfig();
+    cfg.scheduler = sched;
+    ThreadRuntime rt(cfg, std::move(graph));
+    rt.Start();
+    for (int k = 1; k <= 4; ++k) {
+      for (OperatorId src : sources) rt.Ingest(src, 10, Seconds(k));
+    }
+    rt.Drain();
+    rt.Stop();
+    EXPECT_GE(rt.latency().outputs(h.job), 3u) << "scheduler " << sched;
+  }
+}
+
+TEST(ThreadRuntimeTest, StopIsIdempotentAndRestartable) {
+  DataflowGraph graph;
+  QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+  spec.sources = 1;
+  spec.aggs = 1;
+  BuildAggregationJob(graph, spec);
+  ThreadRuntime rt(FastConfig(), std::move(graph));
+  rt.Start();
+  rt.Stop();
+  rt.Stop();  // no-op
+  rt.Start();
+  rt.Stop();
+}
+
+TEST(ThreadRuntimeTest, ProfilerObservesRealDurations) {
+  DataflowGraph graph;
+  QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+  spec.sources = 1;
+  spec.aggs = 1;
+  spec.agg_cost = {Millis(3), 0, 0};
+  spec.domain = TimeDomain::kEventTime;
+  JobHandles h = BuildAggregationJob(graph, spec);
+  OperatorId src = graph.stage(h.source).operators[0];
+  OperatorId agg = graph.stage(h.stages[1]).operators[0];
+
+  RuntimeConfig cfg = FastConfig();
+  cfg.emulate_cost = true;  // spin for the modeled cost
+  ThreadRuntime rt(cfg, std::move(graph));
+  rt.Start();
+  for (int k = 1; k <= 5; ++k) rt.Ingest(src, 10, Seconds(k));
+  rt.Drain();
+  rt.Stop();
+  // The profiled cost must reflect the ~3 ms spin (loose bounds: CI jitter).
+  EXPECT_GT(rt.profiler().Estimate(agg), Millis(2));
+  EXPECT_LT(rt.profiler().Estimate(agg), Millis(60));
+}
+
+}  // namespace
+}  // namespace cameo

@@ -1,0 +1,432 @@
+// Unit tests for src/sched: the four schedulers' ordering, quantum
+// preemption, operator exclusivity, and starvation control.
+#include <gtest/gtest.h>
+
+#include "sched/cameo_scheduler.h"
+#include "sched/fifo_scheduler.h"
+#include "sched/orleans_scheduler.h"
+#include "sched/slot_scheduler.h"
+
+namespace cameo {
+namespace {
+
+Message Msg(std::int64_t id, std::int64_t op, Priority global,
+            Priority local = 0) {
+  Message m;
+  m.id = MessageId{id};
+  m.target = OperatorId{op};
+  m.pc.id = m.id;
+  m.pc.pri_global = global;
+  m.pc.pri_local = local;
+  m.batch = EventBatch::Synthetic(1, 0);
+  return m;
+}
+
+const WorkerId kW0{0};
+const WorkerId kW1{1};
+const WorkerId kExternal{};  // invalid: external arrival
+
+// ---------------- CameoScheduler ----------------
+
+TEST(CameoSchedulerTest, OrdersOperatorsByGlobalPriority) {
+  CameoScheduler s;
+  s.Enqueue(Msg(1, /*op=*/1, /*global=*/Millis(50)), kExternal, 0);
+  s.Enqueue(Msg(2, /*op=*/2, /*global=*/Millis(10)), kExternal, 0);
+  s.Enqueue(Msg(3, /*op=*/3, /*global=*/Millis(30)), kExternal, 0);
+  auto m = s.Dequeue(kW0, 0);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{2});
+  s.OnComplete(m->target, kW0, 0);
+  m = s.Dequeue(kW0, 0);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{3});
+}
+
+TEST(CameoSchedulerTest, OrdersMessagesWithinOperatorByLocalPriority) {
+  CameoScheduler s;
+  s.Enqueue(Msg(1, 1, Millis(10), /*local=*/30), kExternal, 0);
+  s.Enqueue(Msg(2, 1, Millis(10), /*local=*/10), kExternal, 0);
+  s.Enqueue(Msg(3, 1, Millis(10), /*local=*/20), kExternal, 0);
+  auto m = s.Dequeue(kW0, 0);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->id, MessageId{2});  // smallest PRI_local first
+}
+
+TEST(CameoSchedulerTest, TieBreakIsFifoByMessageId) {
+  CameoScheduler s;
+  s.Enqueue(Msg(7, 1, Millis(10), 5), kExternal, 0);
+  s.Enqueue(Msg(3, 1, Millis(10), 5), kExternal, 0);
+  auto m = s.Dequeue(kW0, 0);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->id, MessageId{3});
+}
+
+TEST(CameoSchedulerTest, OperatorExclusivity) {
+  // While op 1 runs on worker 0, worker 1 must not receive op 1's messages.
+  CameoScheduler s;
+  s.Enqueue(Msg(1, 1, Millis(10)), kExternal, 0);
+  s.Enqueue(Msg(2, 1, Millis(20)), kExternal, 0);
+  auto m0 = s.Dequeue(kW0, 0);
+  ASSERT_TRUE(m0);
+  auto m1 = s.Dequeue(kW1, 0);
+  EXPECT_FALSE(m1);  // only op 1 has work and it is active
+  s.OnComplete(OperatorId{1}, kW0, 0);
+  m1 = s.Dequeue(kW1, 0);
+  ASSERT_TRUE(m1);
+  EXPECT_EQ(m1->id, MessageId{2});
+}
+
+TEST(CameoSchedulerTest, ContinuesCurrentOperatorWithinQuantum) {
+  SchedulerConfig cfg;
+  cfg.quantum = Millis(1);
+  CameoScheduler s(cfg);
+  s.Enqueue(Msg(1, 1, Millis(50)), kExternal, 0);
+  s.Enqueue(Msg(2, 1, Millis(50)), kExternal, 0);
+  s.Enqueue(Msg(3, 2, Millis(10)), kExternal, 0);  // higher priority op
+  auto m = s.Dequeue(kW0, 0);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{2});  // best op first
+  s.OnComplete(OperatorId{2}, kW0, Micros(100));
+  // Within quantum and op 2 empty: switch to op 1.
+  m = s.Dequeue(kW0, Micros(100));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{1});
+  s.OnComplete(OperatorId{1}, kW0, Micros(200));
+  // op 1 has another message; still within its quantum: continue with op 1.
+  s.Enqueue(Msg(4, 2, Millis(1)), kExternal, Micros(150));  // urgent arrival
+  m = s.Dequeue(kW0, Micros(200));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{1}) << "within quantum: no preemption";
+  EXPECT_GE(s.stats().continuations, 1u);
+}
+
+TEST(CameoSchedulerTest, SwapsToHigherPriorityAfterQuantum) {
+  SchedulerConfig cfg;
+  cfg.quantum = Millis(1);
+  CameoScheduler s(cfg);
+  s.Enqueue(Msg(1, 1, Millis(50)), kExternal, 0);
+  s.Enqueue(Msg(2, 1, Millis(50)), kExternal, 0);
+  auto m = s.Dequeue(kW0, 0);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{1});
+  s.Enqueue(Msg(3, 2, Millis(10)), kExternal, Micros(500));
+  s.OnComplete(OperatorId{1}, kW0, Millis(2));  // quantum expired
+  m = s.Dequeue(kW0, Millis(2));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{2}) << "after quantum: swap to best";
+  EXPECT_GE(s.stats().operator_swaps, 1u);
+}
+
+TEST(CameoSchedulerTest, KeepsCurrentAfterQuantumIfStillBest) {
+  SchedulerConfig cfg;
+  cfg.quantum = Millis(1);
+  CameoScheduler s(cfg);
+  s.Enqueue(Msg(1, 1, Millis(10)), kExternal, 0);
+  s.Enqueue(Msg(2, 1, Millis(10)), kExternal, 0);
+  s.Enqueue(Msg(3, 2, Millis(50)), kExternal, 0);
+  auto m = s.Dequeue(kW0, 0);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{1});
+  s.OnComplete(OperatorId{1}, kW0, Millis(5));
+  m = s.Dequeue(kW0, Millis(5));  // quantum long expired
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{1}) << "still the best: keep running";
+}
+
+TEST(CameoSchedulerTest, MessageGranularityWithZeroQuantum) {
+  SchedulerConfig cfg;
+  cfg.quantum = 0;
+  CameoScheduler s(cfg);
+  s.Enqueue(Msg(1, 1, Millis(20)), kExternal, 0);
+  s.Enqueue(Msg(2, 1, Millis(20)), kExternal, 0);
+  auto m = s.Dequeue(kW0, 0);
+  s.Enqueue(Msg(3, 2, Millis(10)), kExternal, 0);
+  s.OnComplete(OperatorId{1}, kW0, 0);
+  m = s.Dequeue(kW0, 0);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{2}) << "quantum 0 re-evaluates every message";
+}
+
+TEST(CameoSchedulerTest, ArrivalImprovesQueuedOperatorPriority) {
+  CameoScheduler s;
+  s.Enqueue(Msg(1, 1, Millis(50)), kExternal, 0);
+  s.Enqueue(Msg(2, 2, Millis(40)), kExternal, 0);
+  // A more urgent message for op 1 must float it above op 2.
+  s.Enqueue(Msg(3, 1, Millis(10), /*local=*/-1), kExternal, 0);
+  auto m = s.Dequeue(kW0, 0);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{1});
+  EXPECT_EQ(m->id, MessageId{3});
+}
+
+TEST(CameoSchedulerTest, StarvationGuardCapsEffectivePriority) {
+  SchedulerConfig cfg;
+  cfg.quantum = 0;
+  cfg.starvation_limit = Millis(10);
+  CameoScheduler s(cfg);
+  // Low-priority message enqueued early: its effective priority is capped at
+  // enqueue + 10ms = 10ms, beating the later high-priority message at 20ms.
+  s.Enqueue(Msg(1, 1, /*global=*/kPriorityFloor), kExternal, 0);
+  s.Enqueue(Msg(2, 2, /*global=*/Millis(20)), kExternal, Millis(5));
+  auto m = s.Dequeue(kW0, Millis(15));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{1});
+}
+
+TEST(CameoSchedulerTest, PendingCountTracksMessages) {
+  CameoScheduler s;
+  EXPECT_EQ(s.pending(), 0u);
+  s.Enqueue(Msg(1, 1, 1), kExternal, 0);
+  s.Enqueue(Msg(2, 2, 2), kExternal, 0);
+  EXPECT_EQ(s.pending(), 2u);
+  auto m = s.Dequeue(kW0, 0);
+  EXPECT_EQ(s.pending(), 1u);
+  s.OnComplete(m->target, kW0, 0);
+  s.Dequeue(kW0, 0);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(CameoSchedulerTest, TopPriorityReflectsBestRunnable) {
+  CameoScheduler s;
+  EXPECT_FALSE(s.TopPriority().has_value());
+  s.Enqueue(Msg(1, 1, Millis(30)), kExternal, 0);
+  s.Enqueue(Msg(2, 2, Millis(10)), kExternal, 0);
+  ASSERT_TRUE(s.TopPriority().has_value());
+  EXPECT_EQ(*s.TopPriority(), Millis(10));
+}
+
+// ---------------- FifoScheduler ----------------
+
+TEST(FifoSchedulerTest, ExtractsOperatorsInArrivalOrder) {
+  FifoScheduler s;
+  s.Enqueue(Msg(1, 1, Millis(1)), kExternal, 0);
+  s.Enqueue(Msg(2, 2, Millis(0)), kExternal, 0);  // priority ignored
+  auto m = s.Dequeue(kW0, 0);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{1});
+}
+
+TEST(FifoSchedulerTest, MessagesWithinOperatorAreFifo) {
+  FifoScheduler s;
+  s.Enqueue(Msg(5, 1, 0, /*local=*/99), kExternal, 0);
+  s.Enqueue(Msg(6, 1, 0, /*local=*/1), kExternal, 0);
+  auto m = s.Dequeue(kW0, 0);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->id, MessageId{5});
+}
+
+TEST(FifoSchedulerTest, RotatesAfterQuantum) {
+  SchedulerConfig cfg;
+  cfg.quantum = Millis(1);
+  FifoScheduler s(cfg);
+  s.Enqueue(Msg(1, 1, 0), kExternal, 0);
+  s.Enqueue(Msg(2, 1, 0), kExternal, 0);
+  s.Enqueue(Msg(3, 2, 0), kExternal, 0);
+  auto m = s.Dequeue(kW0, 0);
+  EXPECT_EQ(m->target, OperatorId{1});
+  s.OnComplete(OperatorId{1}, kW0, Millis(2));
+  m = s.Dequeue(kW0, Millis(2));  // quantum expired: rotate to op 2
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{2});
+  s.OnComplete(OperatorId{2}, kW0, Millis(2));
+  m = s.Dequeue(kW0, Millis(2));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{1}) << "rotated operator comes back";
+}
+
+TEST(FifoSchedulerTest, OperatorExclusivity) {
+  FifoScheduler s;
+  s.Enqueue(Msg(1, 1, 0), kExternal, 0);
+  s.Enqueue(Msg(2, 1, 0), kExternal, 0);
+  ASSERT_TRUE(s.Dequeue(kW0, 0));
+  EXPECT_FALSE(s.Dequeue(kW1, 0));
+}
+
+TEST(FifoSchedulerTest, ContinuesWhenQueueEmptyEvenPastQuantum) {
+  SchedulerConfig cfg;
+  cfg.quantum = Millis(1);
+  FifoScheduler s(cfg);
+  s.Enqueue(Msg(1, 1, 0), kExternal, 0);
+  s.Enqueue(Msg(2, 1, 0), kExternal, 0);
+  auto m = s.Dequeue(kW0, 0);
+  s.OnComplete(OperatorId{1}, kW0, Millis(5));
+  m = s.Dequeue(kW0, Millis(5));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{1});
+}
+
+// ---------------- OrleansScheduler ----------------
+
+TEST(OrleansSchedulerTest, PrefersThreadLocalWork) {
+  OrleansScheduler s;
+  // Worker 0 produced op 2's message (local); op 1 arrived externally first.
+  s.Enqueue(Msg(1, 1, 0), kExternal, 0);
+  auto m0 = s.Dequeue(kW0, 0);  // takes op 1 from global
+  ASSERT_TRUE(m0);
+  s.Enqueue(Msg(2, 2, 0), kW0, 0);      // produced by worker 0
+  s.Enqueue(Msg(3, 3, 0), kExternal, 0);  // external
+  s.OnComplete(OperatorId{1}, kW0, 0);
+  auto m = s.Dequeue(kW0, 0);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{2}) << "local bag beats global queue";
+}
+
+TEST(OrleansSchedulerTest, LocalBagIsLifo) {
+  OrleansScheduler s;
+  auto seed = Msg(0, 9, 0);
+  s.Enqueue(seed, kExternal, 0);
+  auto m0 = s.Dequeue(kW0, 0);
+  s.Enqueue(Msg(1, 1, 0), kW0, 0);
+  s.Enqueue(Msg(2, 2, 0), kW0, 0);
+  s.OnComplete(OperatorId{9}, kW0, 0);
+  auto m = s.Dequeue(kW0, 0);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{2}) << "most recently produced first";
+}
+
+TEST(OrleansSchedulerTest, StealsFromOtherWorkers) {
+  OrleansScheduler s;
+  auto seed = Msg(0, 9, 0);
+  s.Enqueue(seed, kExternal, 0);
+  auto m0 = s.Dequeue(kW0, 0);
+  s.Enqueue(Msg(1, 1, 0), kW0, 0);  // lands in worker 0's bag
+  s.Enqueue(Msg(2, 2, 0), kW0, 0);
+  s.OnComplete(OperatorId{9}, kW0, 0);
+  // Worker 1 has no local work and the global queue is empty: steal.
+  auto m = s.Dequeue(kW1, 0);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{1}) << "steals the oldest bag entry";
+}
+
+TEST(OrleansSchedulerTest, ExternalArrivalsAreFifoInGlobalQueue) {
+  OrleansScheduler s;
+  s.Enqueue(Msg(1, 1, 0), kExternal, 0);
+  s.Enqueue(Msg(2, 2, 0), kExternal, 0);
+  auto m = s.Dequeue(kW0, 0);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{1});
+}
+
+TEST(OrleansSchedulerTest, OperatorExclusivity) {
+  OrleansScheduler s;
+  s.Enqueue(Msg(1, 1, 0), kExternal, 0);
+  s.Enqueue(Msg(2, 1, 0), kExternal, 0);
+  ASSERT_TRUE(s.Dequeue(kW0, 0));
+  EXPECT_FALSE(s.Dequeue(kW1, 0));
+}
+
+// ---------------- SlotScheduler ----------------
+
+TEST(SlotSchedulerTest, OperatorsPinnedRoundRobin) {
+  SlotScheduler s(2);
+  EXPECT_EQ(s.SlotOf(OperatorId{10}), kW0);
+  EXPECT_EQ(s.SlotOf(OperatorId{11}), kW1);
+  EXPECT_EQ(s.SlotOf(OperatorId{12}), kW0);
+  EXPECT_EQ(s.SlotOf(OperatorId{10}), kW0) << "assignment is stable";
+}
+
+TEST(SlotSchedulerTest, ExplicitAssignmentRespected) {
+  SlotScheduler s(2);
+  s.Assign(OperatorId{5}, kW1);
+  s.Enqueue(Msg(1, 5, 0), kExternal, 0);
+  EXPECT_FALSE(s.Dequeue(kW0, 0)) << "wrong worker sees nothing";
+  auto m = s.Dequeue(kW1, 0);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{5});
+}
+
+TEST(SlotSchedulerTest, NoWorkStealingAcrossSlots) {
+  SlotScheduler s(2);
+  // Two ops both pinned to worker 0; worker 1 idles even with backlog.
+  s.Assign(OperatorId{1}, kW0);
+  s.Assign(OperatorId{2}, kW0);
+  s.Enqueue(Msg(1, 1, 0), kExternal, 0);
+  s.Enqueue(Msg(2, 2, 0), kExternal, 0);
+  ASSERT_TRUE(s.Dequeue(kW0, 0));
+  EXPECT_FALSE(s.Dequeue(kW1, 0));
+}
+
+TEST(SlotSchedulerTest, FifoWithinSlot) {
+  SlotScheduler s(1);
+  s.Enqueue(Msg(1, 1, 0), kExternal, 0);
+  s.Enqueue(Msg(2, 2, 0), kExternal, 0);
+  auto m = s.Dequeue(kW0, 0);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->target, OperatorId{1});
+}
+
+// ---------------- Cross-scheduler invariants ----------------
+
+class AnySchedulerTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<Scheduler> Make() {
+    SchedulerConfig cfg;
+    cfg.quantum = Millis(1);
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<CameoScheduler>(cfg);
+      case 1:
+        return std::make_unique<FifoScheduler>(cfg);
+      case 2:
+        return std::make_unique<OrleansScheduler>(cfg);
+      default:
+        return std::make_unique<SlotScheduler>(2, cfg);
+    }
+  }
+};
+
+TEST_P(AnySchedulerTest, ConservesMessages) {
+  auto s = Make();
+  const int kMessages = 200;
+  for (int i = 0; i < kMessages; ++i) {
+    s->Enqueue(Msg(i, i % 7, i % 13, i % 5), i % 2 ? kW0 : kExternal, i);
+  }
+  int drained = 0;
+  for (int round = 0; round < kMessages * 3 && drained < kMessages; ++round) {
+    WorkerId w{round % 2};
+    auto m = s->Dequeue(w, Millis(round));
+    if (!m) continue;
+    ++drained;
+    s->OnComplete(m->target, w, Millis(round));
+  }
+  EXPECT_EQ(drained, kMessages);
+  EXPECT_EQ(s->pending(), 0u);
+  EXPECT_EQ(s->stats().enqueued, static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(s->stats().dispatched, static_cast<std::uint64_t>(kMessages));
+}
+
+TEST_P(AnySchedulerTest, EmptyDequeueReturnsNullopt) {
+  auto s = Make();
+  EXPECT_FALSE(s->Dequeue(kW0, 0));
+  EXPECT_FALSE(s->Dequeue(kW1, 123));
+}
+
+TEST_P(AnySchedulerTest, NeverDispatchesActiveOperatorTwice) {
+  auto s = Make();
+  for (int i = 0; i < 20; ++i) {
+    s->Enqueue(Msg(i, /*op=*/1, i), kExternal, 0);
+  }
+  auto m0 = s->Dequeue(kW0, 0);
+  ASSERT_TRUE(m0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(s->Dequeue(kW1, i)) << "op 1 is active on worker 0";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, AnySchedulerTest,
+                         ::testing::Values(0, 1, 2, 3),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           switch (info.param) {
+                             case 0:
+                               return std::string("Cameo");
+                             case 1:
+                               return std::string("Fifo");
+                             case 2:
+                               return std::string("Orleans");
+                             default:
+                               return std::string("Slot");
+                           }
+                         });
+
+}  // namespace
+}  // namespace cameo

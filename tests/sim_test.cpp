@@ -1,0 +1,273 @@
+// Unit and behavioural tests for src/sim: the event queue, cluster
+// determinism, reply-context learning, cost profiling, utilization
+// accounting, and failure-injection behaviour.
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+#include "sim/driver.h"
+#include "sim/event_queue.h"
+#include "workload/tenants.h"
+
+namespace cameo {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(Millis(3), [&] { order.push_back(3); });
+  q.Schedule(Millis(1), [&] { order.push_back(1); });
+  q.Schedule(Millis(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), Millis(3));
+}
+
+TEST(EventQueueTest, EqualTimesRunInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(Millis(1), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) q.Schedule(q.now() + Millis(1), chain);
+  };
+  q.Schedule(0, chain);
+  while (!q.empty()) q.RunNext();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(q.now(), Millis(9));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    q.Schedule(Seconds(i), [&] { ++count; });
+  }
+  q.RunUntil(Seconds(5));
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.now(), Seconds(5));
+  EXPECT_FALSE(q.empty());
+}
+
+// ---------------- Cluster behaviour ----------------
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  struct Built {
+    std::unique_ptr<Cluster> cluster;
+    JobHandles handles;
+  };
+
+  Built MakeSingleJob(ClusterConfig cfg, QuerySpec spec,
+                      double msgs_per_sec = 1.0, SimTime end = Seconds(20)) {
+    DataflowGraph graph;
+    JobHandles h = BuildAggregationJob(graph, spec);
+    auto cluster = std::make_unique<Cluster>(cfg, std::move(graph));
+    cluster->AddIngestion(h.source, [=](int replica) {
+      return std::make_unique<ConstantRate>(
+          msgs_per_sec, spec.tuples_per_msg, 0, end,
+          Millis(2) + replica * Millis(3), /*aligned=*/true);
+    });
+    return {std::move(cluster), h};
+  }
+};
+
+TEST_F(ClusterTest, DeterministicForFixedSeed) {
+  auto run = [&] {
+    ClusterConfig cfg;
+    cfg.num_workers = 2;
+    cfg.seed = 1234;
+    QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+    spec.sources = 4;
+    spec.aggs = 2;
+    Built b = MakeSingleJob(cfg, spec);
+    b.cluster->Run(Seconds(20));
+    return std::make_tuple(b.cluster->messages_delivered(),
+                           b.cluster->latency().outputs(b.handles.job),
+                           b.cluster->latency().Latency(b.handles.job).Mean());
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ClusterTest, DifferentSeedsDifferentNoise) {
+  auto run = [&](std::uint64_t seed) {
+    ClusterConfig cfg;
+    cfg.num_workers = 2;
+    cfg.seed = seed;
+    QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+    spec.sources = 4;
+    spec.aggs = 2;
+    Built b = MakeSingleJob(cfg, spec);
+    b.cluster->Run(Seconds(20));
+    return b.cluster->latency().Latency(b.handles.job).Mean();
+  };
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST_F(ClusterTest, ProfilerLearnsActualCosts) {
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.seed_static_estimates = false;  // force learning from scratch
+  QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+  spec.sources = 4;
+  spec.aggs = 2;
+  spec.agg_cost = {Millis(1), 0, 0};  // deterministic 1 ms
+  Built b = MakeSingleJob(cfg, spec);
+  b.cluster->Run(Seconds(20));
+  const StageInfo& pre = b.cluster->graph().stage(b.handles.stages[1]);
+  for (OperatorId op : pre.operators) {
+    EXPECT_NEAR(static_cast<double>(b.cluster->profiler().Estimate(op)),
+                static_cast<double>(Millis(1)), 0.2 * Millis(1));
+  }
+}
+
+TEST_F(ClusterTest, ReplyContextsPropagateCriticalPath) {
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.seed_static_estimates = false;
+  QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+  spec.sources = 2;
+  spec.aggs = 1;
+  spec.agg_cost = {Millis(2), 0, 0};
+  spec.final_cost = {Millis(3), 0, 0};
+  spec.sink_cost = {Millis(1), 0, 0};
+  Built b = MakeSingleJob(cfg, spec);
+  b.cluster->Run(Seconds(30));
+  // The source's converter should have learned agg's RC: cost_m ~ 2ms and
+  // path ~ final + sink = 4ms.
+  OperatorId src = b.cluster->graph().stage(b.handles.source).operators[0];
+  OperatorId agg = b.cluster->graph().stage(b.handles.stages[1]).operators[0];
+  const ReplyContext& rc = b.cluster->converter(src).RcFor(agg);
+  ASSERT_TRUE(rc.valid);
+  EXPECT_NEAR(static_cast<double>(rc.cost_m), static_cast<double>(Millis(2)),
+              0.3 * Millis(2));
+  EXPECT_NEAR(static_cast<double>(rc.cost_path),
+              static_cast<double>(Millis(4)), 0.3 * Millis(4));
+}
+
+TEST_F(ClusterTest, UtilizationMatchesOfferedLoad) {
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.switch_cost = 0;
+  QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+  spec.sources = 4;
+  spec.aggs = 2;
+  // Deterministic costs: per second, 4 msgs cost 4*(0.1+1.8+0) plus one
+  // final (0.5+4*0.005) and sink 0.05 per window.
+  spec.source_cost = {Micros(100), 0, 0};
+  spec.agg_cost = {Micros(300), 1500, 0};
+  spec.final_cost = {Micros(500), Micros(5), 0};
+  spec.sink_cost = {Micros(50), 0, 0};
+  Built b = MakeSingleJob(cfg, spec, 1.0, Seconds(60));
+  b.cluster->Run(Seconds(60));
+  double per_sec = 4 * (0.0001 + 0.0003 + 1000 * 1.5e-6) +
+                   (0.0005 + 2 * 5e-6) + 0.00005;
+  double expected_util = per_sec / 2.0;
+  EXPECT_NEAR(b.cluster->utilization().Utilization(), expected_util,
+              expected_util * 0.25);
+}
+
+TEST_F(ClusterTest, SinkReceivesCorrectWindowSums) {
+  // End-to-end correctness: total tuples reaching the sink equals windows *
+  // 1 partial per agg; the final agg's sum equals ingested tuple count.
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+  spec.sources = 4;
+  spec.aggs = 2;
+  Built b = MakeSingleJob(cfg, spec, 1.0, Seconds(10));
+  b.cluster->Run(Seconds(20));
+  std::uint64_t outputs = b.cluster->latency().outputs(b.handles.job);
+  EXPECT_GE(outputs, 8u);
+  EXPECT_LE(outputs, 10u);
+}
+
+TEST_F(ClusterTest, LatencyWithinSaneBoundsAtLowLoad) {
+  ClusterConfig cfg;
+  cfg.num_workers = 4;
+  QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+  Built b = MakeSingleJob(cfg, spec, 1.0, Seconds(30));
+  b.cluster->Run(Seconds(30));
+  const SampleStats& lat = b.cluster->latency().Latency(b.handles.job);
+  ASSERT_FALSE(lat.empty());
+  // 3 network hops (3 ms) + pipeline work; must be well under the 800 ms
+  // constraint at 4 workers and trivial load.
+  EXPECT_GT(lat.Min(), static_cast<double>(Millis(3)));
+  EXPECT_LT(lat.Percentile(99), static_cast<double>(Millis(200)));
+  EXPECT_DOUBLE_EQ(b.cluster->latency().SuccessRate(b.handles.job), 1.0);
+}
+
+TEST_F(ClusterTest, PerturbationDegradesGracefully) {
+  // Fig. 16 behaviour: moderate profiling noise must not break the pipeline
+  // (outputs still produced, latency finite).
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.profiler_perturbation = Millis(100);
+  QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+  spec.sources = 4;
+  spec.aggs = 2;
+  Built b = MakeSingleJob(cfg, spec);
+  b.cluster->Run(Seconds(20));
+  EXPECT_GE(b.cluster->latency().outputs(b.handles.job), 10u);
+}
+
+TEST_F(ClusterTest, ZeroLoadClusterIdles) {
+  DataflowGraph graph;
+  QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+  JobHandles h = BuildAggregationJob(graph, spec);
+  ClusterConfig cfg;
+  Cluster cluster(cfg, std::move(graph));
+  cluster.Run(Seconds(5));  // no ingestion attached
+  EXPECT_EQ(cluster.messages_delivered(), 0u);
+  EXPECT_EQ(cluster.latency().outputs(h.job), 0u);
+  EXPECT_DOUBLE_EQ(cluster.utilization().Utilization(), 0.0);
+}
+
+TEST_F(ClusterTest, TimelineCapturesPipelineStages) {
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.enable_timeline = true;
+  QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+  spec.sources = 2;
+  spec.aggs = 2;
+  Built b = MakeSingleJob(cfg, spec, 1.0, Seconds(5));
+  b.cluster->Run(Seconds(10));
+  const auto& records = b.cluster->timeline().records();
+  ASSERT_FALSE(records.empty());
+  std::set<std::int64_t> stages;
+  for (const auto& r : records) stages.insert(r.stage.value);
+  EXPECT_EQ(stages.size(), 4u) << "all four pipeline stages dispatched";
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].time, records[i].time) << "timeline ordered";
+  }
+}
+
+TEST_F(ClusterTest, SummarizeRunReportsAllJobs) {
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+  spec.sources = 2;
+  spec.aggs = 2;
+  Built b = MakeSingleJob(cfg, spec, 1.0, Seconds(10));
+  b.cluster->Run(Seconds(15));
+  RunResult r = SummarizeRun(*b.cluster, Seconds(15));
+  ASSERT_EQ(r.jobs.size(), 1u);
+  EXPECT_EQ(r.jobs[0].name, "LS0");
+  EXPECT_GT(r.jobs[0].outputs, 0u);
+  EXPECT_GT(r.jobs[0].median_ms, 0.0);
+  EXPECT_GT(r.jobs[0].throughput_tuples_per_sec, 0.0);
+  EXPECT_GT(r.GroupPercentile("LS", 50), 0.0);
+  EXPECT_DOUBLE_EQ(r.GroupSuccessRate("LS"), 1.0);
+}
+
+}  // namespace
+}  // namespace cameo
