@@ -9,24 +9,26 @@
 // utilization at equal service quality.
 #include <cstdio>
 
+#include "bench/runner/registry.h"
 #include "bench_util/report.h"
 #include "bench_util/scenarios.h"
 
 namespace cameo {
 namespace {
 
-RunResult RunAt(SchedulerKind kind, int workers) {
+RunResult RunAt(const bench::BenchContext& ctx, SchedulerKind kind,
+                int workers) {
   MultiTenantOptions opt;
   opt.scheduler = kind;
   opt.workers = workers;
-  opt.duration = Seconds(40);
+  opt.duration = ctx.Dur(Seconds(40));
   opt.ls_jobs = 4;
   opt.ba_jobs = 8;
   opt.ba_msgs_per_sec = 25;
   return RunMultiTenant(opt);
 }
 
-void Run() {
+void Run(bench::BenchContext& ctx) {
   PrintFigureBanner(
       "Figure 1", "utilization vs p99 latency at minimum provisioning",
       "slot-based: low utilization; Orleans: high tail; Cameo: high "
@@ -39,8 +41,9 @@ void Run() {
     RunResult best;
     // A 100 ms p99 SLO on the latency-sensitive group: the provisioning a
     // dashboard-style tenant would actually demand.
-    for (int workers = 2; workers <= 16; ++workers) {
-      RunResult r = RunAt(kind, workers);
+    const int max_workers = ctx.smoke ? 6 : 16;
+    for (int workers = 2; workers <= max_workers; ++workers) {
+      RunResult r = RunAt(ctx, kind, workers);
       if (r.GroupPercentile("LS", 99) <= 100.0 &&
           r.GroupSuccessRate("LS") >= 0.99) {
         best_workers = workers;
@@ -49,20 +52,26 @@ void Run() {
       }
     }
     if (best_workers < 0) {
-      PrintRow(ToString(kind), {">16", "-", "-", "-"});
+      PrintRow(ToString(kind), {">" + std::to_string(max_workers), "-", "-",
+                                "-"});
+      ctx.Metric(ToString(kind) + ".min_workers", -1);
       continue;
     }
     PrintRow(ToString(kind),
              {std::to_string(best_workers), FormatPct(best.utilization),
               FormatMs(best.GroupPercentile("LS", 99)),
               FormatMs(best.GroupPercentile("LS", 50))});
+    ctx.Metric(ToString(kind) + ".min_workers", best_workers);
+    ctx.Metric(ToString(kind) + ".utilization", best.utilization);
+    ctx.Metric(ToString(kind) + ".LS_p99_ms", best.GroupPercentile("LS", 99));
+    ctx.Metric(ToString(kind) + ".LS_median_ms",
+               best.GroupPercentile("LS", 50));
   }
 }
 
+CAMEO_BENCH_REGISTER("fig01_util_latency", "Figure 1",
+                     "utilization vs p99 latency at minimum provisioning",
+                     Run);
+
 }  // namespace
 }  // namespace cameo
-
-int main() {
-  cameo::Run();
-  return 0;
-}

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench/runner/registry.h"
 #include "bench_util/report.h"
 #include "common/rng.h"
 #include "workload/trace.h"
@@ -15,7 +16,7 @@
 namespace cameo {
 namespace {
 
-void VolumeDistribution() {
+void VolumeDistribution(bench::BenchContext& ctx) {
   PrintFigureBanner("Figure 2(a)", "per-stream data volume distribution",
                     "top 10% of streams carry the majority of the data");
   auto volumes = SynthesizeVolumeDistribution(100, 1.5, 10e15);  // 10 PB/day
@@ -27,10 +28,11 @@ void VolumeDistribution() {
     acc = 0;
     for (int i = 0; i < k; ++i) acc += volumes[static_cast<std::size_t>(i)];
     PrintRow(std::to_string(k) + "%", {FormatPct(acc / total)});
+    ctx.Metric("volume.top" + std::to_string(k) + "pct_share", acc / total);
   }
 }
 
-void MicroBatchOverhead() {
+void MicroBatchOverhead(bench::BenchContext& ctx) {
   PrintFigureBanner(
       "Figure 2(b)", "micro-batch job scheduling overhead",
       "ad-hoc periodic micro-batch jobs pay up to ~80% scheduling overhead; "
@@ -46,16 +48,17 @@ void MicroBatchOverhead() {
     std::snprintf(work, sizeof(work), "%.0fs", work_s);
     std::snprintf(comp, sizeof(comp), "%.0fs", completion);
     PrintRow(work, {comp, FormatPct(overhead)});
+    ctx.Metric("microbatch.overhead_at_" + std::string(work), overhead);
   }
 }
 
-void IngestionHeatmap() {
+void IngestionHeatmap(bench::BenchContext& ctx) {
   PrintFigureBanner(
       "Figure 2(c)", "ingestion heat map across 20 sources",
       "high variability across sources and time; spikes lasting seconds");
   SkewedTraceSpec spec;
   spec.sources = 20;
-  spec.length = Seconds(60);
+  spec.length = ctx.Dur(Seconds(60), Seconds(10));
   spec.total_tuples_per_sec = 200000;
   spec.skew_ratio = 200;
   spec.burst_alpha = 1.5;
@@ -64,29 +67,36 @@ void IngestionHeatmap() {
   Rng rng(42);
   auto trace = SynthesizeSkewedTrace(spec, rng);
 
+  const std::int64_t secs = spec.length / kSecond;
+  double max_ratio = 0;
   PrintHeaderRow("source", {"mean_t/s", "peak_t/s", "peak/mean", "idle_secs"});
   for (std::size_t s = 0; s < trace.size(); s += 4) {
     double total = 0, peak = 0;
-    std::int64_t idle = 60 - static_cast<std::int64_t>(trace[s].size());
+    std::int64_t idle = secs - static_cast<std::int64_t>(trace[s].size());
     for (const Arrival& a : trace[s]) {
       total += static_cast<double>(a.tuples);
       peak = std::max(peak, static_cast<double>(a.tuples));
     }
-    double mean = total / 60.0;
+    double mean = total / static_cast<double>(secs);
+    max_ratio = std::max(max_ratio, mean > 0 ? peak / mean : 0.0);
     char m[32], p[32], r[32];
     std::snprintf(m, sizeof(m), "%.0f", mean);
     std::snprintf(p, sizeof(p), "%.0f", peak);
     std::snprintf(r, sizeof(r), "%.1fx", mean > 0 ? peak / mean : 0.0);
     PrintRow("src" + std::to_string(s), {m, p, r, std::to_string(idle)});
   }
+  ctx.Metric("ingestion.max_peak_to_mean", max_ratio);
 }
+
+void Run(bench::BenchContext& ctx) {
+  VolumeDistribution(ctx);
+  MicroBatchOverhead(ctx);
+  IngestionHeatmap(ctx);
+}
+
+CAMEO_BENCH_REGISTER("fig02_workload", "Figure 2",
+                     "production workload characterization (synthetic)",
+                     Run);
 
 }  // namespace
 }  // namespace cameo
-
-int main() {
-  cameo::VolumeDistribution();
-  cameo::MicroBatchOverhead();
-  cameo::IngestionHeatmap();
-  return 0;
-}

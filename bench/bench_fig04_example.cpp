@@ -7,19 +7,21 @@
 //   (d) Cameo, + query semantics   -> fewest violations
 #include <cstdio>
 
+#include "bench/runner/registry.h"
 #include "bench_util/report.h"
 #include "bench_util/scenarios.h"
 
 namespace cameo {
 namespace {
 
-RunResult RunConfig(SchedulerKind kind, Duration quantum, bool semantics) {
+RunResult RunConfig(const bench::BenchContext& ctx, SchedulerKind kind,
+                    Duration quantum, bool semantics) {
   MultiTenantOptions opt;
   opt.scheduler = kind;
   opt.quantum = quantum;
   opt.use_query_semantics = semantics;
   opt.workers = 1;
-  opt.duration = Seconds(40);
+  opt.duration = ctx.Dur(Seconds(40));
   opt.ls_jobs = 1;  // J2: latency sensitive
   opt.ba_jobs = 1;  // J1: batch analytics
   opt.sources_per_job = 4;
@@ -28,7 +30,7 @@ RunResult RunConfig(SchedulerKind kind, Duration quantum, bool semantics) {
   return RunMultiTenant(opt);
 }
 
-void Run() {
+void Run(bench::BenchContext& ctx) {
   PrintFigureBanner(
       "Figure 4", "scheduling example: J1 batch + J2 latency-sensitive, "
                   "one worker",
@@ -50,18 +52,23 @@ void Run() {
   PrintHeaderRow("schedule",
                  {"J2_median", "J2_p99", "J2_deadlines_met", "J1_median"});
   for (const Config& c : configs) {
-    RunResult r = RunConfig(c.kind, c.quantum, c.semantics);
+    RunResult r = RunConfig(ctx, c.kind, c.quantum, c.semantics);
     PrintRow(c.label, {FormatMs(r.GroupPercentile("LS", 50)),
                        FormatMs(r.GroupPercentile("LS", 99)),
                        FormatPct(r.GroupSuccessRate("LS")),
                        FormatMs(r.GroupPercentile("BA", 50))});
+    const std::string key(c.label);
+    ctx.Metric(key + ".J2_median_ms", r.GroupPercentile("LS", 50));
+    ctx.Metric(key + ".J2_p99_ms", r.GroupPercentile("LS", 99));
+    ctx.Metric(key + ".J2_deadlines_met", r.GroupSuccessRate("LS"));
+    ctx.Metric(key + ".J1_median_ms", r.GroupPercentile("BA", 50));
   }
 }
 
+CAMEO_BENCH_REGISTER("fig04_example", "Figure 4",
+                     "worked scheduling example: batch + latency-sensitive "
+                     "on one worker",
+                     Run);
+
 }  // namespace
 }  // namespace cameo
-
-int main() {
-  cameo::Run();
-  return 0;
-}

@@ -4,18 +4,23 @@
 // and the first dataflow gets full capacity while it runs alone.
 #include <cstdio>
 
+#include "bench/runner/registry.h"
 #include "bench_util/report.h"
 #include "bench_util/scenarios.h"
 
 namespace cameo {
 namespace {
 
-void Run() {
+void Run(bench::BenchContext& ctx) {
   PrintFigureBanner(
       "Figure 6", "proportional fair sharing via tokens (20/40/40)",
       "dataflow 1 gets full capacity alone; at capacity, throughput shares "
       "converge to token shares");
   TokenScenarioOptions opt;
+  if (ctx.smoke) {
+    opt.stagger = Seconds(6);
+    opt.duration = Seconds(30);
+  }
   TokenScenarioResult result = RunTokenScenario(opt);
 
   // Throughput time series, 10 s buckets.
@@ -42,8 +47,10 @@ void Run() {
               total > 0 ? FormatPct(v[2] / total) : "-"});
   }
 
-  // Steady-state shares over the fully contended phase.
-  std::size_t from = 50, to = 95;
+  // Steady-state shares over the fully contended phase (after the last job
+  // has arrived and ramped, up to just before the run ends).
+  std::size_t from = static_cast<std::size_t>(5 * opt.stagger / (2 * kSecond));
+  std::size_t to = static_cast<std::size_t>(opt.duration / kSecond - 5);
   double v[3] = {0, 0, 0}, total = 0;
   for (int j = 0; j < 3; ++j) {
     for (std::size_t i = from; i < to; ++i) {
@@ -56,12 +63,16 @@ void Run() {
               "(target 20/40/40)\n",
               from, to, 100 * v[0] / total, 100 * v[1] / total,
               100 * v[2] / total);
+  for (int j = 0; j < 3; ++j) {
+    ctx.Metric("steady_share.J" + std::to_string(j + 1),
+               total > 0 ? v[j] / total : 0.0);
+  }
+  ctx.AddRun("run", result.run);
 }
+
+CAMEO_BENCH_REGISTER("fig06_fair_share", "Figure 6",
+                     "token-based proportional fair sharing (20/40/40)",
+                     Run);
 
 }  // namespace
 }  // namespace cameo
-
-int main() {
-  cameo::Run();
-  return 0;
-}

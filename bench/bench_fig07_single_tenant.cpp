@@ -7,24 +7,26 @@
 //      and FIFO interleave next-window work before the current window done.
 #include <cstdio>
 
+#include "bench/runner/registry.h"
 #include "bench_util/report.h"
 #include "bench_util/scenarios.h"
 
 namespace cameo {
 namespace {
 
-SingleTenantResult RunOne(int ipq, SchedulerKind kind, bool timeline = false) {
+SingleTenantResult RunOne(const bench::BenchContext& ctx, int ipq,
+                          SchedulerKind kind, bool timeline = false) {
   SingleTenantOptions opt;
   opt.ipq = ipq;
   opt.scheduler = kind;
   opt.workers = 2;
-  opt.duration = Seconds(80);
+  opt.duration = ctx.Dur(Seconds(80), Seconds(8));
   opt.enable_timeline = timeline;
   opt.seed = 1000 + static_cast<std::uint64_t>(ipq) * 7;
   return RunSingleTenant(opt);
 }
 
-void LatencyTable() {
+void LatencyTable(bench::BenchContext& ctx) {
   PrintFigureBanner("Figure 7(a)", "single-tenant query latency",
                     "Cameo improves median up to 2.7x and tail up to 3.2x; "
                     "Orleans nearly matches Cameo on IPQ4");
@@ -32,33 +34,37 @@ void LatencyTable() {
   for (int ipq = 1; ipq <= 4; ++ipq) {
     for (SchedulerKind kind : {SchedulerKind::kCameo, SchedulerKind::kOrleans,
                                SchedulerKind::kFifo}) {
-      SingleTenantResult r = RunOne(ipq, kind);
+      SingleTenantResult r = RunOne(ctx, ipq, kind);
       const JobResult& j = r.run.jobs[0];
       PrintRow("IPQ" + std::to_string(ipq),
                {ToString(kind), FormatMs(j.median_ms), FormatMs(j.p95_ms),
                 FormatMs(j.p99_ms)});
+      const std::string key = "IPQ" + std::to_string(ipq) + "." +
+                              ToString(kind);
+      ctx.Metric(key + ".median_ms", j.median_ms);
+      ctx.Metric(key + ".p99_ms", j.p99_ms);
     }
   }
 }
 
-void Cdf() {
+void Cdf(bench::BenchContext& ctx) {
   PrintFigureBanner("Figure 7(b)", "latency CDF (IPQ1)",
                     "Orleans ~3x Cameo; FIFO matches Cameo's median but has "
                     "an Orleans-like tail");
   for (SchedulerKind kind : {SchedulerKind::kCameo, SchedulerKind::kOrleans,
                              SchedulerKind::kFifo}) {
-    SingleTenantResult r = RunOne(1, kind);
+    SingleTenantResult r = RunOne(ctx, 1, kind);
     PrintCdf(r.latency, ToString(kind), 10);
   }
 }
 
-void TimelineSample() {
+void TimelineSample(bench::BenchContext& ctx) {
   PrintFigureBanner(
       "Figure 7(c)", "operator schedule timeline (IPQ1, first 3 windows)",
       "Cameo separates windows cleanly; baselines interleave next-window "
       "messages before the current window finishes");
   for (SchedulerKind kind : {SchedulerKind::kCameo, SchedulerKind::kFifo}) {
-    SingleTenantResult r = RunOne(1, kind, /*timeline=*/true);
+    SingleTenantResult r = RunOne(ctx, 1, kind, /*timeline=*/true);
     std::printf("%s: time_ms stage window_boundary_s (first 40 dispatches "
                 "after t=2s)\n",
                 ToString(kind).c_str());
@@ -83,15 +89,19 @@ void TimelineSample() {
     }
     std::printf("%s cross-window inversions: %d / %d dispatches\n\n",
                 ToString(kind).c_str(), inversions, considered);
+    ctx.Metric("timeline." + ToString(kind) + ".inversions", inversions);
   }
 }
 
+void Run(bench::BenchContext& ctx) {
+  LatencyTable(ctx);
+  Cdf(ctx);
+  TimelineSample(ctx);
+}
+
+CAMEO_BENCH_REGISTER("fig07_single_tenant", "Figure 7",
+                     "single-tenant IPQ1-IPQ4 latency, CDF and timeline",
+                     Run);
+
 }  // namespace
 }  // namespace cameo
-
-int main() {
-  cameo::LatencyTable();
-  cameo::Cdf();
-  cameo::TimelineSample();
-  return 0;
-}

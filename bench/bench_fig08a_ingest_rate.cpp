@@ -5,13 +5,14 @@
 // 1.5x (p99) and FIFO by up to 2x / 1.8x, while Cameo stays stable.
 #include <cstdio>
 
+#include "bench/runner/registry.h"
 #include "bench_util/report.h"
 #include "bench_util/scenarios.h"
 
 namespace cameo {
 namespace {
 
-void Run() {
+void Run(bench::BenchContext& ctx) {
   PrintFigureBanner(
       "Figure 8(a)", "LS latency vs Group-2 ingestion rate",
       "comparable until saturation; beyond it Orleans/FIFO degrade 1.5-2x "
@@ -20,13 +21,16 @@ void Run() {
   const double kTuplesPerMsg = 1000;
   PrintHeaderRow("scheduler", {"BA_ktuples/s/src", "LS_med", "LS_p99",
                                "BA_med", "BA_p99", "util"});
+  const std::vector<double> rates =
+      ctx.smoke ? std::vector<double>{10.0, 50.0}
+                : std::vector<double>{10.0, 20.0, 30.0, 40.0, 50.0};
   for (SchedulerKind kind : {SchedulerKind::kCameo, SchedulerKind::kOrleans,
                              SchedulerKind::kFifo}) {
-    for (double rate : {10.0, 20.0, 30.0, 40.0, 50.0}) {
+    for (double rate : rates) {
       MultiTenantOptions opt;
       opt.scheduler = kind;
       opt.workers = 4;
-      opt.duration = Seconds(60);
+      opt.duration = ctx.Dur(Seconds(60));
       opt.ls_jobs = 4;
       opt.ba_jobs = 8;
       opt.ba_msgs_per_sec = rate;
@@ -42,14 +46,18 @@ void Run() {
                        FormatMs(r.GroupPercentile("BA", 50)),
                        FormatMs(r.GroupPercentile("BA", 99)),
                        FormatPct(r.utilization)});
+      const std::string key =
+          ToString(kind) + ".rate" + std::to_string(static_cast<int>(rate));
+      ctx.Metric(key + ".LS_median_ms", r.GroupPercentile("LS", 50));
+      ctx.Metric(key + ".LS_p99_ms", r.GroupPercentile("LS", 99));
+      ctx.Metric(key + ".utilization", r.utilization);
     }
   }
 }
 
+CAMEO_BENCH_REGISTER("fig08a_ingest_rate", "Figure 8(a)",
+                     "LS latency vs competing Group-2 ingestion rate",
+                     Run);
+
 }  // namespace
 }  // namespace cameo
-
-int main() {
-  cameo::Run();
-  return 0;
-}

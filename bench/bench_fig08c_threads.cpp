@@ -4,26 +4,29 @@
 // throughput); Orleans and FIFO degrade both groups, Group 1 worst.
 #include <cstdio>
 
+#include "bench/runner/registry.h"
 #include "bench_util/report.h"
 #include "bench_util/scenarios.h"
 
 namespace cameo {
 namespace {
 
-void Run() {
+void Run(bench::BenchContext& ctx) {
   PrintFigureBanner(
       "Figure 8(c)", "latency and throughput vs worker threads",
       "Cameo protects Group 1 even at 1 worker (>=90% deadlines) at the "
       "cost of Group-2 throughput; baselines degrade Group 1 heavily");
   PrintHeaderRow("scheduler", {"workers", "LS_med", "LS_p99", "LS_met",
                                "BA_med", "BA_ktuple/s"});
+  const std::vector<int> worker_counts =
+      ctx.smoke ? std::vector<int>{4, 1} : std::vector<int>{8, 4, 2, 1};
   for (SchedulerKind kind : {SchedulerKind::kCameo, SchedulerKind::kOrleans,
                              SchedulerKind::kFifo}) {
-    for (int workers : {8, 4, 2, 1}) {
+    for (int workers : worker_counts) {
       MultiTenantOptions opt;
       opt.scheduler = kind;
       opt.workers = workers;
-      opt.duration = Seconds(60);
+      opt.duration = ctx.Dur(Seconds(60));
       opt.ls_jobs = 4;
       opt.ba_jobs = 8;
       opt.ba_msgs_per_sec = 10;  // ~1.7 workers of offered load
@@ -37,14 +40,18 @@ void Run() {
                 FormatMs(r.GroupPercentile("LS", 99)),
                 FormatPct(r.GroupSuccessRate("LS")),
                 FormatMs(r.GroupPercentile("BA", 50)), tp});
+      const std::string key =
+          ToString(kind) + ".workers" + std::to_string(workers);
+      ctx.Metric(key + ".LS_p99_ms", r.GroupPercentile("LS", 99));
+      ctx.Metric(key + ".LS_success", r.GroupSuccessRate("LS"));
+      ctx.Metric(key + ".BA_tuples_per_sec", r.GroupThroughput("BA"));
     }
   }
 }
 
+CAMEO_BENCH_REGISTER("fig08c_threads", "Figure 8(c)",
+                     "latency and throughput vs worker thread count",
+                     Run);
+
 }  // namespace
 }  // namespace cameo
-
-int main() {
-  cameo::Run();
-  return 0;
-}

@@ -6,18 +6,19 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench/runner/registry.h"
 #include "bench_util/report.h"
 #include "bench_util/scenarios.h"
 
 namespace cameo {
 namespace {
 
-RunResult RunPareto(SchedulerKind kind,
+RunResult RunPareto(const bench::BenchContext& ctx, SchedulerKind kind,
                     std::vector<std::pair<SimTime, Duration>>* series) {
   MultiTenantOptions opt;
   opt.scheduler = kind;
   opt.workers = 4;
-  opt.duration = Seconds(120);
+  opt.duration = ctx.Dur(Seconds(120), Seconds(8));
   opt.ls_jobs = 4;
   opt.ba_jobs = 8;
   opt.ba_arrivals = ArrivalKind::kPareto;
@@ -28,7 +29,7 @@ RunResult RunPareto(SchedulerKind kind,
   return r;
 }
 
-void Run() {
+void Run(bench::BenchContext& ctx) {
   PrintFigureBanner(
       "Figure 9", "latency under Pareto event arrival",
       "Cameo's LS latency stays stable through bursts; baselines spike by "
@@ -40,7 +41,7 @@ void Run() {
   std::vector<Row> rows;
   for (SchedulerKind kind : {SchedulerKind::kOrleans, SchedulerKind::kFifo,
                              SchedulerKind::kCameo}) {
-    rows.push_back({ToString(kind), RunPareto(kind, nullptr)});
+    rows.push_back({ToString(kind), RunPareto(ctx, kind, nullptr)});
   }
 
   PrintHeaderRow("scheduler", {"grp", "median", "p99", "stdev", "max"});
@@ -75,12 +76,20 @@ void Run() {
       orleans.GroupPercentile("LS", 99) / cameo.GroupPercentile("LS", 99),
       fifo.GroupPercentile("LS", 50) / cameo.GroupPercentile("LS", 50),
       fifo.GroupPercentile("LS", 99) / cameo.GroupPercentile("LS", 99));
+  for (const Row& row : rows) {
+    ctx.Metric(row.name + ".LS_median_ms", row.r.GroupPercentile("LS", 50));
+    ctx.Metric(row.name + ".LS_p99_ms", row.r.GroupPercentile("LS", 99));
+  }
+  ctx.Metric("orleans_over_cameo.LS_p99",
+             orleans.GroupPercentile("LS", 99) /
+                 cameo.GroupPercentile("LS", 99));
+  ctx.Metric("fifo_over_cameo.LS_p99",
+             fifo.GroupPercentile("LS", 99) / cameo.GroupPercentile("LS", 99));
 }
+
+CAMEO_BENCH_REGISTER("fig09_pareto", "Figure 9",
+                     "latency stability under Pareto (bursty) arrivals",
+                     Run);
 
 }  // namespace
 }  // namespace cameo
-
-int main() {
-  cameo::Run();
-  return 0;
-}

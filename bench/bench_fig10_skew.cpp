@@ -4,13 +4,14 @@
 // Orleans 0.2% / 1.5%, FIFO 7.9% / 9.5%, Cameo 21.3% / 45.5%.
 #include <cstdio>
 
+#include "bench/runner/registry.h"
 #include "bench_util/report.h"
 #include "bench_util/scenarios.h"
 
 namespace cameo {
 namespace {
 
-void Run() {
+void Run(bench::BenchContext& ctx) {
   PrintFigureBanner(
       "Figure 10", "spatial workload variation (200x source skew)",
       "Cameo sustains the highest deadline success rates; baselines collapse "
@@ -21,6 +22,7 @@ void Run() {
                              SchedulerKind::kCameo}) {
     SkewScenarioOptions opt;
     opt.scheduler = kind;
+    opt.duration = ctx.Dur(Seconds(60));
     RunResult r = RunSkewedScenario(opt);
     PrintRow(ToString(kind),
              {FormatPct(r.GroupSuccessRate("T1-")),
@@ -28,13 +30,16 @@ void Run() {
               FormatMs(r.GroupPercentile("T1-", 50)),
               FormatMs(r.GroupPercentile("T2-", 50)),
               FormatMs(r.GroupPercentile("T1-", 99))});
+    ctx.Metric(ToString(kind) + ".T1_success", r.GroupSuccessRate("T1-"));
+    ctx.Metric(ToString(kind) + ".T2_success", r.GroupSuccessRate("T2-"));
+    ctx.Metric(ToString(kind) + ".T1_median_ms",
+               r.GroupPercentile("T1-", 50));
   }
 }
 
+CAMEO_BENCH_REGISTER("fig10_skew", "Figure 10",
+                     "spatial workload variation with 200x source skew",
+                     Run);
+
 }  // namespace
 }  // namespace cameo
-
-int main() {
-  cameo::Run();
-  return 0;
-}

@@ -4,13 +4,14 @@
 // comparably because operator execution time is small and consistent.
 #include <cstdio>
 
+#include "bench/runner/registry.h"
 #include "bench_util/report.h"
 #include "bench_util/scenarios.h"
 
 namespace cameo {
 namespace {
 
-void SingleQuery() {
+void SingleQuery(bench::BenchContext& ctx) {
   PrintFigureBanner("Figure 11 (left)", "single-query latency by policy",
                     "SJF worse than LLF/EDF (except lightly-loaded IPQ4); "
                     "EDF ~ LLF");
@@ -22,17 +23,19 @@ void SingleQuery() {
       opt.scheduler = SchedulerKind::kCameo;
       opt.policy = policy;
       opt.workers = 2;
-      opt.duration = Seconds(40);
+      opt.duration = ctx.Dur(Seconds(40));
       opt.seed = 500 + static_cast<std::uint64_t>(ipq) * 13;
       SingleTenantResult r = RunSingleTenant(opt);
       const JobResult& j = r.run.jobs[0];
       PrintRow("IPQ" + std::to_string(ipq),
                {policy, FormatMs(j.median_ms), FormatMs(j.p99_ms)});
+      ctx.Metric("IPQ" + std::to_string(ipq) + "." + policy + ".median_ms",
+                 j.median_ms);
     }
   }
 }
 
-void MultiQuery() {
+void MultiQuery(bench::BenchContext& ctx) {
   PrintFigureBanner("Figure 11 (right)", "multi-query latency by policy",
                     "same ordering under multi-tenancy");
   PrintHeaderRow("policy", {"LS_med", "LS_p99", "BA_med", "BA_p99"});
@@ -41,7 +44,7 @@ void MultiQuery() {
     opt.scheduler = SchedulerKind::kCameo;
     opt.policy = policy;
     opt.workers = 4;
-    opt.duration = Seconds(60);
+    opt.duration = ctx.Dur(Seconds(60));
     opt.ls_jobs = 4;
     opt.ba_jobs = 8;
     opt.ba_msgs_per_sec = 35;  // near saturation
@@ -50,14 +53,21 @@ void MultiQuery() {
                       FormatMs(r.GroupPercentile("LS", 99)),
                       FormatMs(r.GroupPercentile("BA", 50)),
                       FormatMs(r.GroupPercentile("BA", 99))});
+    ctx.Metric(std::string("multi.") + policy + ".LS_median_ms",
+               r.GroupPercentile("LS", 50));
+    ctx.Metric(std::string("multi.") + policy + ".LS_p99_ms",
+               r.GroupPercentile("LS", 99));
   }
 }
 
+void Run(bench::BenchContext& ctx) {
+  SingleQuery(ctx);
+  MultiQuery(ctx);
+}
+
+CAMEO_BENCH_REGISTER("fig11_policies", "Figure 11",
+                     "pluggable policies: LLF vs EDF vs SJF",
+                     Run);
+
 }  // namespace
 }  // namespace cameo
-
-int main() {
-  cameo::SingleQuery();
-  cameo::MultiQuery();
-  return 0;
-}

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench/runner/registry.h"
 #include "core/context_converter.h"
 #include "ops/sink.h"
 #include "ops/source.h"
@@ -135,7 +136,7 @@ BENCHMARK(BM_ContextConvertAlone);
 
 // Right panel: overhead fraction vs batch size, using the calibrated local
 // aggregation cost model (0.3 ms + 1.5 us/tuple).
-void OverheadVsBatchSize(double sched_ns_per_msg) {
+void OverheadVsBatchSize(bench::BenchContext& ctx, double sched_ns_per_msg) {
   std::printf(
       "\n=== Figure 12 (right): scheduling overhead vs batch size ===\n");
   std::printf("paper: 6.4%% at batch size 1, falling with batch size\n");
@@ -146,42 +147,52 @@ void OverheadVsBatchSize(double sched_ns_per_msg) {
     double frac = sched_ns_per_msg / (sched_ns_per_msg + exec_ns);
     std::printf("%-12lld %13.3fms %15.2f%%\n", static_cast<long long>(batch),
                 exec_ns / 1e6, 100 * frac);
+    ctx.Metric("overhead_frac.batch" + std::to_string(batch), frac);
   }
 }
 
-}  // namespace
-}  // namespace cameo
-
-int main(int argc, char** argv) {
+void Run(bench::BenchContext& ctx) {
+  // Left panel: google-benchmark micro-benchmarks on the real scheduler data
+  // structures. Smoke mode caps measurement time per benchmark.
+  char arg0[] = "cameo_bench";
+  char arg1[] = "--benchmark_min_time=0.01";
+  char* argv[] = {arg0, arg1, nullptr};
+  int argc = ctx.smoke ? 2 : 1;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
 
   // Measure the full Cameo per-message cost once more, cheaply, to feed the
   // right panel (coarse timing is fine: it is a ratio illustration).
   using clock = std::chrono::steady_clock;
-  cameo::CameoScheduler sched;
-  cameo::ConversionRig rig;
-  cameo::PriorityContext upstream;
-  upstream.latency_constraint = cameo::Millis(800);
-  const int kIters = 200000;
+  CameoScheduler sched;
+  ConversionRig rig;
+  PriorityContext upstream;
+  upstream.latency_constraint = Millis(800);
+  const int kIters = ctx.smoke ? 20000 : 200000;
   auto t0 = clock::now();
   for (int i = 1; i <= kIters; ++i) {
-    cameo::Message m;
+    Message m;
     m.pc = rig.converter.BuildCxtAtOperator(upstream, rig.source, rig.agg,
                                             i * 1000, i * 1000 + 50,
-                                            cameo::MessageId{i});
+                                            MessageId{i});
     m.id = m.pc.id;
-    m.target = cameo::OperatorId{i % 325};
-    m.batch = cameo::EventBatch::Synthetic(1, i);
-    sched.Enqueue(std::move(m), cameo::WorkerId{}, i);
-    auto out = sched.Dequeue(cameo::WorkerId{0}, i);
-    sched.OnComplete(out->target, cameo::WorkerId{0}, i);
+    m.target = OperatorId{i % kOperators};
+    m.batch = EventBatch::Synthetic(1, i);
+    sched.Enqueue(std::move(m), WorkerId{}, i);
+    auto out = sched.Dequeue(WorkerId{0}, i);
+    sched.OnComplete(out->target, WorkerId{0}, i);
   }
   double ns_per_msg =
       std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
           .count() /
       static_cast<double>(kIters);
-  cameo::OverheadVsBatchSize(ns_per_msg);
-  return 0;
+  ctx.Metric("cameo_full.ns_per_msg", ns_per_msg);
+  OverheadVsBatchSize(ctx, ns_per_msg);
 }
+
+CAMEO_BENCH_REGISTER("fig12_overhead", "Figure 12",
+                     "per-message scheduling overhead (google-benchmark)",
+                     Run);
+
+}  // namespace
+}  // namespace cameo

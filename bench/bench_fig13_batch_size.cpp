@@ -4,25 +4,29 @@
 // low-priority messages block high-priority ones (non-preemptive execution).
 #include <cstdio>
 
+#include "bench/runner/registry.h"
 #include "bench_util/report.h"
 #include "bench_util/scenarios.h"
 
 namespace cameo {
 namespace {
 
-void Run() {
+void Run(bench::BenchContext& ctx) {
   PrintFigureBanner(
       "Figure 13", "effect of batch size at constant tuple rate",
       "LS latency flat up to ~20K tuples/msg, degrades beyond (head-of-line "
       "blocking by large non-preemptible messages)");
   const double kTuplesPerSec = 40000;  // per BA source
   PrintHeaderRow("batch", {"BA_msgs/s/src", "LS_med", "LS_p99", "LS_met"});
-  for (std::int64_t batch : {1000LL, 5000LL, 10000LL, 20000LL, 40000LL,
-                             80000LL}) {
+  const std::vector<std::int64_t> batches =
+      ctx.smoke ? std::vector<std::int64_t>{1000, 80000}
+                : std::vector<std::int64_t>{1000, 5000, 10000, 20000, 40000,
+                                            80000};
+  for (std::int64_t batch : batches) {
     MultiTenantOptions opt;
     opt.scheduler = SchedulerKind::kCameo;
     opt.workers = 4;
-    opt.duration = Seconds(60);
+    opt.duration = ctx.Dur(Seconds(60));
     opt.ls_jobs = 4;
     opt.ba_jobs = 8;
     opt.ba_tuples_per_msg = batch;
@@ -37,13 +41,16 @@ void Run() {
              {rate, FormatMs(r.GroupPercentile("LS", 50)),
               FormatMs(r.GroupPercentile("LS", 99)),
               FormatPct(r.GroupSuccessRate("LS"))});
+    const std::string key = "batch" + std::to_string(batch);
+    ctx.Metric(key + ".LS_median_ms", r.GroupPercentile("LS", 50));
+    ctx.Metric(key + ".LS_p99_ms", r.GroupPercentile("LS", 99));
+    ctx.Metric(key + ".LS_success", r.GroupSuccessRate("LS"));
   }
 }
 
+CAMEO_BENCH_REGISTER("fig13_batch_size", "Figure 13",
+                     "effect of batch size at constant tuple rate",
+                     Run);
+
 }  // namespace
 }  // namespace cameo
-
-int main() {
-  cameo::Run();
-  return 0;
-}

@@ -6,13 +6,15 @@
 // blocking high-priority messages behind low-priority operators.
 #include <cstdio>
 
+#include "bench/runner/registry.h"
 #include "bench_util/report.h"
 #include "bench_util/scenarios.h"
 
 namespace cameo {
 namespace {
 
-void RunSide(const char* title, Duration interleave) {
+void RunSide(bench::BenchContext& ctx, const char* side, const char* title,
+             Duration interleave) {
   std::printf("\n--- %s ---\n", title);
   PrintHeaderRow("quantum", {"LS_med", "LS_p99", "LS_met", "swaps"});
   for (Duration quantum : {Duration{0}, Millis(1), Millis(10), Millis(100)}) {
@@ -20,7 +22,7 @@ void RunSide(const char* title, Duration interleave) {
     opt.scheduler = SchedulerKind::kCameo;
     opt.quantum = quantum;
     opt.workers = 4;
-    opt.duration = Seconds(60);
+    opt.duration = ctx.Dur(Seconds(60));
     opt.ls_jobs = 6;
     opt.ba_jobs = 6;
     // Many small messages (~0.6 ms each) with a realistic activation-swap
@@ -37,24 +39,33 @@ void RunSide(const char* title, Duration interleave) {
                      FormatMs(r.GroupPercentile("LS", 99)),
                      FormatPct(r.GroupSuccessRate("LS")),
                      std::to_string(r.sched.operator_swaps)});
+    const std::string key = std::string(side) + ".q" +
+                            (quantum == 0 ? "finest"
+                                          : std::to_string(quantum /
+                                                           kMillisecond) +
+                                                "ms");
+    ctx.Metric(key + ".LS_p99_ms", r.GroupPercentile("LS", 99));
+    ctx.Metric(key + ".swaps",
+               static_cast<double>(r.sched.operator_swaps));
   }
 }
 
-void Run() {
+void Run(bench::BenchContext& ctx) {
   PrintFigureBanner(
       "Figure 14", "effect of the re-scheduling quantum",
       "clustered triggers: finest quantum pays context-switch overhead in "
       "the tail; 100 ms quantum causes head-of-line blocking; ~1-10 ms is "
       "the sweet spot");
-  RunSide("left: clustered stream progress (all jobs aligned)", 0);
-  RunSide("right: interleaved stream progress (staggered boundaries)",
+  RunSide(ctx, "clustered",
+          "left: clustered stream progress (all jobs aligned)", 0);
+  RunSide(ctx, "interleaved",
+          "right: interleaved stream progress (staggered boundaries)",
           Millis(125));
 }
 
+CAMEO_BENCH_REGISTER("fig14_quantum", "Figure 14",
+                     "effect of the re-scheduling quantum",
+                     Run);
+
 }  // namespace
 }  // namespace cameo
-
-int main() {
-  cameo::Run();
-  return 0;
-}

@@ -5,13 +5,14 @@
 // (Group 1 / Group 2 medians) than the baselines.
 #include <cstdio>
 
+#include "bench/runner/registry.h"
 #include "bench_util/report.h"
 #include "bench_util/scenarios.h"
 
 namespace cameo {
 namespace {
 
-void Run() {
+void Run(bench::BenchContext& ctx) {
   PrintFigureBanner(
       "Figure 15", "benefit of query-semantics awareness",
       "Cameo w/o semantics slightly worse than full Cameo, still beats "
@@ -33,7 +34,7 @@ void Run() {
     opt.scheduler = c.kind;
     opt.use_query_semantics = c.semantics;
     opt.workers = 4;
-    opt.duration = Seconds(60);
+    opt.duration = ctx.Dur(Seconds(60));
     opt.ls_jobs = 4;
     opt.ba_jobs = 8;
     opt.ba_msgs_per_sec = 28;  // busy but below saturation (paper's regime)
@@ -49,13 +50,15 @@ void Run() {
                        FormatMs(r.GroupPercentile("LS", 99)),
                        FormatMs(r.GroupPercentile("BA", 50)),
                        FormatMs(r.GroupPercentile("BA", 99))});
+    const std::string key(c.label);
+    ctx.Metric(key + ".LS_median_ms", r.GroupPercentile("LS", 50));
+    ctx.Metric(key + ".BA_median_ms", r.GroupPercentile("BA", 50));
   }
 }
 
+CAMEO_BENCH_REGISTER("fig15_semantics", "Figure 15",
+                     "value of query-semantics awareness",
+                     Run);
+
 }  // namespace
 }  // namespace cameo
-
-int main() {
-  cameo::Run();
-  return 0;
-}

@@ -5,13 +5,14 @@
 // 100 ms.
 #include <cstdio>
 
+#include "bench/runner/registry.h"
 #include "bench_util/report.h"
 #include "bench_util/scenarios.h"
 
 namespace cameo {
 namespace {
 
-void Run() {
+void Run(bench::BenchContext& ctx) {
   PrintFigureBanner(
       "Figure 16", "effect of profiling inaccuracy (N(0, sigma) on C_oM)",
       "median stable across sigma; tail degrades modestly near sigma = "
@@ -22,7 +23,7 @@ void Run() {
     opt.scheduler = SchedulerKind::kCameo;
     opt.perturbation = sigma;
     opt.workers = 4;
-    opt.duration = Seconds(60);
+    opt.duration = ctx.Dur(Seconds(60));
     opt.ls_jobs = 4;
     opt.ba_jobs = 8;
     opt.ba_msgs_per_sec = 35;
@@ -33,14 +34,18 @@ void Run() {
                        FormatMs(r.GroupPercentile(grp, 90)),
                        FormatMs(r.GroupPercentile(grp, 99)),
                        FormatPct(r.GroupSuccessRate(grp))});
+      const std::string key = "sigma" +
+                              std::to_string(sigma / kMillisecond) + "ms." +
+                              grp;
+      ctx.Metric(key + ".median_ms", r.GroupPercentile(grp, 50));
+      ctx.Metric(key + ".p90_ms", r.GroupPercentile(grp, 90));
     }
   }
 }
 
+CAMEO_BENCH_REGISTER("fig16_perturbation", "Figure 16",
+                     "robustness to cost-profiling inaccuracy",
+                     Run);
+
 }  // namespace
 }  // namespace cameo
-
-int main() {
-  cameo::Run();
-  return 0;
-}

@@ -1,0 +1,161 @@
+// cameo_bench: one CLI for every paper-figure scenario.
+//
+//   cameo_bench --list                 show registered scenarios
+//   cameo_bench --run <name> [...]     run the named scenario(s)
+//   cameo_bench --smoke                shrink durations; with no --run,
+//                                      runs every scenario
+//   cameo_bench --out <dir>            where BENCH_<name>.json lands
+//                                      (default: current directory)
+//
+// Exit status is non-zero if any requested scenario is unknown, throws, or
+// its JSON report cannot be written.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/runner/registry.h"
+
+namespace cameo::bench {
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: cameo_bench [--list] [--run <name>]... [--smoke] "
+      "[--out <dir>]\n"
+      "  --list        list registered scenarios and exit\n"
+      "  --run <name>  run one scenario (repeatable)\n"
+      "  --smoke       fast mode: shrink simulated durations and sweeps;\n"
+      "                without --run, runs every scenario\n"
+      "  --out <dir>   directory for BENCH_<name>.json (default: .)\n");
+}
+
+void PrintList() {
+  std::printf("%-24s %-16s %s\n", "name", "figure", "summary");
+  for (const BenchInfo* info : AllBenchmarks()) {
+    std::printf("%-24s %-16s %s\n", info->name.c_str(), info->figure.c_str(),
+                info->summary.c_str());
+  }
+}
+
+bool RunOne(const BenchInfo& info, bool smoke, const std::string& out_dir) {
+  std::printf("\n##### bench %s (%s)%s #####\n", info.name.c_str(),
+              info.figure.c_str(), smoke ? " [smoke]" : "");
+  BenchReport report(info.name);
+  report.Meta("figure", info.figure);
+  report.Meta("summary", info.summary);
+  report.Meta("mode", smoke ? "smoke" : "full");
+  BenchContext ctx;
+  ctx.smoke = smoke;
+  ctx.report = &report;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    info.fn(ctx);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench %s failed: %s\n", info.name.c_str(), e.what());
+    return false;
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  report.Metric("runner.wall_sec", wall);
+
+  const std::string path = out_dir + "/BENCH_" + info.name + ".json";
+  if (!report.WriteJson(path)) {
+    std::fprintf(stderr, "bench %s: cannot write %s\n", info.name.c_str(),
+                 path.c_str());
+    return false;
+  }
+  std::printf("##### bench %s done in %.2fs -> %s #####\n", info.name.c_str(),
+              wall, path.c_str());
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  bool list = false;
+  bool smoke = false;
+  std::string out_dir = ".";
+  std::vector<std::string> names;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--list") == 0) {
+      list = true;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(arg, "--run") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--run needs a scenario name\n");
+        return 2;
+      }
+      names.emplace_back(argv[++i]);
+    } else if (std::strcmp(arg, "--out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--out needs a directory\n");
+        return 2;
+      }
+      out_dir = argv[++i];
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  if (list) {
+    PrintList();
+    return 0;
+  }
+  if (names.empty() && !smoke) {
+    PrintUsage();
+    std::printf("\n");
+    PrintList();
+    return 0;
+  }
+
+  std::vector<const BenchInfo*> selected;
+  if (names.empty()) {
+    selected = AllBenchmarks();  // --smoke alone: everything
+  } else {
+    for (const std::string& name : names) {
+      const BenchInfo* info = FindBenchmark(name);
+      if (info == nullptr) {
+        std::fprintf(stderr,
+                     "unknown scenario: %s (cameo_bench --list shows all)\n",
+                     name.c_str());
+        return 2;
+      }
+      selected.push_back(info);
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create --out directory %s: %s\n",
+                 out_dir.c_str(), ec.message().c_str());
+    return 2;
+  }
+
+  int failures = 0;
+  for (const BenchInfo* info : selected) {
+    if (!RunOne(*info, smoke, out_dir)) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "%d scenario(s) failed\n", failures);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cameo::bench
+
+int main(int argc, char** argv) { return cameo::bench::Main(argc, argv); }

@@ -1,0 +1,40 @@
+#include "bench/runner/registry.h"
+
+namespace cameo::bench {
+
+namespace {
+
+// Meyers singleton so registrations from other translation units' static
+// initializers are ordered safely.
+std::vector<BenchInfo>& Registry() {
+  static std::vector<BenchInfo> registry;
+  return registry;
+}
+
+}  // namespace
+
+int RegisterBenchmark(const char* name, const char* figure,
+                      const char* summary, BenchFn fn) {
+  Registry().push_back(BenchInfo{name, figure, summary, fn});
+  return static_cast<int>(Registry().size());
+}
+
+std::vector<const BenchInfo*> AllBenchmarks() {
+  std::vector<const BenchInfo*> out;
+  out.reserve(Registry().size());
+  for (const BenchInfo& info : Registry()) out.push_back(&info);
+  std::sort(out.begin(), out.end(),
+            [](const BenchInfo* a, const BenchInfo* b) {
+              return a->name < b->name;
+            });
+  return out;
+}
+
+const BenchInfo* FindBenchmark(const std::string& name) {
+  for (const BenchInfo& info : Registry()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace cameo::bench

@@ -1,0 +1,66 @@
+// Scenario registry for the unified benchmark runner. Every paper figure
+// lives in one bench/bench_*.cpp translation unit that registers a run
+// function here; the cameo_bench CLI lists and dispatches them by name.
+//
+// A scenario receives a BenchContext: `smoke` asks it to shrink simulated
+// durations/sweeps so the run finishes in seconds (ctest gates every
+// scenario's smoke mode), and `report` collects the headline numbers that
+// the runner serializes to BENCH_<name>.json.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_util/report.h"
+#include "common/time.h"
+
+namespace cameo::bench {
+
+struct BenchContext {
+  bool smoke = false;
+  BenchReport* report = nullptr;
+
+  /// Shrinks a simulated run length in smoke mode (capped at `cap`).
+  SimTime Dur(SimTime full, SimTime cap = Seconds(5)) const {
+    return smoke ? std::min(full, cap) : full;
+  }
+
+  /// Records a metric if a report sink is attached (scenarios stay runnable
+  /// without one).
+  void Metric(const std::string& key, double value) const {
+    if (report != nullptr) report->Metric(key, value);
+  }
+
+  void AddRun(const std::string& scope, const RunResult& result) const {
+    if (report != nullptr) report->AddRun(scope, result);
+  }
+};
+
+using BenchFn = void (*)(BenchContext&);
+
+struct BenchInfo {
+  std::string name;     // CLI name, e.g. "fig01_util_latency"
+  std::string figure;   // paper figure, e.g. "Figure 1"
+  std::string summary;  // one line for --list
+  BenchFn fn = nullptr;
+};
+
+/// All registered scenarios, sorted by name.
+std::vector<const BenchInfo*> AllBenchmarks();
+
+/// nullptr if `name` is not registered.
+const BenchInfo* FindBenchmark(const std::string& name);
+
+/// Called by CAMEO_BENCH_REGISTER at static-init time; the return value only
+/// exists to anchor the registration to a variable.
+int RegisterBenchmark(const char* name, const char* figure,
+                      const char* summary, BenchFn fn);
+
+/// Registers the translation unit's scenario. Use once per bench_*.cpp,
+/// inside its anonymous namespace.
+#define CAMEO_BENCH_REGISTER(name, figure, summary, fn)        \
+  const int cameo_bench_registered_ =                          \
+      ::cameo::bench::RegisterBenchmark(name, figure, summary, fn)
+
+}  // namespace cameo::bench

@@ -30,4 +30,40 @@ void PrintJobTable(const RunResult& result);
 void PrintCdf(const SampleStats& stats, const std::string& label,
               std::size_t points = 10);
 
+/// Machine-readable result sink for one benchmark scenario. Scenarios record
+/// headline numbers as flat named metrics; the runner serializes the report
+/// to `BENCH_<name>.json` so runs can be diffed across commits. Insertion
+/// order is preserved in the output.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Attaches a string annotation (figure id, mode, git describe, ...).
+  void Meta(const std::string& key, const std::string& value);
+
+  /// Records one scalar metric. Repeated keys overwrite (last write wins) so
+  /// a scenario can refine a value as it narrows a sweep.
+  void Metric(const std::string& key, double value);
+
+  /// Records the standard per-figure summary of a finished run under
+  /// `<scope>.`: utilization, message count, and per-job median/p95/p99/max
+  /// latency, success rate, and throughput.
+  void AddRun(const std::string& scope, const RunResult& result);
+
+  /// Writes the report as a single JSON object. Returns false (and leaves a
+  /// partial file, if any) on I/O failure. Non-finite metric values are
+  /// serialized as null, since JSON has no NaN/Inf.
+  bool WriteJson(const std::string& path) const;
+
+  /// The serialized JSON body (what WriteJson writes).
+  std::string ToJson() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
 }  // namespace cameo
