@@ -7,10 +7,20 @@
 //         scheduling + ~11% priority generation.
 //  Right: overhead as a fraction of execution time vs batch size. Paper:
 //         6.4% at batch size 1 for a local aggregation, falling with batch.
+//
+// Contended panel (sharded control plane): the same enqueue+dequeue path
+// hammered from 8 worker threads, (a) behind one global mutex -- the
+// pre-refactor ThreadRuntime dispatch path -- and (b) calling the
+// internally-synchronized scheduler directly. All google-benchmark results
+// land in the JSON as gb.<name>.ns_per_op so before/after runs can be
+// diffed mechanically.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
 
 #include "bench/runner/registry.h"
 #include "core/context_converter.h"
@@ -134,6 +144,80 @@ void BM_ContextConvertAlone(benchmark::State& state) {
 }
 BENCHMARK(BM_ContextConvertAlone);
 
+// ---- contended enqueue+dequeue path, 8 worker threads ----
+//
+// Each thread plays a worker: enqueue one message, then dequeue until it
+// wins one (operator exclusivity means another thread may own the target),
+// then complete it. Message conservation keeps the scheduler's backlog
+// bounded across iterations.
+
+struct ContendedRig {
+  CameoScheduler sched;
+  std::atomic<std::int64_t> next_id{0};
+};
+ContendedRig* g_contended = nullptr;
+std::mutex g_global_lock;  // emulates the pre-refactor control-plane mutex
+
+template <bool kGlobalLock>
+void ContendedBody(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    delete g_contended;
+    g_contended = new ContendedRig();
+    // Standing backlog so the ready queue never empties: the benchmark
+    // measures the contended enqueue+dequeue path, not empty-queue parking.
+    for (int i = 0; i < 512; ++i) {
+      std::int64_t id = g_contended->next_id.fetch_add(1);
+      g_contended->sched.Enqueue(MakeMsg(id, id % kOperators), WorkerId{}, id);
+    }
+  }
+  const WorkerId w{state.thread_index()};
+  for (auto _ : state) {
+    ContendedRig& rig = *g_contended;
+    std::int64_t id = rig.next_id.fetch_add(1, std::memory_order_relaxed);
+    Message m = MakeMsg(id, id % kOperators);
+    if constexpr (kGlobalLock) {
+      {
+        std::lock_guard lock(g_global_lock);
+        rig.sched.Enqueue(std::move(m), WorkerId{}, id);
+      }
+      for (;;) {
+        {
+          std::lock_guard lock(g_global_lock);
+          auto out = rig.sched.Dequeue(w, id);
+          if (out.has_value()) {
+            benchmark::DoNotOptimize(out);
+            rig.sched.OnComplete(out->target, w, id);
+            break;
+          }
+        }
+        std::this_thread::yield();  // a real worker parks on a miss
+      }
+    } else {
+      rig.sched.Enqueue(std::move(m), WorkerId{}, id);
+      for (;;) {
+        auto out = rig.sched.Dequeue(w, id);
+        if (out.has_value()) {
+          benchmark::DoNotOptimize(out);
+          rig.sched.OnComplete(out->target, w, id);
+          break;
+        }
+        std::this_thread::yield();  // a real worker parks on a miss
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_CameoSchedule_GlobalLock8(benchmark::State& state) {
+  ContendedBody<true>(state);
+}
+BENCHMARK(BM_CameoSchedule_GlobalLock8)->Threads(8)->UseRealTime();
+
+void BM_CameoSchedule_Sharded8(benchmark::State& state) {
+  ContendedBody<false>(state);
+}
+BENCHMARK(BM_CameoSchedule_Sharded8)->Threads(8)->UseRealTime();
+
 // Right panel: overhead fraction vs batch size, using the calibrated local
 // aggregation cost model (0.3 ms + 1.5 us/tuple).
 void OverheadVsBatchSize(bench::BenchContext& ctx, double sched_ns_per_msg) {
@@ -151,6 +235,27 @@ void OverheadVsBatchSize(bench::BenchContext& ctx, double sched_ns_per_msg) {
   }
 }
 
+/// Console reporting plus one JSON metric per google-benchmark result.
+class MetricCapturingReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit MetricCapturingReporter(bench::BenchContext& ctx) : ctx_(ctx) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::string key = "gb." + run.benchmark_name() + ".ns_per_op";
+      for (char& c : key) {
+        if (c == ':' || c == '/') c = '_';
+      }
+      ctx_.Metric(key, run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchContext& ctx_;
+};
+
 void Run(bench::BenchContext& ctx) {
   // Left panel: google-benchmark micro-benchmarks on the real scheduler data
   // structures. Smoke mode caps measurement time per benchmark.
@@ -159,7 +264,8 @@ void Run(bench::BenchContext& ctx) {
   char* argv[] = {arg0, arg1, nullptr};
   int argc = ctx.smoke ? 2 : 1;
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  MetricCapturingReporter reporter(ctx);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
 
   // Measure the full Cameo per-message cost once more, cheaply, to feed the
   // right panel (coarse timing is fine: it is a ratio illustration).

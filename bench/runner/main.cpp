@@ -4,16 +4,23 @@
 //   cameo_bench --run <name> [...]     run the named scenario(s)
 //   cameo_bench --smoke                shrink durations; with no --run,
 //                                      runs every scenario
+//   cameo_bench --repeat <k>           run each scenario k times; the JSON
+//                                      reports the median per metric plus a
+//                                      <metric>.min companion, so perf
+//                                      comparisons resist scheduler noise
 //   cameo_bench --out <dir>            where BENCH_<name>.json lands
 //                                      (default: current directory)
 //
 // Exit status is non-zero if any requested scenario is unknown, throws, or
 // its JSON report cannot be written.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -25,11 +32,13 @@ namespace {
 void PrintUsage() {
   std::printf(
       "usage: cameo_bench [--list] [--run <name>]... [--smoke] "
-      "[--out <dir>]\n"
+      "[--repeat <k>] [--out <dir>]\n"
       "  --list        list registered scenarios and exit\n"
       "  --run <name>  run one scenario (repeatable)\n"
       "  --smoke       fast mode: shrink simulated durations and sweeps;\n"
       "                without --run, runs every scenario\n"
+      "  --repeat <k>  run each scenario k times; JSON metrics are the\n"
+      "                median across repeats plus <metric>.min\n"
       "  --out <dir>   directory for BENCH_<name>.json (default: .)\n");
 }
 
@@ -41,17 +50,12 @@ void PrintList() {
   }
 }
 
-bool RunOne(const BenchInfo& info, bool smoke, const std::string& out_dir) {
-  std::printf("\n##### bench %s (%s)%s #####\n", info.name.c_str(),
-              info.figure.c_str(), smoke ? " [smoke]" : "");
-  BenchReport report(info.name);
-  report.Meta("figure", info.figure);
-  report.Meta("summary", info.summary);
-  report.Meta("mode", smoke ? "smoke" : "full");
+/// One measured execution of a scenario into `report`. Returns false if the
+/// scenario threw.
+bool RunScenarioOnce(const BenchInfo& info, bool smoke, BenchReport& report) {
   BenchContext ctx;
   ctx.smoke = smoke;
   ctx.report = &report;
-
   const auto t0 = std::chrono::steady_clock::now();
   try {
     info.fn(ctx);
@@ -59,10 +63,65 @@ bool RunOne(const BenchInfo& info, bool smoke, const std::string& out_dir) {
     std::fprintf(stderr, "bench %s failed: %s\n", info.name.c_str(), e.what());
     return false;
   }
+  report.Metric(
+      "runner.wall_sec",
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count());
+  return true;
+}
+
+/// Folds `repeats` per-run reports into one: each metric key reports its
+/// median (a robust center under scheduler/CPU noise) plus a `.min`
+/// companion (the least-noise observation, the right statistic for
+/// microbenchmark cost comparisons).
+void AggregateRepeats(const std::vector<BenchReport>& runs,
+                      BenchReport& merged) {
+  std::vector<std::string> order;  // first-run insertion order
+  std::map<std::string, std::vector<double>> by_key;
+  for (const BenchReport& run : runs) {
+    for (const auto& [key, value] : run.metrics()) {
+      auto [it, inserted] = by_key.emplace(key, std::vector<double>{});
+      if (inserted) order.push_back(key);
+      it->second.push_back(value);
+    }
+  }
+  for (const std::string& key : order) {
+    std::vector<double>& vals = by_key[key];
+    std::sort(vals.begin(), vals.end());
+    const std::size_t n = vals.size();
+    const double median = n % 2 == 1
+                              ? vals[n / 2]
+                              : 0.5 * (vals[n / 2 - 1] + vals[n / 2]);
+    merged.Metric(key, median);
+    merged.Metric(key + ".min", vals.front());
+  }
+}
+
+bool RunOne(const BenchInfo& info, bool smoke, int repeat,
+            const std::string& out_dir) {
+  std::printf("\n##### bench %s (%s)%s #####\n", info.name.c_str(),
+              info.figure.c_str(), smoke ? " [smoke]" : "");
+  BenchReport report(info.name);
+  report.Meta("figure", info.figure);
+  report.Meta("summary", info.summary);
+  report.Meta("mode", smoke ? "smoke" : "full");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (repeat <= 1) {
+    if (!RunScenarioOnce(info, smoke, report)) return false;
+  } else {
+    report.Meta("repeats", std::to_string(repeat));
+    std::vector<BenchReport> runs;
+    for (int r = 0; r < repeat; ++r) {
+      std::printf("--- repeat %d/%d ---\n", r + 1, repeat);
+      runs.emplace_back(info.name);
+      if (!RunScenarioOnce(info, smoke, runs.back())) return false;
+    }
+    AggregateRepeats(runs, report);
+  }
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  report.Metric("runner.wall_sec", wall);
 
   const std::string path = out_dir + "/BENCH_" + info.name + ".json";
   if (!report.WriteJson(path)) {
@@ -78,6 +137,7 @@ bool RunOne(const BenchInfo& info, bool smoke, const std::string& out_dir) {
 int Main(int argc, char** argv) {
   bool list = false;
   bool smoke = false;
+  int repeat = 1;
   std::string out_dir = ".";
   std::vector<std::string> names;
 
@@ -93,6 +153,16 @@ int Main(int argc, char** argv) {
         return 2;
       }
       names.emplace_back(argv[++i]);
+    } else if (std::strcmp(arg, "--repeat") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--repeat needs a count\n");
+        return 2;
+      }
+      repeat = std::atoi(argv[++i]);
+      if (repeat < 1) {
+        std::fprintf(stderr, "--repeat must be >= 1\n");
+        return 2;
+      }
     } else if (std::strcmp(arg, "--out") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--out needs a directory\n");
@@ -146,7 +216,7 @@ int Main(int argc, char** argv) {
 
   int failures = 0;
   for (const BenchInfo* info : selected) {
-    if (!RunOne(*info, smoke, out_dir)) ++failures;
+    if (!RunOne(*info, smoke, repeat, out_dir)) ++failures;
   }
   if (failures > 0) {
     std::fprintf(stderr, "%d scenario(s) failed\n", failures);

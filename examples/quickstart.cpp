@@ -33,7 +33,7 @@ int main() {
   // 2. Start the runtime: 2 workers, Cameo scheduler, LLF policy.
   RuntimeConfig cfg;
   cfg.num_workers = 2;
-  cfg.scheduler = 0;  // Cameo
+  cfg.scheduler = SchedulerKind::kCameo;
   cfg.policy = "LLF";
   cfg.emulate_cost = false;  // run at real speed, no synthetic spinning
   ThreadRuntime runtime(cfg, std::move(graph));

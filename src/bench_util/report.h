@@ -60,6 +60,12 @@ class BenchReport {
   /// The serialized JSON body (what WriteJson writes).
   std::string ToJson() const;
 
+  /// Recorded metrics in insertion order (used by the runner's --repeat
+  /// aggregation).
+  const std::vector<std::pair<std::string, double>>& metrics() const {
+    return metrics_;
+  }
+
  private:
   std::string name_;
   std::vector<std::pair<std::string, std::string>> meta_;

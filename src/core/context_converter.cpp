@@ -12,6 +12,7 @@ PriorityContext ContextConverter::BuildCxtAtSource(const SourceEvent& e,
                                                    const Operator& self,
                                                    Duration latency_constraint,
                                                    MessageId id) {
+  std::lock_guard lock(mu_);
   PriorityContext pc;
   pc.id = id;
   pc.job = self.job();
@@ -30,6 +31,7 @@ PriorityContext ContextConverter::BuildCxtAtSource(const SourceEvent& e,
 PriorityContext ContextConverter::BuildCxtAtOperator(
     const PriorityContext& upstream, const Operator& self,
     const Operator& target, LogicalTime out_p, SimTime out_t, MessageId id) {
+  std::lock_guard lock(mu_);
   // PC(Md) <- PC(Mu): job identity, latency constraint, and token state are
   // inherited so downstream traffic of untokened messages stays deprioritized
   // (paper §5.4).
@@ -57,18 +59,20 @@ void ContextConverter::CxtConvert(PriorityContext& pc, LogicalTime p,
   }
   pc.frontier_progress = p_mf;
   pc.frontier_time = t_mf;
-  policy_->AssignPriority(pc, RcFor(target.id()));
+  policy_->AssignPriority(pc, RcForLocked(target.id()));
 }
 
 void ContextConverter::ProcessCtxFromReply(OperatorId from,
                                            const ReplyContext& rc) {
   if (!rc.valid) return;
+  std::lock_guard lock(mu_);
   rc_local_[from] = rc;
 }
 
 ReplyContext ContextConverter::PrepareReply(Duration own_cost,
                                             Duration queueing_delay,
                                             bool is_sink) const {
+  std::lock_guard lock(mu_);
   ReplyContext rc;
   rc.valid = true;
   rc.cost_m = own_cost;
@@ -89,13 +93,19 @@ ReplyContext ContextConverter::PrepareReply(Duration own_cost,
 }
 
 void ContextConverter::SeedReply(OperatorId target, const ReplyContext& rc) {
+  std::lock_guard lock(mu_);
   auto it = rc_local_.find(target);
   if (it == rc_local_.end()) rc_local_[target] = rc;
 }
 
-const ReplyContext& ContextConverter::RcFor(OperatorId target) const {
+const ReplyContext& ContextConverter::RcForLocked(OperatorId target) const {
   auto it = rc_local_.find(target);
   return it == rc_local_.end() ? kEmptyReply : it->second;
+}
+
+ReplyContext ContextConverter::RcFor(OperatorId target) const {
+  std::lock_guard lock(mu_);
+  return RcForLocked(target);
 }
 
 }  // namespace cameo

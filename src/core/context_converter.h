@@ -10,8 +10,16 @@
 //   ProcessCtxFromReply — stores the RC piggybacked on an acknowledgement
 //   PrepareReply        — builds the RC this operator sends upstream
 //   CxtConvert          — TRANSFORM + PROGRESSMAP + policy priority
+//
+// Thread safety: a converter's send path runs under its operator's
+// actor-model exclusivity, but ProcessCtxFromReply is invoked by whichever
+// worker completed the *downstream* operator, concurrently with the send
+// path, and source converters additionally face external ingest threads. A
+// per-converter mutex (contended only between one producer and one acking
+// worker of a single operator, never globally) makes every method safe.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -80,18 +88,23 @@ class ContextConverter {
   void SeedReply(OperatorId target, const ReplyContext& rc);
 
   /// RC describing `target` (its C_m and downstream C_path); zeros before
-  /// the first ack or seed.
-  const ReplyContext& RcFor(OperatorId target) const;
+  /// the first ack or seed. Returned by value: the stored RC may be
+  /// overwritten concurrently by an acknowledgement.
+  ReplyContext RcFor(OperatorId target) const;
 
+  /// Not synchronized: for single-threaded inspection only.
   const ProgressMap& progress_map() const { return progress_map_; }
 
  private:
   /// Algorithm 1 lines 11-18. `sender_slide` is S_ou (0 for external events).
+  /// Caller holds mu_.
   void CxtConvert(PriorityContext& pc, LogicalTime p, SimTime t,
                   LogicalTime sender_slide, const Operator& target);
+  const ReplyContext& RcForLocked(OperatorId target) const;
 
   const SchedulingPolicy* policy_;
   ConverterOptions options_;
+  mutable std::mutex mu_;
   ProgressMap progress_map_;
   std::unordered_map<OperatorId, ReplyContext> rc_local_;
 };

@@ -135,9 +135,8 @@ std::vector<DataflowGraph::Delivery> DataflowGraph::Route(OperatorId sender,
     }
     case Partition::kRoundRobin: {
       std::int64_t edge = src.id.value * 1'000'000 + port;
-      std::size_t& next = rr_state_[edge];
-      out.push_back({dst.operators[next % replicas], std::move(batch)});
-      next = (next + 1) % replicas;
+      out.push_back({dst.operators[NextReplica(edge, replicas)],
+                     std::move(batch)});
       break;
     }
     case Partition::kKeyHash: {
@@ -146,9 +145,8 @@ std::vector<DataflowGraph::Delivery> DataflowGraph::Route(OperatorId sender,
         // (deterministic, preserves per-channel ordering guarantees because
         // each channel still delivers in send order).
         std::int64_t edge = src.id.value * 1'000'000 + port + 500'000;
-        std::size_t& next = rr_state_[edge];
-        out.push_back({dst.operators[next % replicas], std::move(batch)});
-        next = (next + 1) % replicas;
+        out.push_back({dst.operators[NextReplica(edge, replicas)],
+                       std::move(batch)});
         break;
       }
       std::vector<EventBatch> split(replicas);
@@ -167,6 +165,17 @@ std::vector<DataflowGraph::Delivery> DataflowGraph::Route(OperatorId sender,
     }
   }
   return out;
+}
+
+std::size_t DataflowGraph::NextReplica(std::int64_t edge,
+                                       std::size_t replicas) {
+  // Workers route concurrently in the wall-clock runtime; the cursor map is
+  // the only mutable routing state, so it gets its own small lock.
+  std::lock_guard lock(*rr_mu_);
+  std::size_t& next = rr_state_[edge];
+  std::size_t pick = next % replicas;
+  next = (next + 1) % replicas;
+  return pick;
 }
 
 std::vector<StageId> DataflowGraph::SinkStages(JobId job) const {

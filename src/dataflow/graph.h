@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -105,13 +106,18 @@ class DataflowGraph {
 
  private:
   StageInfo& stage_mut(StageId id);
+  std::size_t NextReplica(std::int64_t edge, std::size_t replicas);
 
   std::vector<JobSpec> jobs_;
   std::vector<JobId> job_ids_;
   std::vector<std::vector<StageId>> job_stages_;
   std::vector<StageInfo> stages_;
   std::vector<std::unique_ptr<Operator>> operators_;
-  std::unordered_map<std::int64_t, std::size_t> rr_state_;  // edge -> next replica
+  // Round-robin routing cursors, the only mutable state Route() touches;
+  // guarded so concurrent workers can route (topology itself is frozen
+  // before execution starts). Behind a unique_ptr so the graph stays movable.
+  std::unique_ptr<std::mutex> rr_mu_ = std::make_unique<std::mutex>();
+  std::unordered_map<std::int64_t, std::size_t> rr_state_;  // edge -> next
 };
 
 }  // namespace cameo

@@ -40,27 +40,69 @@ void LatencyRecorder::OnSourceEvent(JobId job, LogicalTime p, SimTime arrival) {
   last = std::max(last, arrival);
 }
 
-void LatencyRecorder::OnSinkOutput(JobId job, LogicalTime window_end,
-                                   SimTime emit) {
-  JobState& s = state(job);
-  SimTime last = kTimeMin;
+std::optional<SimTime> LatencyRecorder::LastArrivalFor(
+    JobId job, LogicalTime window_end) const {
+  const JobState& s = state(job);
   if (s.slide == 0) {
-    last = window_end;  // caller passes the event arrival time directly
-  } else {
-    // Window (B - W, B] spans slide buckets (B - W)/S + 1 .. B/S inclusive.
-    std::int64_t from = (window_end - s.window) / s.slide + 1;
-    std::int64_t to = window_end / s.slide;
-    for (std::int64_t b = from; b <= to; ++b) {
-      auto it = s.last_arrival.find(b);
-      if (it != s.last_arrival.end()) last = std::max(last, it->second);
-    }
-    if (last == kTimeMin) return;  // empty window: no latency defined
+    return window_end;  // caller passes the event arrival time directly
   }
-  Duration latency = emit - last;
+  // Window (B - W, B] spans slide buckets (B - W)/S + 1 .. B/S inclusive.
+  SimTime last = kTimeMin;
+  std::int64_t from = (window_end - s.window) / s.slide + 1;
+  std::int64_t to = window_end / s.slide;
+  for (std::int64_t b = from; b <= to; ++b) {
+    auto it = s.last_arrival.find(b);
+    if (it != s.last_arrival.end()) last = std::max(last, it->second);
+  }
+  if (last == kTimeMin) return std::nullopt;  // empty window
+  return last;
+}
+
+void LatencyRecorder::RecordOutput(JobId job, SimTime emit, Duration latency) {
+  JobState& s = state(job);
   s.latency.Add(static_cast<double>(latency));
   ++s.outputs;
   if (latency <= s.constraint) ++s.met;
   s.series.emplace_back(emit, latency);
+}
+
+void LatencyRecorder::OnSinkOutput(JobId job, LogicalTime window_end,
+                                   SimTime emit) {
+  auto last = LastArrivalFor(job, window_end);
+  if (!last.has_value()) return;  // empty window: no latency defined
+  RecordOutput(job, emit, emit - *last);
+}
+
+void LatencyRecorder::MergeFrom(const LatencyRecorder& other) {
+  for (const auto& [id, o] : other.jobs_) {
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      jobs_.emplace(id, o);
+      continue;
+    }
+    JobState& s = it->second;
+    CAMEO_EXPECTS(s.constraint == o.constraint && s.window == o.window &&
+                  s.slide == o.slide);
+    for (const auto& [bucket, arrival] : o.last_arrival) {
+      SimTime& last = s.last_arrival[bucket];
+      last = std::max(last, arrival);
+    }
+    s.latency.Merge(o.latency);
+    s.outputs += o.outputs;
+    s.met += o.met;
+    s.sink_tuples += o.sink_tuples;
+    s.processed_tuples += o.processed_tuples;
+    // Both sides are individually time-sorted (each shard appends in its
+    // own emit order), so an in-place merge keeps this linear.
+    auto merge_series = [](auto& into, const auto& from) {
+      auto mid = static_cast<std::ptrdiff_t>(into.size());
+      into.insert(into.end(), from.begin(), from.end());
+      std::inplace_merge(into.begin(), into.begin() + mid, into.end());
+    };
+    merge_series(s.series, o.series);
+    merge_series(s.tuple_series, o.tuple_series);
+    merge_series(s.processed_series, o.processed_series);
+  }
 }
 
 void LatencyRecorder::OnSinkTuples(JobId job, std::int64_t tuples,

@@ -8,6 +8,7 @@
 // contributing arrival in [B - output_window, B).
 #pragma once
 
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +32,22 @@ class LatencyRecorder {
   /// Called when the sink produces the output whose window ends at logical
   /// boundary `window_end` (for slide 0 jobs: the event's own logical time).
   void OnSinkOutput(JobId job, LogicalTime window_end, SimTime emit);
+
+  /// Last arrival time of any event contributing to the output whose window
+  /// ends at `window_end`; nullopt for an empty window. (For slide-0 jobs the
+  /// caller passes the event arrival time as `window_end`, which is echoed
+  /// back.) This is the lookup half of OnSinkOutput, exposed so sharded
+  /// recorders can resolve arrivals centrally and record samples per worker.
+  std::optional<SimTime> LastArrivalFor(JobId job, LogicalTime window_end) const;
+
+  /// Records one already-resolved output sample (the accumulation half of
+  /// OnSinkOutput).
+  void RecordOutput(JobId job, SimTime emit, Duration latency);
+
+  /// Folds `other`'s per-job state into this recorder: samples, counters and
+  /// series are summed/concatenated (series re-sorted by time), arrival
+  /// buckets max-merged. Jobs unknown to this recorder are adopted as-is.
+  void MergeFrom(const LatencyRecorder& other);
 
   /// Tuples observed at the sink (throughput accounting).
   void OnSinkTuples(JobId job, std::int64_t tuples, SimTime now = 0);

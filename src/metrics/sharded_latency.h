@@ -1,0 +1,62 @@
+// Per-worker LatencyRecorder shards, merged on read (DESIGN.md §1).
+//
+// The wall-clock runtime records latency from many threads at once. Arrival
+// bookkeeping (which slide bucket last saw an event) must be globally visible
+// to whichever worker emits the window, so it lives in one ingest-side
+// recorder behind a small mutex touched at ingest/output rate -- not per
+// message. Everything a sink-side worker accumulates (samples, counters,
+// series) goes into that worker's private shard with no synchronization at
+// all. Readers merge ingest + shards into a plain LatencyRecorder; reads are
+// exact once workers are quiescent (after Drain()).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "metrics/latency_recorder.h"
+
+namespace cameo {
+
+class ShardedLatencyRecorder {
+ public:
+  explicit ShardedLatencyRecorder(int worker_shards);
+
+  /// Declares a job on the ingest recorder and every shard.
+  void RegisterJob(JobId job, Duration latency_constraint,
+                   LogicalTime output_window, LogicalTime output_slide);
+
+  // ---- ingest side (any thread; serialized on the ingest mutex) ----
+  void OnSourceEvent(JobId job, LogicalTime p, SimTime arrival);
+  void OnProcessed(JobId job, std::int64_t tuples, SimTime now);
+
+  // ---- worker side (`shard` = worker index; one writer per shard) ----
+  void OnSinkOutput(int shard, JobId job, LogicalTime window_end, SimTime emit);
+  void OnSinkTuples(int shard, JobId job, std::int64_t tuples, SimTime now);
+
+  // ---- merged read view ----
+  // Accessors return by value: every call re-merges the shards, so returned
+  // containers must not alias internal state. Callers binding
+  // `const SampleStats&` get lifetime extension. Intended for quiescent reads
+  // (after Drain()); concurrent use merely yields a slightly stale snapshot.
+  LatencyRecorder Merged() const;
+  SampleStats Latency(JobId job) const;
+  double SuccessRate(JobId job) const;
+  std::uint64_t outputs(JobId job) const;
+  std::int64_t sink_tuples(JobId job) const;
+  std::int64_t processed(JobId job) const;
+  Duration constraint(JobId job) const;
+  std::vector<std::pair<SimTime, Duration>> Series(JobId job) const;
+  std::vector<std::int64_t> ThroughputBuckets(JobId job, Duration bucket,
+                                              SimTime span) const;
+  std::vector<std::int64_t> ProcessedBuckets(JobId job, Duration bucket,
+                                             SimTime span) const;
+  std::vector<JobId> jobs() const;
+
+ private:
+  mutable std::mutex ingest_mu_;
+  LatencyRecorder ingest_;  // arrivals + processed-volume accounting
+  std::vector<std::unique_ptr<LatencyRecorder>> shards_;  // sink-side samples
+};
+
+}  // namespace cameo

@@ -1,0 +1,46 @@
+// Per-worker counter shards, merged on read. Hot paths increment a
+// cache-line-private slot (no RMW contention between workers); readers sum
+// the slots for an exact total once writers are quiescent, and a
+// monotonically fresh approximation while they are not.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace cameo {
+
+/// Returns a stable small shard index for the calling thread. Worker threads
+/// should prefer their WorkerId; this is the fallback for external producers
+/// (ingest threads) so they do not all collide on one slot.
+std::size_t ThisThreadStatShard();
+
+class ShardedCounter {
+ public:
+  static constexpr std::size_t kShards = 32;  // power of two
+
+  void Inc(std::size_t shard_hint, std::uint64_t n = 1) {
+    slots_[shard_hint & (kShards - 1)].v.fetch_add(n,
+                                                   std::memory_order_relaxed);
+  }
+
+  std::uint64_t Total() const {
+    std::uint64_t sum = 0;
+    for (const Slot& s : slots_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Slot slots_[kShards];
+};
+
+inline std::size_t ThisThreadStatShard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return mine;
+}
+
+}  // namespace cameo

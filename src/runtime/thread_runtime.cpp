@@ -3,10 +3,6 @@
 #include <algorithm>
 
 #include "common/check.h"
-#include "sched/cameo_scheduler.h"
-#include "sched/fifo_scheduler.h"
-#include "sched/orleans_scheduler.h"
-#include "sched/slot_scheduler.h"
 
 namespace cameo {
 
@@ -26,27 +22,14 @@ class CollectingEmitter final : public Emitter {
   std::vector<std::tuple<int, EventBatch, SimTime>>& outs_;
 };
 
-std::unique_ptr<Scheduler> MakeRuntimeScheduler(const RuntimeConfig& cfg) {
-  switch (cfg.scheduler) {
-    case 0:
-      return std::make_unique<CameoScheduler>(cfg.sched);
-    case 1:
-      return std::make_unique<FifoScheduler>(cfg.sched);
-    case 2:
-      return std::make_unique<OrleansScheduler>(cfg.sched);
-    case 3:
-      return std::make_unique<SlotScheduler>(cfg.num_workers, cfg.sched);
-  }
-  CAMEO_CHECK(false && "unknown scheduler id");
-  return nullptr;
-}
-
 void SpinFor(Duration d) {
-  auto deadline = std::chrono::steady_clock::now() +
-                  std::chrono::nanoseconds(d);
-  // Sleep for the bulk, spin the last stretch for accuracy.
-  if (d > Millis(2)) {
-    std::this_thread::sleep_for(std::chrono::nanoseconds(d - Millis(1)));
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(d);
+  // Sleep for the bulk, spin the last stretch for accuracy. Keeping the spin
+  // tail short matters for thread-scaling runs: sleeping workers overlap
+  // freely even when oversubscribed, spinning ones contend for cores.
+  if (d > Millis(1)) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(d - Micros(300)));
   }
   while (std::chrono::steady_clock::now() < deadline) {
   }
@@ -58,9 +41,12 @@ ThreadRuntime::ThreadRuntime(RuntimeConfig config, DataflowGraph graph)
     : config_(config),
       graph_(std::move(graph)),
       policy_(MakePolicy(config.policy)),
-      scheduler_(MakeRuntimeScheduler(config)),
+      scheduler_(
+          MakeScheduler(config.scheduler, config.num_workers, config.sched)),
+      latency_(config.num_workers),
       start_(std::chrono::steady_clock::now()) {
-  CAMEO_EXPECTS(config.num_workers >= 1);
+  CAMEO_EXPECTS(config.num_workers >= 1 &&
+                config.num_workers <= Scheduler::kMaxWorkers);
   for (JobId job : graph_.job_ids()) {
     const JobSpec& spec = graph_.job(job);
     latency_.RegisterJob(job, spec.latency_constraint, spec.output_window,
@@ -71,6 +57,12 @@ ThreadRuntime::ThreadRuntime(RuntimeConfig config, DataflowGraph graph)
     for (OperatorId op : graph_.OperatorsOf(job)) {
       converters_.emplace(
           op, std::make_unique<ContextConverter>(policy_.get(), options));
+      // Pre-create the profiler entry so hot-path Record/Estimate calls never
+      // mutate the map structure concurrently.
+      profiler_.Seed(op, 0);
+      if (graph_.Get(op).is_source()) {
+        sources_.emplace(op, std::make_unique<SourceState>());
+      }
     }
   }
 }
@@ -92,29 +84,41 @@ SimTime ThreadRuntime::Now() const {
 void ThreadRuntime::Start() {
   CAMEO_EXPECTS(threads_.empty());
   start_ = std::chrono::steady_clock::now();
-  stop_ = false;
+  stop_.store(false, std::memory_order_seq_cst);
   for (int i = 0; i < config_.num_workers; ++i) {
     threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
 void ThreadRuntime::Drain() {
-  std::unique_lock lock(mu_);
+  std::unique_lock lock(drain_mu_);
   drain_cv_.wait(lock, [this] {
-    return scheduler_->pending() == 0 && busy_workers_ == 0;
+    return inflight_.load(std::memory_order_seq_cst) == 0;
   });
 }
 
 void ThreadRuntime::Stop() {
-  {
-    std::lock_guard lock(mu_);
-    stop_ = true;
-  }
-  cv_.notify_all();
+  stop_.store(true, std::memory_order_seq_cst);
+  wake_cv_.notify_all();
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
   threads_.clear();
+}
+
+void ThreadRuntime::EnqueueTracked(Message m, WorkerId producer) {
+  inflight_.fetch_add(1, std::memory_order_seq_cst);
+  scheduler_->Enqueue(std::move(m), producer, Now());
+  wake_cv_.notify_one();
+}
+
+void ThreadRuntime::FinishOne() {
+  if (inflight_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    // Take the drain lock so a waiter cannot check the predicate and miss
+    // this notification in between.
+    std::lock_guard lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
 }
 
 void ThreadRuntime::Ingest(OperatorId source, std::int64_t tuples,
@@ -131,27 +135,30 @@ void ThreadRuntime::IngestBatch(OperatorId source, EventBatch batch) {
   const Operator& op = graph_.Get(source);
   CAMEO_EXPECTS(op.is_source());
   const JobSpec& spec = graph_.job(op.job());
+  auto src_it = sources_.find(source);
+  CAMEO_EXPECTS(src_it != sources_.end());
+  SourceState& src = *src_it->second;
   SimTime t = Now();
-  {
-    std::lock_guard lock(mu_);
-    // Per-channel in-order guarantee: logical time must be monotone.
-    LogicalTime& last = source_progress_[source.value];
-    if (batch.progress <= last) batch.progress = last + 1;
-    last = batch.progress;
-    latency_.OnSourceEvent(op.job(), batch.progress, t);
-    SourceEvent e;
-    e.p = batch.progress;
-    e.t = t;
-    Message m;
-    m.pc = converter(source).BuildCxtAtSource(e, op, spec.latency_constraint,
-                                              MessageId{next_message_id_++});
-    m.id = m.pc.id;
-    m.target = source;
-    m.event_time = t;
-    m.batch = std::move(batch);
-    scheduler_->Enqueue(std::move(m), WorkerId{}, t);
+  // Serialize per source channel only: progress must be monotone and the
+  // source's mailbox must receive batches in progress order.
+  std::lock_guard lock(src.mu);
+  if (batch.progress <= src.last_progress) {
+    batch.progress = src.last_progress + 1;
   }
-  cv_.notify_one();
+  src.last_progress = batch.progress;
+  latency_.OnSourceEvent(op.job(), batch.progress, t);
+  SourceEvent e;
+  e.p = batch.progress;
+  e.t = t;
+  Message m;
+  m.pc = converter(source).BuildCxtAtSource(
+      e, op, spec.latency_constraint,
+      MessageId{next_message_id_.fetch_add(1, std::memory_order_relaxed)});
+  m.id = m.pc.id;
+  m.target = source;
+  m.event_time = t;
+  m.batch = std::move(batch);
+  EnqueueTracked(std::move(m), WorkerId{});
 }
 
 void ThreadRuntime::RouteOutputs(
@@ -162,13 +169,13 @@ void ThreadRuntime::RouteOutputs(
       Message md;
       md.pc = converter(m.target).BuildCxtAtOperator(
           m.pc, op, graph_.Get(d.target), d.batch.progress, event_time,
-          MessageId{next_message_id_++});
+          MessageId{next_message_id_.fetch_add(1, std::memory_order_relaxed)});
       md.id = md.pc.id;
       md.target = d.target;
       md.sender = m.target;
       md.event_time = event_time;
       md.batch = std::move(d.batch);
-      scheduler_->Enqueue(std::move(md), w, Now());
+      EnqueueTracked(std::move(md), w);
     }
   }
 }
@@ -179,20 +186,18 @@ void ThreadRuntime::WorkerLoop(int index) {
   std::vector<std::tuple<int, EventBatch, SimTime>> outs;
 
   while (true) {
-    std::optional<Message> msg;
-    {
-      std::unique_lock lock(mu_);
-      msg = scheduler_->Dequeue(w, Now());
-      while (!msg) {
-        if (stop_) return;
-        drain_cv_.notify_all();
-        cv_.wait_for(lock, std::chrono::milliseconds(1));
-        if (stop_) return;
-        msg = scheduler_->Dequeue(w, Now());
-      }
-      ++busy_workers_;
+    if (stop_.load(std::memory_order_seq_cst)) return;
+    std::optional<Message> msg = scheduler_->Dequeue(w, Now());
+    if (!msg) {
+      std::unique_lock lock(wake_mu_);
+      if (stop_.load(std::memory_order_seq_cst)) return;
+      wake_cv_.wait_for(lock, std::chrono::microseconds(200));
+      continue;
     }
 
+    // Invocation runs with no locks held: the scheduler's operator
+    // exclusivity guarantees this worker is the sole owner of the operator's
+    // state, profiler entry and send-path converter use.
     Operator& op = graph_.Get(msg->target);
     outs.clear();
     CollectingEmitter emitter(outs);
@@ -204,33 +209,28 @@ void ThreadRuntime::WorkerLoop(int index) {
     }
     SimTime exec_end = Now();
 
-    {
-      std::lock_guard lock(mu_);
-      profiler_.Record(msg->target, exec_end - exec_start);
-      RouteOutputs(*msg, op, outs, w);
-      if (msg->sender.valid()) {
-        ReplyContext rc = converter(msg->target)
-                              .PrepareReply(profiler_.Estimate(msg->target),
-                                            exec_start - msg->enqueue_time,
-                                            op.is_sink());
-        converter(msg->sender).ProcessCtxFromReply(msg->target, rc);
-      }
-      if (op.is_sink()) {
-        const JobSpec& spec = graph_.job(op.job());
-        if (spec.output_slide > 0) {
-          latency_.OnSinkOutput(op.job(), msg->progress(), exec_end);
-        } else {
-          latency_.OnSinkOutput(op.job(), msg->event_time, exec_end);
-        }
-        latency_.OnSinkTuples(op.job(), msg->batch.size(), exec_end);
-      }
-      scheduler_->OnComplete(msg->target, w, Now());
-      --busy_workers_;
-      if (scheduler_->pending() == 0 && busy_workers_ == 0) {
-        drain_cv_.notify_all();
-      }
+    profiler_.Record(msg->target, exec_end - exec_start);
+    RouteOutputs(*msg, op, outs, w);
+    if (msg->sender.valid()) {
+      ReplyContext rc =
+          converter(msg->target)
+              .PrepareReply(profiler_.Estimate(msg->target),
+                            exec_start - msg->enqueue_time, op.is_sink());
+      converter(msg->sender).ProcessCtxFromReply(msg->target, rc);
     }
-    cv_.notify_one();
+    if (op.is_sink()) {
+      const JobSpec& spec = graph_.job(op.job());
+      if (spec.output_slide > 0) {
+        latency_.OnSinkOutput(index, op.job(), msg->progress(), exec_end);
+      } else {
+        latency_.OnSinkOutput(index, op.job(), msg->event_time, exec_end);
+      }
+      latency_.OnSinkTuples(index, op.job(), msg->batch.size(), exec_end);
+    }
+    scheduler_->OnComplete(msg->target, w, Now());
+    // Only after OnComplete and output routing: the counter hits zero iff
+    // the whole dataflow is quiescent.
+    FinishOne();
   }
 }
 

@@ -4,10 +4,19 @@
 // overhead microbenchmarks (Fig. 12); the large parameter-sweep experiments
 // use sim::Cluster (see DESIGN.md).
 //
-// Concurrency model: one mutex guards the scheduler, converters, routing and
-// metrics ("control plane"); operator invocation and cost emulation run
-// outside the lock, relying on the scheduler's operator-exclusivity (an
-// operator is never dispatched to two workers at once).
+// Concurrency model (DESIGN.md §1): there is no global control-plane lock.
+//  - Scheduling state is sharded into lock-free per-operator mailboxes plus
+//    per-policy ready queues inside the Scheduler itself.
+//  - The converter table, dataflow graph and cost profiler are frozen before
+//    Start(); per-operator mutable state is protected by the scheduler's
+//    operator-exclusivity or by tiny per-object locks.
+//  - Latency metrics are per-worker shards merged on read.
+//  - Drain() waits on an atomic in-flight message counter: every Enqueue
+//    increments it and each completed invocation decrements it after routing
+//    its outputs, so the counter can only hit zero when the dataflow is
+//    globally quiescent.
+//  - Ingest is serialized per *source* (monotone progress per channel), not
+//    globally.
 #pragma once
 
 #include <atomic>
@@ -24,22 +33,18 @@
 #include "core/context_converter.h"
 #include "core/profiler.h"
 #include "dataflow/graph.h"
-#include "metrics/latency_recorder.h"
+#include "metrics/sharded_latency.h"
 #include "sched/scheduler.h"
 
 namespace cameo {
 
-enum class SchedulerKind;  // defined in sim/cluster.h
-
 struct RuntimeConfig {
   int num_workers = 2;
-  /// 0=Cameo, 1=FIFO, 2=Orleans, 3=Slot (mirrors sim::SchedulerKind; kept as
-  /// int to avoid a dependency cycle with sim/).
-  int scheduler = 0;
+  SchedulerKind scheduler = SchedulerKind::kCameo;
   SchedulerConfig sched;
   std::string policy = "LLF";
   bool use_query_semantics = true;
-  /// Spin for each invocation's CostModel duration to emulate compute.
+  /// Spin/sleep for each invocation's CostModel duration to emulate compute.
   bool emulate_cost = true;
   std::uint64_t seed = 1;
 };
@@ -63,40 +68,54 @@ class ThreadRuntime {
 
   /// Ingests a synthetic batch at `source`. Logical time defaults to the
   /// current clock (ingestion-time domain); pass `p` for event-time jobs.
+  /// Thread-safe: may be called from any number of external threads.
   void Ingest(OperatorId source, std::int64_t tuples,
               std::optional<LogicalTime> p = std::nullopt);
-  /// Ingests a columnar batch (its `progress` must be set).
+  /// Ingests a columnar batch (its `progress` must be set). Thread-safe.
   void IngestBatch(OperatorId source, EventBatch batch);
 
   DataflowGraph& graph() { return graph_; }
-  LatencyRecorder& latency() { return latency_; }
+  ShardedLatencyRecorder& latency() { return latency_; }
   Scheduler& scheduler() { return *scheduler_; }
   CostProfiler& profiler() { return profiler_; }
 
  private:
+  struct alignas(64) SourceState {
+    std::mutex mu;  // per-channel in-order guarantee
+    LogicalTime last_progress = 0;
+  };
+
   void WorkerLoop(int index);
   void RouteOutputs(const Message& m, Operator& op,
                     std::vector<std::tuple<int, EventBatch, SimTime>>& outs,
                     WorkerId w);
   ContextConverter& converter(OperatorId op);
+  void EnqueueTracked(Message m, WorkerId producer);
+  void FinishOne();
 
   RuntimeConfig config_;
   DataflowGraph graph_;
   std::unique_ptr<SchedulingPolicy> policy_;
   std::unique_ptr<Scheduler> scheduler_;
+  // Frozen after construction; converters synchronize internally.
   std::unordered_map<OperatorId, std::unique_ptr<ContextConverter>> converters_;
+  std::unordered_map<OperatorId, std::unique_ptr<SourceState>> sources_;
   CostProfiler profiler_;
-  LatencyRecorder latency_;
+  ShardedLatencyRecorder latency_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable drain_cv_;
   std::atomic<bool> stop_{false};
-  int busy_workers_ = 0;
+  /// Messages enqueued but not yet fully processed (invocation + routing).
+  std::atomic<std::int64_t> inflight_{0};
+  std::atomic<std::int64_t> next_message_id_{0};
+
+  // Sleep/wake plumbing only -- protects no data.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
   std::vector<std::thread> threads_;
   std::chrono::steady_clock::time_point start_;
-  std::int64_t next_message_id_ = 0;
-  std::unordered_map<std::int64_t, LogicalTime> source_progress_;
 };
 
 }  // namespace cameo

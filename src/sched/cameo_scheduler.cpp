@@ -17,106 +17,142 @@ SimTime SatAdd(SimTime a, Duration b) {
 
 CameoScheduler::CameoScheduler(SchedulerConfig config) : Scheduler(config) {}
 
-CameoScheduler::GlobalKey CameoScheduler::HeadKey(const OpQueue& q) const {
-  CAMEO_EXPECTS(!q.mailbox.empty());
-  const auto& [key, msg] = *q.mailbox.begin();
-  Priority pri = msg.pc.pri_global;
+Priority CameoScheduler::EffectivePri(const Message& m) const {
+  Priority pri = m.pc.pri_global;
   if (config_.starvation_limit != kTimeMax) {
-    pri = std::min(pri, SatAdd(msg.enqueue_time, config_.starvation_limit));
+    pri = std::min(pri, SatAdd(m.enqueue_time, config_.starvation_limit));
   }
-  return GlobalKey{pri, key.second};
+  return pri;
 }
 
-Message CameoScheduler::PopHead(OpQueue& q) {
-  CAMEO_EXPECTS(!q.mailbox.empty());
-  auto node = q.mailbox.extract(q.mailbox.begin());
-  return std::move(node.mapped());
+bool CameoScheduler::StillQueued(OperatorId op, std::uint64_t epoch) const {
+  Mailbox* mb = table_.Find(op);
+  return mb != nullptr && mb->InQueuedSession(epoch);
 }
 
-void CameoScheduler::PushRunnable(OperatorId id, OpQueue& q) {
-  CAMEO_EXPECTS(!q.queued && !q.active && !q.mailbox.empty());
-  q.handle = run_queue_.Push(HeadKey(q), id);
-  q.queued = true;
+void CameoScheduler::Release(OperatorId op, Mailbox& mb) {
+  ReleaseMailbox(
+      mb,
+      [this](Mailbox& m) {  // owner-side: safe to peek the buffer
+        ReadyKey key = KeyFor(m.PeekBest());
+        m.set_registered_pri(key.pri);
+        return key;
+      },
+      [this, op](ReadyKey key, std::uint64_t epoch) {
+        ready_.Push(key, op, epoch);
+      });
 }
 
-void CameoScheduler::RemoveFromRunQueue(OpQueue& q) {
-  if (q.queued) {
-    run_queue_.Erase(q.handle);
-    q.queued = false;
-  }
+std::optional<Message> CameoScheduler::Dispatch(Mailbox& mb, WorkerId w) {
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  shards_.dispatched.Inc(shard_of(w));
+  return mb.PopBest();
 }
 
-void CameoScheduler::Enqueue(Message m, WorkerId /*producer*/, SimTime now) {
+void CameoScheduler::Enqueue(Message m, WorkerId producer, SimTime now) {
   m.enqueue_time = now;
-  OpQueue& q = ops_[m.target];
-  LocalKey key{m.pc.pri_local, m.id.value};
-  q.mailbox.emplace(key, std::move(m));
-  ++pending_;
-  ++stats_.enqueued;
-  if (q.active) return;  // will be reconsidered at OnComplete
-  if (q.queued) {
-    run_queue_.Update(q.handle, HeadKey(q));  // head may have changed
-  } else {
-    OperatorId id = q.mailbox.begin()->second.target;
-    PushRunnable(id, q);
+  const OperatorId op = m.target;
+  const ReadyKey key = KeyFor(m);
+  Mailbox& mb = table_.Get(op);
+  mb.Push(std::move(m));
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  shards_.enqueued.Inc(shard_of(producer));
+  for (;;) {
+    switch (mb.state()) {
+      case Mailbox::State::kActive:
+        return;  // the owner's release re-check will pick the message up
+      case Mailbox::State::kQueued: {
+        // Touch the ReadyQueue only when this arrival strictly improves the
+        // operator's registered priority (paper: "head may have changed").
+        auto epoch = mb.QueuedEpoch();
+        if (!epoch.has_value()) break;  // session moved; re-read the state
+        if (mb.TryLowerRegisteredPri(key.pri)) {
+          // A raced-away epoch only strands a stale entry; the message
+          // itself is covered by the owner's release re-queue.
+          ready_.Push(key, op, *epoch);
+        }
+        return;
+      }
+      case Mailbox::State::kIdle: {
+        std::uint64_t epoch = 0;
+        if (mb.TryMarkQueued(epoch)) {
+          mb.set_registered_pri(key.pri);
+          ready_.Push(key, op, epoch);
+          return;
+        }
+        break;  // lost the transition race; re-read the state
+      }
+    }
   }
 }
 
 std::optional<Message> CameoScheduler::Dequeue(WorkerId w, SimTime now) {
-  detail::WorkerSlot& slot = workers_[w];
+  WorkerSlot& sl = slot(w);
 
   // Continuation: keep draining the current operator within the quantum, or
   // past it when no strictly higher-priority operator waits (paper §5.2).
-  if (slot.has_current) {
-    auto it = ops_.find(slot.current);
-    if (it != ops_.end() && !it->second.active && !it->second.mailbox.empty()) {
-      OpQueue& q = it->second;
-      bool cont = now - slot.quantum_start < config_.quantum;
-      if (!cont) {
-        RemoveFromRunQueue(q);
-        cont = run_queue_.empty() || !(run_queue_.TopKey() < HeadKey(q));
-        if (cont) slot.quantum_start = now;  // start a fresh quantum
+  if (sl.has_current) {
+    Mailbox* mb = table_.Find(sl.current);
+    if (mb != nullptr && mb->size() > 0 && mb->TryClaim()) {
+      mb->set_registered_pri(kPriorityFloor);
+      mb->DrainInbox();
+      if (mb->buffer_empty()) {
+        Release(sl.current, *mb);  // raced with a competing claim
+      } else {
+        bool cont = now - sl.quantum_start < config_.quantum;
+        if (!cont) {
+          const ReadyKey head = KeyFor(mb->PeekBest());
+          auto top = ready_.CleanTopKey([this](OperatorId id,
+                                               std::uint64_t epoch) {
+            return StillQueued(id, epoch);
+          });
+          cont = !top.has_value() || !(*top < head);
+          if (cont) sl.quantum_start = now;  // start a fresh quantum
+        }
+        if (cont) {
+          shards_.continuations.Inc(shard_of(w));
+          return Dispatch(*mb, w);
+        }
+        Release(sl.current, *mb);  // yield: back into the ready queue
       }
-      if (cont) {
-        RemoveFromRunQueue(q);
-        q.active = true;
-        --pending_;
-        ++stats_.dispatched;
-        ++stats_.continuations;
-        return PopHead(q);
-      }
-      PushRunnable(slot.current, q);  // yield: back into the run queue
     }
   }
 
-  if (run_queue_.empty()) return std::nullopt;
-  auto [key, id] = run_queue_.Pop();
-  OpQueue& q = ops_[id];
-  q.queued = false;
-  q.active = true;
-  if (slot.has_current && slot.current != id) ++stats_.operator_swaps;
-  slot.current = id;
-  slot.has_current = true;
-  slot.quantum_start = now;
-  --pending_;
-  ++stats_.dispatched;
-  return PopHead(q);
+  // Dispatch the most urgent runnable operator; stale entries fail the
+  // kQueued -> kActive claim and are skipped (lazy deletion).
+  while (auto e = ready_.Pop()) {
+    Mailbox* mb = table_.Find(e->op);
+    if (mb == nullptr || !mb->TryClaimQueued(e->epoch)) continue;
+    mb->set_registered_pri(kPriorityFloor);
+    mb->DrainInbox();
+    if (mb->buffer_empty()) {  // defensive: should not happen (see Release)
+      Release(e->op, *mb);
+      continue;
+    }
+    if (sl.has_current && sl.current != e->op) {
+      shards_.operator_swaps.Inc(shard_of(w));
+    }
+    sl.current = e->op;
+    sl.has_current = true;
+    sl.quantum_start = now;
+    return Dispatch(*mb, w);
+  }
+  return std::nullopt;
 }
 
 void CameoScheduler::OnComplete(OperatorId op, WorkerId /*w*/,
                                 SimTime /*now*/) {
-  auto it = ops_.find(op);
-  CAMEO_EXPECTS(it != ops_.end() && it->second.active);
-  OpQueue& q = it->second;
-  q.active = false;
-  // Make remaining work visible to every worker; the completing worker's
-  // continuation path will pull it back out if it keeps the operator.
-  if (!q.mailbox.empty() && !q.queued) PushRunnable(op, q);
+  Mailbox* mb = table_.Find(op);
+  CAMEO_EXPECTS(mb != nullptr && mb->state() == Mailbox::State::kActive);
+  Release(op, *mb);
 }
 
-std::optional<Priority> CameoScheduler::TopPriority() const {
-  if (run_queue_.empty()) return std::nullopt;
-  return run_queue_.TopKey().pri;
+std::optional<Priority> CameoScheduler::TopPriority() {
+  auto top = ready_.CleanTopKey([this](OperatorId id, std::uint64_t epoch) {
+    return StillQueued(id, epoch);
+  });
+  if (!top.has_value()) return std::nullopt;
+  return top->pri;
 }
 
 }  // namespace cameo

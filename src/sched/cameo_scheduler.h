@@ -1,23 +1,28 @@
 // The Cameo scheduler (paper §5.2, Fig. 5(b)): the lower, *stateless* layer
 // of the two-level architecture. It keeps
-//   - per operator: pending messages ordered by PRI_local, and
-//   - globally: operators ordered by the PRI_global of their head message
-// in an updatable min-heap. All priority information arrives inside each
-// message's PriorityContext; the scheduler itself holds no per-job state.
+//   - per operator: pending messages ordered by PRI_local (inside the
+//     operator's lock-free Mailbox), and
+//   - globally: runnable operators ordered by PRI_global in a detached
+//     CameoReadyQueue behind its own small lock.
+// All priority information arrives inside each message's PriorityContext;
+// the scheduler itself holds no per-job state.
+//
+// Enqueue appends lock-free to the target mailbox; the ReadyQueue is touched
+// only on an empty -> non-empty transition or when an arrival strictly
+// improves a queued operator's registered priority (a duplicate entry is
+// inserted; pop-side validation discards the stale one).
 //
 // Quantum rule (paper): a worker keeps draining its current operator's
-// mailbox; once the re-scheduling grain elapses it peeks at the run queue and
-// swaps only if a strictly higher-priority operator is waiting.
+// mailbox; once the re-scheduling grain elapses it peeks at the ready queue
+// and swaps only if a strictly higher-priority operator is waiting.
 //
 // Starvation guard (§6.3): with a finite `starvation_limit`, a message's
 // effective global priority is capped at enqueue_time + limit, so overload
 // degrades to FIFO among long-waiting messages instead of unbounded delay.
 #pragma once
 
-#include <map>
-#include <unordered_map>
-
-#include "common/updatable_heap.h"
+#include "sched/mailbox.h"
+#include "sched/ready_queue.h"
 #include "sched/scheduler.h"
 
 namespace cameo {
@@ -30,40 +35,24 @@ class CameoScheduler final : public Scheduler {
   std::optional<Message> Dequeue(WorkerId w, SimTime now) override;
   void OnComplete(OperatorId op, WorkerId w, SimTime now) override;
 
-  std::size_t pending() const override { return pending_; }
   std::string name() const override { return "Cameo"; }
 
   /// Global priority of the most urgent runnable operator (tests/telemetry).
-  std::optional<Priority> TopPriority() const;
+  /// Compacts stale ready-queue entries as a side effect.
+  std::optional<Priority> TopPriority();
 
  private:
-  struct GlobalKey {
-    Priority pri;
-    std::int64_t seq;  // head message id: deterministic FIFO tie-break
-    friend bool operator<(const GlobalKey& a, const GlobalKey& b) {
-      if (a.pri != b.pri) return a.pri < b.pri;
-      return a.seq < b.seq;
-    }
-  };
+  Priority EffectivePri(const Message& m) const;
+  ReadyKey KeyFor(const Message& m) const {
+    return ReadyKey{EffectivePri(m), m.id.value};
+  }
+  bool StillQueued(OperatorId op, std::uint64_t epoch) const;
+  /// Re-queues or idles a claimed mailbox (release protocol).
+  void Release(OperatorId op, Mailbox& mb);
+  std::optional<Message> Dispatch(Mailbox& mb, WorkerId w);
 
-  using LocalKey = std::pair<Priority, std::int64_t>;  // (PRI_local, msg id)
-
-  struct OpQueue {
-    std::map<LocalKey, Message> mailbox;  // head = begin()
-    bool active = false;
-    bool queued = false;  // present in run_queue_
-    UpdatableHeap<GlobalKey, OperatorId>::Handle handle = 0;
-  };
-
-  GlobalKey HeadKey(const OpQueue& q) const;
-  Message PopHead(OpQueue& q);
-  void PushRunnable(OperatorId id, OpQueue& q);
-  void RemoveFromRunQueue(OpQueue& q);
-
-  std::unordered_map<OperatorId, OpQueue> ops_;
-  UpdatableHeap<GlobalKey, OperatorId> run_queue_;
-  std::unordered_map<WorkerId, detail::WorkerSlot> workers_;
-  std::size_t pending_ = 0;
+  MailboxTable table_{MailboxOrder::kLocalPriority};
+  CameoReadyQueue ready_;
 };
 
 }  // namespace cameo

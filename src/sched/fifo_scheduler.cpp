@@ -6,91 +6,81 @@ namespace cameo {
 
 FifoScheduler::FifoScheduler(SchedulerConfig config) : Scheduler(config) {}
 
-void FifoScheduler::Enqueue(Message m, WorkerId /*producer*/, SimTime now) {
+void FifoScheduler::Release(OperatorId op, Mailbox& mb) {
+  ReleaseMailbox(
+      mb, [](Mailbox&) { return 0; },
+      [this, op](int, std::uint64_t epoch) { ready_.Push(op, epoch); });
+}
+
+std::optional<Message> FifoScheduler::Dispatch(Mailbox& mb, WorkerId w) {
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  shards_.dispatched.Inc(shard_of(w));
+  return mb.PopBest();
+}
+
+void FifoScheduler::Enqueue(Message m, WorkerId producer, SimTime now) {
   m.enqueue_time = now;
-  detail::OpState& q = ops_[m.target];
-  OperatorId id = m.target;
-  q.mailbox.push_back(std::move(m));
-  ++pending_;
-  ++stats_.enqueued;
-  if (!q.active && !q.queued) {
-    run_queue_.push_back(id);
-    q.queued = true;
+  const OperatorId op = m.target;
+  Mailbox& mb = table_.Get(op);
+  mb.Push(std::move(m));
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  shards_.enqueued.Inc(shard_of(producer));
+  while (mb.state() == Mailbox::State::kIdle) {
+    std::uint64_t epoch = 0;
+    if (mb.TryMarkQueued(epoch)) {
+      ready_.Push(op, epoch);
+      return;
+    }
   }
-}
-
-detail::OpState* FifoScheduler::FindRunnable(OperatorId id) {
-  auto it = ops_.find(id);
-  if (it == ops_.end()) return nullptr;
-  detail::OpState& q = it->second;
-  if (q.active || q.mailbox.empty()) return nullptr;
-  return &q;
-}
-
-std::optional<OperatorId> FifoScheduler::PopRunnable() {
-  while (!run_queue_.empty()) {
-    OperatorId id = run_queue_.front();
-    run_queue_.pop_front();
-    auto it = ops_.find(id);
-    if (it == ops_.end() || !it->second.queued) continue;  // stale entry
-    it->second.queued = false;
-    if (it->second.active || it->second.mailbox.empty()) continue;
-    return id;
-  }
-  return std::nullopt;
 }
 
 std::optional<Message> FifoScheduler::Dequeue(WorkerId w, SimTime now) {
-  detail::WorkerSlot& slot = workers_[w];
+  WorkerSlot& sl = slot(w);
 
-  if (slot.has_current) {
-    if (detail::OpState* q = FindRunnable(slot.current)) {
-      bool cont = now - slot.quantum_start < config_.quantum;
-      if (!cont && run_queue_.empty()) {
-        cont = true;  // nothing else to run: keep going, fresh quantum
-        slot.quantum_start = now;
-      }
-      if (cont) {
-        q->queued = false;  // claim it; any run-queue entry becomes stale
-        q->active = true;
-        Message m = std::move(q->mailbox.front());
-        q->mailbox.pop_front();
-        --pending_;
-        ++stats_.dispatched;
-        ++stats_.continuations;
-        return m;
-      }
-      if (!q->queued) {  // quantum expired: rotate to the tail
-        run_queue_.push_back(slot.current);
-        q->queued = true;
+  if (sl.has_current) {
+    Mailbox* mb = table_.Find(sl.current);
+    if (mb != nullptr && mb->size() > 0 && mb->TryClaim()) {
+      mb->DrainInbox();
+      if (mb->buffer_empty()) {
+        Release(sl.current, *mb);
+      } else {
+        bool cont = now - sl.quantum_start < config_.quantum;
+        if (!cont && ready_.empty()) {
+          cont = true;  // nothing else to run: keep going, fresh quantum
+          sl.quantum_start = now;
+        }
+        if (cont) {
+          shards_.continuations.Inc(shard_of(w));
+          return Dispatch(*mb, w);
+        }
+        Release(sl.current, *mb);  // quantum expired: rotate to the tail
       }
     }
   }
 
-  auto next = PopRunnable();
-  if (!next) return std::nullopt;
-  detail::OpState& q = ops_[*next];
-  q.active = true;
-  if (slot.has_current && slot.current != *next) ++stats_.operator_swaps;
-  slot.current = *next;
-  slot.has_current = true;
-  slot.quantum_start = now;
-  Message m = std::move(q.mailbox.front());
-  q.mailbox.pop_front();
-  --pending_;
-  ++stats_.dispatched;
-  return m;
+  while (auto e = ready_.Pop()) {
+    Mailbox* mb = table_.Find(e->op);
+    if (mb == nullptr || !mb->TryClaimQueued(e->epoch)) continue;  // stale
+    mb->DrainInbox();
+    if (mb->buffer_empty()) {  // defensive: kQueued implies pending work
+      Release(e->op, *mb);
+      continue;
+    }
+    if (sl.has_current && sl.current != e->op) {
+      shards_.operator_swaps.Inc(shard_of(w));
+    }
+    sl.current = e->op;
+    sl.has_current = true;
+    sl.quantum_start = now;
+    return Dispatch(*mb, w);
+  }
+  return std::nullopt;
 }
 
 void FifoScheduler::OnComplete(OperatorId op, WorkerId /*w*/, SimTime /*now*/) {
-  auto it = ops_.find(op);
-  CAMEO_EXPECTS(it != ops_.end() && it->second.active);
-  detail::OpState& q = it->second;
-  q.active = false;
-  if (!q.mailbox.empty() && !q.queued) {
-    run_queue_.push_back(op);
-    q.queued = true;
-  }
+  Mailbox* mb = table_.Find(op);
+  CAMEO_EXPECTS(mb != nullptr && mb->state() == Mailbox::State::kActive);
+  Release(op, *mb);
 }
 
 }  // namespace cameo

@@ -3,11 +3,14 @@
 // its messages in FIFO order"). Quantum semantics match the other schedulers:
 // a worker drains its current operator within the re-scheduling grain, then
 // moves the operator to the tail and takes the head (round-robin).
+//
+// Built on the sharded control plane: lock-free per-operator mailboxes plus
+// a FifoReadyQueue of operator ids behind its own small lock, with lazy
+// deletion validated by mailbox state CASes.
 #pragma once
 
-#include <deque>
-#include <unordered_map>
-
+#include "sched/mailbox.h"
+#include "sched/ready_queue.h"
 #include "sched/scheduler.h"
 
 namespace cameo {
@@ -20,19 +23,14 @@ class FifoScheduler final : public Scheduler {
   std::optional<Message> Dequeue(WorkerId w, SimTime now) override;
   void OnComplete(OperatorId op, WorkerId w, SimTime now) override;
 
-  std::size_t pending() const override { return pending_; }
   std::string name() const override { return "FIFO"; }
 
  private:
-  detail::OpState* FindRunnable(OperatorId id);
-  /// Pops run-queue entries until one refers to a runnable operator
-  /// (lazy deletion: entries for drained/claimed operators are skipped).
-  std::optional<OperatorId> PopRunnable();
+  void Release(OperatorId op, Mailbox& mb);
+  std::optional<Message> Dispatch(Mailbox& mb, WorkerId w);
 
-  std::unordered_map<OperatorId, detail::OpState> ops_;
-  std::deque<OperatorId> run_queue_;
-  std::unordered_map<WorkerId, detail::WorkerSlot> workers_;
-  std::size_t pending_ = 0;
+  MailboxTable table_{MailboxOrder::kFifo};
+  FifoReadyQueue ready_;
 };
 
 }  // namespace cameo

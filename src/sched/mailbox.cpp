@@ -1,0 +1,197 @@
+#include "sched/mailbox.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cameo {
+
+namespace {
+
+/// Min-order on (PRI_local, message id): deterministic total order, FIFO
+/// tie-break. std::push_heap builds a max-heap, so "less" is inverted.
+struct LocalOrderGreater {
+  bool operator()(const Message& a, const Message& b) const {
+    if (a.pc.pri_local != b.pc.pri_local) {
+      return a.pc.pri_local > b.pc.pri_local;
+    }
+    return a.id.value > b.id.value;
+  }
+};
+
+}  // namespace
+
+Mailbox::~Mailbox() {
+  Node* n = inbox_.load(std::memory_order_acquire);
+  while (n != nullptr) {
+    Node* next = n->next;
+    delete n;
+    n = next;
+  }
+}
+
+void Mailbox::Push(Message m) {
+  // Size first: the release protocol's post-kIdle re-check must observe this
+  // increment whenever our later state read sees kActive (SC total order).
+  size_.fetch_add(1, std::memory_order_seq_cst);
+  Node* n = new Node{std::move(m), nullptr};
+  Node* head = inbox_.load(std::memory_order_relaxed);
+  do {
+    n->next = head;
+  } while (!inbox_.compare_exchange_weak(head, n, std::memory_order_release,
+                                         std::memory_order_relaxed));
+}
+
+void Mailbox::DrainInbox() {
+  Node* n = inbox_.exchange(nullptr, std::memory_order_acquire);
+  // The grabbed chain is LIFO; reverse to recover push order (pushes are
+  // linearized by the CAS, so this is global arrival order).
+  Node* fifo = nullptr;
+  while (n != nullptr) {
+    Node* next = n->next;
+    n->next = fifo;
+    fifo = n;
+    n = next;
+  }
+  while (fifo != nullptr) {
+    if (order_ == MailboxOrder::kFifo) {
+      buffer_.push_back(std::move(fifo->msg));
+    } else {
+      heap_.push_back(std::move(fifo->msg));
+      std::push_heap(heap_.begin(), heap_.end(), LocalOrderGreater{});
+    }
+    Node* next = fifo->next;
+    delete fifo;
+    fifo = next;
+  }
+}
+
+const Message& Mailbox::PeekBest() const {
+  CAMEO_EXPECTS(!buffer_empty());
+  return order_ == MailboxOrder::kFifo ? buffer_.front() : heap_.front();
+}
+
+Message Mailbox::PopBest() {
+  CAMEO_EXPECTS(!buffer_empty());
+  Message out;
+  if (order_ == MailboxOrder::kFifo) {
+    out = std::move(buffer_.front());
+    buffer_.pop_front();
+  } else {
+    std::pop_heap(heap_.begin(), heap_.end(), LocalOrderGreater{});
+    out = std::move(heap_.back());
+    heap_.pop_back();
+  }
+  size_.fetch_sub(1, std::memory_order_seq_cst);
+  return out;
+}
+
+bool Mailbox::TryMarkQueued(std::uint64_t& epoch_out) {
+  std::uint64_t w = word_.load(std::memory_order_seq_cst);
+  while (StateOf(w) == State::kIdle) {
+    std::uint64_t next = Pack(State::kQueued, EpochOf(w) + 1);
+    if (word_.compare_exchange_weak(w, next, std::memory_order_seq_cst)) {
+      epoch_out = EpochOf(next);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Mailbox::TryClaimQueued(std::uint64_t epoch) {
+  std::uint64_t expected = Pack(State::kQueued, epoch);
+  return word_.compare_exchange_strong(expected, Pack(State::kActive, epoch),
+                                       std::memory_order_seq_cst);
+}
+
+bool Mailbox::TryClaim() {
+  std::uint64_t w = word_.load(std::memory_order_seq_cst);
+  while (StateOf(w) != State::kActive) {
+    if (word_.compare_exchange_weak(w, Pack(State::kActive, EpochOf(w)),
+                                    std::memory_order_seq_cst)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Mailbox::TryReclaim() {
+  std::uint64_t w = word_.load(std::memory_order_seq_cst);
+  while (StateOf(w) == State::kIdle) {
+    if (word_.compare_exchange_weak(w, Pack(State::kActive, EpochOf(w)),
+                                    std::memory_order_seq_cst)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t Mailbox::ReleaseToQueued() {
+  // Only the owner transitions out of kActive, so a plain bump-and-store is
+  // race-free; the new epoch opens the next queued session.
+  std::uint64_t w = word_.load(std::memory_order_seq_cst);
+  CAMEO_EXPECTS(StateOf(w) == State::kActive);
+  std::uint64_t next = Pack(State::kQueued, EpochOf(w) + 1);
+  word_.store(next, std::memory_order_seq_cst);
+  return EpochOf(next);
+}
+
+void Mailbox::ReleaseToIdle() {
+  std::uint64_t w = word_.load(std::memory_order_seq_cst);
+  CAMEO_EXPECTS(StateOf(w) == State::kActive);
+  word_.store(Pack(State::kIdle, EpochOf(w)), std::memory_order_seq_cst);
+}
+
+bool Mailbox::TryLowerRegisteredPri(Priority p) {
+  Priority cur = registered_pri_.load(std::memory_order_relaxed);
+  while (p < cur) {
+    if (registered_pri_.compare_exchange_weak(cur, p,
+                                              std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+MailboxTable::MailboxTable(MailboxOrder order) : order_(order) {
+  index_.store(new Index(), std::memory_order_release);
+}
+
+MailboxTable::~MailboxTable() {
+  delete index_.load(std::memory_order_acquire);
+}
+
+Mailbox* MailboxTable::Find(OperatorId op) const {
+  const Index* idx = index_.load(std::memory_order_acquire);
+  auto it = idx->find(op);
+  return it == idx->end() ? nullptr : it->second;
+}
+
+Mailbox& MailboxTable::Get(OperatorId op) {
+  if (Mailbox* mb = Find(op)) return *mb;
+  std::lock_guard lock(grow_mu_);
+  const Index* cur = index_.load(std::memory_order_acquire);
+  auto it = cur->find(op);
+  if (it != cur->end()) return *it->second;  // lost the insert race
+  owned_.push_back(std::make_unique<Mailbox>(order_));
+  auto next = std::make_unique<Index>(*cur);
+  (*next)[op] = owned_.back().get();
+  retired_.emplace_back(cur);  // readers may still hold the old snapshot
+  index_.store(next.release(), std::memory_order_release);
+  return *owned_.back().get();
+}
+
+void MailboxTable::Reserve(const std::vector<OperatorId>& ops) {
+  std::lock_guard lock(grow_mu_);
+  const Index* cur = index_.load(std::memory_order_acquire);
+  auto next = std::make_unique<Index>(*cur);
+  for (OperatorId op : ops) {
+    if (next->find(op) != next->end()) continue;
+    owned_.push_back(std::make_unique<Mailbox>(order_));
+    (*next)[op] = owned_.back().get();
+  }
+  retired_.emplace_back(cur);
+  index_.store(next.release(), std::memory_order_release);
+}
+
+}  // namespace cameo

@@ -7,139 +7,109 @@ namespace cameo {
 OrleansScheduler::OrleansScheduler(SchedulerConfig config)
     : Scheduler(config) {}
 
+void OrleansScheduler::Release(OperatorId op, Mailbox& mb, WorkerId w,
+                               bool to_global) {
+  ReleaseMailbox(
+      mb, [](Mailbox&) { return 0; },
+      [this, op, w, to_global](int, std::uint64_t epoch) {
+        if (to_global || !w.valid()) {
+          ready_.PushGlobal(op, epoch);
+        } else {
+          ready_.PushLocal(w, op, epoch);  // work stays near its worker
+        }
+      });
+}
+
+std::optional<Message> OrleansScheduler::Dispatch(Mailbox& mb, WorkerId w) {
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  shards_.dispatched.Inc(shard_of(w));
+  return mb.PopBest();
+}
+
 void OrleansScheduler::Enqueue(Message m, WorkerId producer, SimTime now) {
   m.enqueue_time = now;
-  detail::OpState& q = ops_[m.target];
-  OperatorId id = m.target;
-  q.mailbox.push_back(std::move(m));
-  ++pending_;
-  ++stats_.enqueued;
-  if (!q.active && !q.queued) {
-    if (producer.valid()) {
-      local_[producer].push_back(id);  // thread-local fast path
-    } else {
-      global_.push_back(id);
+  const OperatorId op = m.target;
+  Mailbox& mb = table_.Get(op);
+  mb.Push(std::move(m));
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  shards_.enqueued.Inc(shard_of(producer));
+  while (mb.state() == Mailbox::State::kIdle) {
+    std::uint64_t epoch = 0;
+    if (mb.TryMarkQueued(epoch)) {
+      if (producer.valid()) {
+        ready_.PushLocal(producer, op, epoch);  // thread-local fast path
+      } else {
+        ready_.PushGlobal(op, epoch);
+      }
+      return;
     }
-    q.queued = true;
   }
 }
 
-detail::OpState* OrleansScheduler::FindRunnable(OperatorId id) {
-  auto it = ops_.find(id);
-  if (it == ops_.end()) return nullptr;
-  detail::OpState& q = it->second;
-  if (q.active || q.mailbox.empty()) return nullptr;
-  return &q;
-}
+std::optional<Message> OrleansScheduler::Dequeue(WorkerId w, SimTime now) {
+  ready_.RegisterWorker(w);
+  WorkerSlot& sl = slot(w);
 
-Message OrleansScheduler::Claim(detail::OpState& q) {
-  q.queued = false;  // any remaining bag entries become stale
-  q.active = true;
-  Message m = std::move(q.mailbox.front());
-  q.mailbox.pop_front();
-  --pending_;
-  ++stats_.dispatched;
-  return m;
-}
-
-std::optional<OperatorId> OrleansScheduler::TakeFor(WorkerId w) {
-  auto drain = [&](auto take) -> std::optional<OperatorId> {
-    while (auto id = take()) {
-      auto it = ops_.find(*id);
-      if (it == ops_.end() || !it->second.queued) continue;  // stale
-      it->second.queued = false;
-      if (it->second.active || it->second.mailbox.empty()) continue;
-      return id;
+  if (sl.has_current) {
+    Mailbox* mb = table_.Find(sl.current);
+    if (mb != nullptr && mb->size() > 0 && mb->TryClaim()) {
+      mb->DrainInbox();
+      if (mb->buffer_empty()) {
+        Release(sl.current, *mb, w, /*to_global=*/false);
+      } else {
+        bool cont = now - sl.quantum_start < config_.quantum;
+        if (cont) {
+          shards_.continuations.Inc(shard_of(w));
+          return Dispatch(*mb, w);
+        }
+        // Quantum expired: yield the turn to the global tail.
+        Release(sl.current, *mb, w, /*to_global=*/true);
+      }
     }
-    return std::nullopt;
-  };
+  }
 
-  // 1. Own bag, LIFO.
-  std::vector<OperatorId>& mine = local_[w];
-  if (auto id = drain([&]() -> std::optional<OperatorId> {
-        if (mine.empty()) return std::nullopt;
-        OperatorId id = mine.back();
-        mine.pop_back();
-        return id;
-      })) {
-    return id;
+  for (;;) {
+    auto next = ready_.Take(w, [this](OperatorId id, std::uint64_t epoch) {
+      Mailbox* mb = table_.Find(id);
+      return mb != nullptr && mb->TryClaimQueued(epoch);
+    });
+    if (!next.has_value()) break;
+    Mailbox& mb = *table_.Find(*next);
+    mb.DrainInbox();
+    if (mb.buffer_empty()) {  // defensive: kQueued implies pending work
+      Release(*next, mb, w, /*to_global=*/false);
+      continue;
+    }
+    if (sl.has_current && sl.current != *next) {
+      shards_.operator_swaps.Inc(shard_of(w));
+    }
+    sl.current = *next;
+    sl.has_current = true;
+    sl.quantum_start = now;
+    return Dispatch(mb, w);
   }
-  // 2. Global queue, FIFO.
-  if (auto id = drain([&]() -> std::optional<OperatorId> {
-        if (global_.empty()) return std::nullopt;
-        OperatorId id = global_.front();
-        global_.pop_front();
-        return id;
-      })) {
-    return id;
-  }
-  // 3. Steal the oldest entry from another worker's bag.
-  for (std::size_t i = 0; i < worker_order_.size(); ++i) {
-    steal_cursor_ = (steal_cursor_ + 1) % worker_order_.size();
-    WorkerId victim = worker_order_[steal_cursor_];
-    if (victim == w) continue;
-    std::vector<OperatorId>& bag = local_[victim];
-    if (auto id = drain([&]() -> std::optional<OperatorId> {
-          if (bag.empty()) return std::nullopt;
-          OperatorId id = bag.front();
-          bag.erase(bag.begin());
-          return id;
-        })) {
-      return id;
+
+  // Nothing anywhere else: resume the current operator if it still has work
+  // (its yielded entry may have been claimed and exhausted above).
+  if (sl.has_current) {
+    Mailbox* mb = table_.Find(sl.current);
+    if (mb != nullptr && mb->size() > 0 && mb->TryClaim()) {
+      mb->DrainInbox();
+      if (!mb->buffer_empty()) {
+        sl.quantum_start = now;
+        shards_.continuations.Inc(shard_of(w));
+        return Dispatch(*mb, w);
+      }
+      Release(sl.current, *mb, w, /*to_global=*/false);
     }
   }
   return std::nullopt;
 }
 
-std::optional<Message> OrleansScheduler::Dequeue(WorkerId w, SimTime now) {
-  if (workers_.find(w) == workers_.end()) worker_order_.push_back(w);
-  detail::WorkerSlot& slot = workers_[w];
-
-  if (slot.has_current) {
-    if (detail::OpState* q = FindRunnable(slot.current)) {
-      bool cont = now - slot.quantum_start < config_.quantum;
-      if (cont) {
-        ++stats_.continuations;
-        return Claim(*q);
-      }
-      if (!q->queued) {  // quantum expired: yield the turn to the global tail
-        global_.push_back(slot.current);
-        q->queued = true;
-      }
-    }
-  }
-
-  auto next = TakeFor(w);
-  if (!next) {
-    // Nothing anywhere else: resume the current operator if it still has
-    // work (its yielded entry may be the only one and was claimed above).
-    if (slot.has_current) {
-      if (detail::OpState* q = FindRunnable(slot.current)) {
-        slot.quantum_start = now;
-        ++stats_.continuations;
-        return Claim(*q);
-      }
-    }
-    return std::nullopt;
-  }
-  detail::OpState& q = ops_[*next];
-  if (slot.has_current && slot.current != *next) ++stats_.operator_swaps;
-  slot.current = *next;
-  slot.has_current = true;
-  slot.quantum_start = now;
-  return Claim(q);
-}
-
 void OrleansScheduler::OnComplete(OperatorId op, WorkerId w, SimTime /*now*/) {
-  auto it = ops_.find(op);
-  CAMEO_EXPECTS(it != ops_.end() && it->second.active);
-  detail::OpState& q = it->second;
-  q.active = false;
-  if (!q.mailbox.empty() && !q.queued) {
-    // Pending work stays near the worker that ran it (bag locality).
-    local_[w].push_back(op);
-    q.queued = true;
-  }
+  Mailbox* mb = table_.Find(op);
+  CAMEO_EXPECTS(mb != nullptr && mb->state() == Mailbox::State::kActive);
+  Release(op, *mb, w, /*to_global=*/false);
 }
 
 }  // namespace cameo

@@ -12,13 +12,13 @@
 //
 // This reproduces the depth-first, locality-chasing behaviour that gives
 // Orleans good single-query cache locality (paper: IPQ4) but deadline-blind
-// tail latency under multi-tenancy.
+// tail latency under multi-tenancy. Built on the sharded control plane:
+// lock-free mailboxes + OrleansReadyState (bags/global/steal) under its own
+// small lock.
 #pragma once
 
-#include <deque>
-#include <unordered_map>
-#include <vector>
-
+#include "sched/mailbox.h"
+#include "sched/ready_queue.h"
 #include "sched/scheduler.h"
 
 namespace cameo {
@@ -31,21 +31,16 @@ class OrleansScheduler final : public Scheduler {
   std::optional<Message> Dequeue(WorkerId w, SimTime now) override;
   void OnComplete(OperatorId op, WorkerId w, SimTime now) override;
 
-  std::size_t pending() const override { return pending_; }
   std::string name() const override { return "Orleans"; }
 
  private:
-  detail::OpState* FindRunnable(OperatorId id);
-  std::optional<OperatorId> TakeFor(WorkerId w);
-  Message Claim(detail::OpState& q);
+  /// Releases a claimed mailbox; remaining work goes to worker `w`'s bag
+  /// (bag locality) or, when `to_global` is set, to the global tail.
+  void Release(OperatorId op, Mailbox& mb, WorkerId w, bool to_global);
+  std::optional<Message> Dispatch(Mailbox& mb, WorkerId w);
 
-  std::unordered_map<OperatorId, detail::OpState> ops_;
-  std::unordered_map<WorkerId, std::vector<OperatorId>> local_;  // LIFO bags
-  std::deque<OperatorId> global_;                                // FIFO
-  std::vector<WorkerId> worker_order_;  // registration order, for stealing
-  std::unordered_map<WorkerId, detail::WorkerSlot> workers_;
-  std::size_t pending_ = 0;
-  std::size_t steal_cursor_ = 0;
+  MailboxTable table_{MailboxOrder::kFifo};
+  OrleansReadyState ready_;
 };
 
 }  // namespace cameo

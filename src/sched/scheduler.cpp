@@ -1,0 +1,40 @@
+#include "sched/scheduler.h"
+
+#include "sched/cameo_scheduler.h"
+#include "sched/fifo_scheduler.h"
+#include "sched/orleans_scheduler.h"
+#include "sched/slot_scheduler.h"
+
+namespace cameo {
+
+std::string ToString(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kCameo:
+      return "Cameo";
+    case SchedulerKind::kFifo:
+      return "FIFO";
+    case SchedulerKind::kOrleans:
+      return "Orleans";
+    case SchedulerKind::kSlot:
+      return "Slot";
+  }
+  return "?";
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind, int num_workers,
+                                         const SchedulerConfig& config) {
+  switch (kind) {
+    case SchedulerKind::kCameo:
+      return std::make_unique<CameoScheduler>(config);
+    case SchedulerKind::kFifo:
+      return std::make_unique<FifoScheduler>(config);
+    case SchedulerKind::kOrleans:
+      return std::make_unique<OrleansScheduler>(config);
+    case SchedulerKind::kSlot:
+      return std::make_unique<SlotScheduler>(num_workers, config);
+  }
+  CAMEO_CHECK(false && "unknown scheduler kind");
+  return nullptr;
+}
+
+}  // namespace cameo

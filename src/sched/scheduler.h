@@ -1,25 +1,41 @@
 // Scheduler interface shared by the discrete-event simulator and the
 // wall-clock thread runtime.
 //
-// A scheduler owns all pending messages, grouped per target operator
-// (actor-model exclusivity: an operator never runs on two workers at once).
-// Workers call Dequeue when free and OnComplete when an invocation finishes.
-// The re-scheduling quantum (paper §5.2, default 1 ms) controls how long a
-// worker sticks with its current operator before consulting the run queue
-// again; quantum 0 re-evaluates after every message.
+// A scheduler owns all pending messages, grouped per target operator in a
+// MailboxTable (actor-model exclusivity: an operator never runs on two
+// workers at once). Workers call Dequeue when free and OnComplete when an
+// invocation finishes. The re-scheduling quantum (paper §5.2, default 1 ms)
+// controls how long a worker sticks with its current operator before
+// consulting the ready queue again; quantum 0 re-evaluates after every
+// message.
+//
+// Concurrency contract (see DESIGN.md §1): Enqueue may be called from any
+// thread concurrently with Dequeue/OnComplete on worker threads. Enqueue
+// appends lock-free to the target operator's mailbox and only touches the
+// policy's ReadyQueue (its own small lock) on an empty -> non-empty
+// transition; Dequeue/OnComplete claim and release mailboxes with atomic
+// state transitions. Statistics are sharded per worker and merged on read.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
+#include "common/check.h"
 #include "common/ids.h"
 #include "common/time.h"
 #include "dataflow/message.h"
+#include "metrics/sharded_stats.h"
 
 namespace cameo {
+
+/// The scheduler roster (DESIGN.md §3), shared by both execution backends.
+enum class SchedulerKind { kCameo, kFifo, kOrleans, kSlot };
+
+std::string ToString(SchedulerKind kind);
 
 struct SchedulerConfig {
   /// Minimum re-scheduling grain. While a worker's elapsed time on one
@@ -31,6 +47,8 @@ struct SchedulerConfig {
   Duration starvation_limit = kTimeMax;
 };
 
+/// Merged snapshot of the per-worker stat shards. Exact once workers are
+/// quiescent (after Drain()).
 struct SchedulerStats {
   std::uint64_t enqueued = 0;
   std::uint64_t dispatched = 0;
@@ -49,45 +67,77 @@ class Scheduler {
 
   /// Hands a message to the scheduler. `producer` identifies the worker whose
   /// invocation emitted it (invalid WorkerId for external arrivals); the
-  /// Orleans bag model uses it for thread-local affinity.
+  /// Orleans bag model uses it for thread-local affinity. Thread-safe.
   virtual void Enqueue(Message m, WorkerId producer, SimTime now) = 0;
 
   /// Picks the next message for worker `w`; nullopt when nothing is runnable
-  /// for this worker. Marks the target operator active.
+  /// for this worker. Marks the target operator active. Thread-safe; at most
+  /// one concurrent call per worker id.
   virtual std::optional<Message> Dequeue(WorkerId w, SimTime now) = 0;
 
-  /// Reports that worker `w` finished an invocation of `op`.
+  /// Reports that worker `w` finished an invocation of `op`. Must be called
+  /// by the worker the message was dequeued on.
   virtual void OnComplete(OperatorId op, WorkerId w, SimTime now) = 0;
 
-  virtual std::size_t pending() const = 0;
+  std::size_t pending() const {
+    std::int64_t p = pending_.load(std::memory_order_relaxed);
+    return p > 0 ? static_cast<std::size_t>(p) : 0;
+  }
+
   virtual std::string name() const = 0;
 
-  const SchedulerStats& stats() const { return stats_; }
+  SchedulerStats stats() const {
+    SchedulerStats s;
+    s.enqueued = shards_.enqueued.Total();
+    s.dispatched = shards_.dispatched.Total();
+    s.operator_swaps = shards_.operator_swaps.Total();
+    s.continuations = shards_.continuations.Total();
+    return s;
+  }
+
   const SchedulerConfig& config() const { return config_; }
 
+  /// Upper bound on worker ids; slots are pre-allocated so each worker
+  /// mutates only its own cache line with no map insert races. Backends
+  /// validate their worker count against this at construction.
+  static constexpr std::int64_t kMaxWorkers = 256;
+
  protected:
-  explicit Scheduler(SchedulerConfig config) : config_(config) {}
+  struct alignas(64) WorkerSlot {
+    OperatorId current;  // operator this worker last ran
+    SimTime quantum_start = 0;
+    bool has_current = false;
+  };
+
+  explicit Scheduler(SchedulerConfig config)
+      : config_(config), slots_(kMaxWorkers) {}
+
+  WorkerSlot& slot(WorkerId w) {
+    CAMEO_EXPECTS(w.valid() && w.value < kMaxWorkers);
+    return slots_[static_cast<std::size_t>(w.value)];
+  }
+
+  std::size_t shard_of(WorkerId w) const {
+    return w.valid() ? static_cast<std::size_t>(w.value)
+                     : ThisThreadStatShard();
+  }
+
+  struct StatShards {
+    ShardedCounter enqueued;
+    ShardedCounter dispatched;
+    ShardedCounter operator_swaps;
+    ShardedCounter continuations;
+  };
 
   SchedulerConfig config_;
-  SchedulerStats stats_;
+  StatShards shards_;
+  std::atomic<std::int64_t> pending_{0};
+  std::vector<WorkerSlot> slots_;
 };
 
-namespace detail {
-
-/// Per-operator mailbox state shared by the scheduler implementations.
-struct OpState {
-  std::deque<Message> mailbox;  // FIFO arrival order
-  bool active = false;          // currently running on some worker
-  bool queued = false;          // present in the scheduler's run structure
-};
-
-/// Per-worker quantum bookkeeping shared by the scheduler implementations.
-struct WorkerSlot {
-  OperatorId current;      // operator this worker last ran
-  SimTime quantum_start = 0;
-  bool has_current = false;
-};
-
-}  // namespace detail
+/// Shared factory used by both backends. `num_workers` is only consulted by
+/// the slot scheduler's round-robin pinning.
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind, int num_workers,
+                                         const SchedulerConfig& config);
 
 }  // namespace cameo

@@ -3,11 +3,16 @@
 // and workers only execute their own operators, FIFO. Isolation is perfect
 // but idle slots cannot help overloaded ones, which is the low-utilization /
 // over-provisioning pathology Cameo targets.
+//
+// Built on the sharded control plane: lock-free mailboxes plus one
+// SlotReadyQueues run queue per pinned worker.
 #pragma once
 
-#include <deque>
+#include <mutex>
 #include <unordered_map>
 
+#include "sched/mailbox.h"
+#include "sched/ready_queue.h"
 #include "sched/scheduler.h"
 
 namespace cameo {
@@ -25,21 +30,20 @@ class SlotScheduler final : public Scheduler {
   std::optional<Message> Dequeue(WorkerId w, SimTime now) override;
   void OnComplete(OperatorId op, WorkerId w, SimTime now) override;
 
-  std::size_t pending() const override { return pending_; }
   std::string name() const override { return "Slot"; }
 
   WorkerId SlotOf(OperatorId op);
 
  private:
-  detail::OpState* FindRunnable(OperatorId id);
+  void Release(OperatorId op, Mailbox& mb);
+  std::optional<Message> Dispatch(Mailbox& mb, WorkerId w);
 
   int num_workers_;
+  std::mutex assign_mu_;
   std::int64_t next_slot_ = 0;
   std::unordered_map<OperatorId, WorkerId> assignment_;
-  std::unordered_map<OperatorId, detail::OpState> ops_;
-  std::unordered_map<WorkerId, std::deque<OperatorId>> run_queues_;
-  std::unordered_map<WorkerId, detail::WorkerSlot> workers_;
-  std::size_t pending_ = 0;
+  MailboxTable table_{MailboxOrder::kFifo};
+  SlotReadyQueues ready_;
 };
 
 }  // namespace cameo

@@ -4,10 +4,6 @@
 
 #include "common/check.h"
 #include "dataflow/critical_path.h"
-#include "sched/cameo_scheduler.h"
-#include "sched/fifo_scheduler.h"
-#include "sched/orleans_scheduler.h"
-#include "sched/slot_scheduler.h"
 
 namespace cameo {
 
@@ -33,46 +29,19 @@ class CollectingEmitter final : public Emitter {
   std::vector<Out> outs_;
 };
 
-std::unique_ptr<Scheduler> MakeScheduler(const ClusterConfig& cfg) {
-  switch (cfg.scheduler) {
-    case SchedulerKind::kCameo:
-      return std::make_unique<CameoScheduler>(cfg.sched);
-    case SchedulerKind::kFifo:
-      return std::make_unique<FifoScheduler>(cfg.sched);
-    case SchedulerKind::kOrleans:
-      return std::make_unique<OrleansScheduler>(cfg.sched);
-    case SchedulerKind::kSlot:
-      return std::make_unique<SlotScheduler>(cfg.num_workers, cfg.sched);
-  }
-  CAMEO_CHECK(false && "unknown scheduler kind");
-  return nullptr;
-}
-
 }  // namespace
-
-std::string ToString(SchedulerKind kind) {
-  switch (kind) {
-    case SchedulerKind::kCameo:
-      return "Cameo";
-    case SchedulerKind::kFifo:
-      return "FIFO";
-    case SchedulerKind::kOrleans:
-      return "Orleans";
-    case SchedulerKind::kSlot:
-      return "Slot";
-  }
-  return "?";
-}
 
 Cluster::Cluster(ClusterConfig config, DataflowGraph graph)
     : config_(config),
       graph_(std::move(graph)),
       rng_(config.seed),
       policy_(MakePolicy(config.policy)),
-      scheduler_(MakeScheduler(config)),
+      scheduler_(
+          MakeScheduler(config.scheduler, config.num_workers, config.sched)),
       profiler_(/*smoothing=*/0.25, /*noise_seed=*/config.seed ^ 0x9e3779b9),
       workers_(static_cast<std::size_t>(config.num_workers)) {
-  CAMEO_EXPECTS(config.num_workers >= 1);
+  CAMEO_EXPECTS(config.num_workers >= 1 &&
+                config.num_workers <= Scheduler::kMaxWorkers);
   profiler_.SetPerturbation(config_.profiler_perturbation);
   timeline_.SetEnabled(config_.enable_timeline);
   SetupConverters();

@@ -34,9 +34,9 @@
 
 namespace cameo {
 
-enum class SchedulerKind { kCameo, kFifo, kOrleans, kSlot };
-
-std::string ToString(SchedulerKind kind);
+// SchedulerKind and ToString(SchedulerKind) live in sched/scheduler.h (the
+// enum is shared with RuntimeConfig; both backends build through the same
+// MakeScheduler factory).
 
 struct ClusterConfig {
   int num_workers = 4;

@@ -11,7 +11,6 @@
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/time.h"
-#include "common/updatable_heap.h"
 
 namespace cameo {
 namespace {
@@ -226,130 +225,6 @@ TEST(LogHistogramTest, UnderflowGoesToMinValue) {
   h.Add(1.0);
   h.Add(2.0);
   EXPECT_DOUBLE_EQ(h.Percentile(50), 100.0);
-}
-
-// ---- UpdatableHeap ----
-
-TEST(UpdatableHeapTest, PushPopOrdersByKey) {
-  UpdatableHeap<int, char> h;
-  h.Push(3, 'c');
-  h.Push(1, 'a');
-  h.Push(2, 'b');
-  EXPECT_EQ(h.Pop().second, 'a');
-  EXPECT_EQ(h.Pop().second, 'b');
-  EXPECT_EQ(h.Pop().second, 'c');
-  EXPECT_TRUE(h.empty());
-}
-
-TEST(UpdatableHeapTest, UpdateMovesElementUp) {
-  UpdatableHeap<int, char> h;
-  h.Push(5, 'x');
-  auto hy = h.Push(10, 'y');
-  h.Update(hy, 1);
-  EXPECT_EQ(h.TopValue(), 'y');
-}
-
-TEST(UpdatableHeapTest, UpdateMovesElementDown) {
-  UpdatableHeap<int, char> h;
-  auto hx = h.Push(1, 'x');
-  h.Push(5, 'y');
-  h.Update(hx, 10);
-  EXPECT_EQ(h.TopValue(), 'y');
-}
-
-TEST(UpdatableHeapTest, EraseRemovesElement) {
-  UpdatableHeap<int, char> h;
-  auto ha = h.Push(1, 'a');
-  h.Push(2, 'b');
-  h.Erase(ha);
-  EXPECT_FALSE(h.Contains(ha));
-  EXPECT_EQ(h.TopValue(), 'b');
-  EXPECT_EQ(h.size(), 1u);
-}
-
-TEST(UpdatableHeapTest, HandleReuseAfterPop) {
-  UpdatableHeap<int, int> h;
-  auto h1 = h.Push(1, 100);
-  h.Pop();
-  EXPECT_FALSE(h.Contains(h1));
-  auto h2 = h.Push(2, 200);
-  EXPECT_TRUE(h.Contains(h2));
-  EXPECT_EQ(h.ValueOf(h2), 200);
-}
-
-TEST(UpdatableHeapTest, RandomizedAgainstReferenceModel) {
-  // Property test: a long random sequence of push/pop/update/erase must pop
-  // elements in exactly sorted-key order versus a reference multimap.
-  UpdatableHeap<std::int64_t, int> h;
-  std::multimap<std::int64_t, int> ref;
-  std::unordered_map<int, UpdatableHeap<std::int64_t, int>::Handle> handles;
-  Rng rng(11);
-  int next_val = 0;
-
-  for (int step = 0; step < 5000; ++step) {
-    double action = rng.Uniform01();
-    if (action < 0.45 || ref.empty()) {
-      std::int64_t key = rng.UniformInt(0, 1000);
-      int val = next_val++;
-      handles[val] = h.Push(key, val);
-      ref.emplace(key, val);
-    } else if (action < 0.65) {
-      auto [key, val] = h.Pop();
-      auto range = ref.equal_range(key);
-      ASSERT_NE(range.first, range.second) << "popped key absent in model";
-      bool found = false;
-      for (auto it = range.first; it != range.second; ++it) {
-        if (it->second == val) {
-          ref.erase(it);
-          found = true;
-          break;
-        }
-      }
-      ASSERT_TRUE(found);
-      handles.erase(val);
-      EXPECT_EQ(key, ref.empty() ? key : std::min(key, ref.begin()->first))
-          << "pop must return the minimum key";
-    } else if (action < 0.85) {
-      // Update a random live element.
-      auto it = handles.begin();
-      std::advance(it, rng.UniformInt(0, static_cast<std::int64_t>(
-                                             handles.size()) - 1));
-      std::int64_t new_key = rng.UniformInt(0, 1000);
-      // Update model first.
-      for (auto rit = ref.begin(); rit != ref.end(); ++rit) {
-        if (rit->second == it->first) {
-          ref.erase(rit);
-          break;
-        }
-      }
-      ref.emplace(new_key, it->first);
-      h.Update(it->second, new_key);
-    } else {
-      auto it = handles.begin();
-      std::advance(it, rng.UniformInt(0, static_cast<std::int64_t>(
-                                             handles.size()) - 1));
-      for (auto rit = ref.begin(); rit != ref.end(); ++rit) {
-        if (rit->second == it->first) {
-          ref.erase(rit);
-          break;
-        }
-      }
-      h.Erase(it->second);
-      handles.erase(it);
-    }
-    ASSERT_EQ(h.size(), ref.size());
-    if (!h.empty()) {
-      EXPECT_EQ(h.TopKey(), ref.begin()->first);
-    }
-  }
-}
-
-TEST(CsvTest, WritesHeaderAndRows) {
-  CsvWriter csv({"a", "b", "c"});
-  csv.Row(1, 2.5, "x");
-  ASSERT_EQ(csv.lines().size(), 2u);
-  EXPECT_EQ(csv.lines()[0], "a,b,c");
-  EXPECT_EQ(csv.lines()[1], "1,2.5,x");
 }
 
 }  // namespace

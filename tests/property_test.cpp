@@ -5,11 +5,16 @@
 
 #include <numeric>
 
+#include <unordered_map>
+#include <unordered_set>
+
 #include "bench_util/scenarios.h"
+#include "common/rng.h"
 #include "core/transform.h"
 #include "ops/sink.h"
 #include "ops/window_agg.h"
 #include "sched/cameo_scheduler.h"
+#include "sched/mailbox.h"
 #include "sim/cluster.h"
 #include "workload/tenants.h"
 
@@ -305,6 +310,154 @@ TEST(FailureInjection, ColdStartWithoutSeedsConverges) {
   double seeded = run(true);
   double cold = run(false);
   EXPECT_NEAR(cold, seeded, 0.5 * seeded);
+}
+
+// ---------------- MailboxTable / scheduler invariants ----------------
+
+// Random Enqueue/Dequeue/OnComplete interleavings against the sharded
+// control plane. Two invariants must hold for every scheduler:
+//  1. an operator is never active on two workers at once, and
+//  2. per-mailbox dispatch order is FIFO (messages to one operator come out
+//     in enqueue order when priorities do not distinguish them).
+class MailboxInvariants : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(MailboxInvariants, ExclusivityAndPerMailboxFifoUnderRandomOps) {
+  constexpr int kWorkers = 3;
+  constexpr int kOperators = 9;
+  constexpr int kSteps = 20000;
+  SchedulerConfig cfg;
+  cfg.quantum = Micros(50);
+  auto sched = MakeScheduler(GetParam(), kWorkers, cfg);
+
+  Rng rng(4242);
+  std::int64_t next_id = 0;
+  SimTime now = 0;
+  // Per-operator enqueue order and dispatch order.
+  std::unordered_map<std::int64_t, std::deque<std::int64_t>> expected;
+  // Worker -> (operator, message id) currently active.
+  std::unordered_map<int, std::pair<std::int64_t, std::int64_t>> running;
+  std::unordered_set<std::int64_t> active_ops;
+  std::int64_t enqueued = 0, dispatched = 0;
+
+  for (int step = 0; step < kSteps; ++step) {
+    now += rng.UniformInt(0, Micros(20));
+    const int action = static_cast<int>(rng.UniformInt(0, 2));
+    if (action == 0 || enqueued - dispatched > 64) {
+      // OnComplete for a random running worker (if any).
+      if (!running.empty()) {
+        auto it = running.begin();
+        std::advance(it, static_cast<long>(
+                             rng.UniformInt(0, static_cast<std::int64_t>(
+                                                   running.size() - 1))));
+        auto [w, what] = *it;
+        sched->OnComplete(OperatorId{what.first}, WorkerId{w}, now);
+        active_ops.erase(what.first);
+        running.erase(it);
+        continue;
+      }
+    }
+    if (action == 1) {
+      // Enqueue: same pri_global/pri_local for everything so FIFO tie-break
+      // governs order even under the Cameo heap.
+      std::int64_t op = rng.UniformInt(0, kOperators - 1);
+      Message m;
+      m.id = MessageId{next_id};
+      m.target = OperatorId{op};
+      m.pc.id = m.id;
+      m.pc.pri_global = Millis(5);
+      m.pc.pri_local = 0;
+      m.batch = EventBatch::Synthetic(1, step + 1);
+      sched->Enqueue(std::move(m), WorkerId{}, now);
+      expected[op].push_back(next_id);
+      ++next_id;
+      ++enqueued;
+      continue;
+    }
+    // Dequeue on a random free worker.
+    int w = static_cast<int>(rng.UniformInt(0, kWorkers - 1));
+    if (running.find(w) != running.end()) continue;
+    auto m = sched->Dequeue(WorkerId{w}, now);
+    if (!m.has_value()) continue;
+    std::int64_t op = m->target.value;
+    // Invariant 1: never active on two workers.
+    ASSERT_TRUE(active_ops.insert(op).second)
+        << sched->name() << ": operator " << op << " double-activated";
+    // Invariant 2: per-mailbox FIFO.
+    ASSERT_FALSE(expected[op].empty());
+    EXPECT_EQ(m->id.value, expected[op].front())
+        << sched->name() << ": mailbox " << op << " out of order";
+    expected[op].pop_front();
+    running[w] = {op, m->id.value};
+    ++dispatched;
+  }
+  // Drain whatever remains: conservation closes the books.
+  for (auto& [w, what] : running) {
+    sched->OnComplete(OperatorId{what.first}, WorkerId{w}, now);
+  }
+  running.clear();
+  active_ops.clear();
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int w = 0; w < kWorkers; ++w) {
+      now += Micros(10);
+      while (auto m = sched->Dequeue(WorkerId{w}, now)) {
+        std::int64_t op = m->target.value;
+        ASSERT_FALSE(expected[op].empty());
+        EXPECT_EQ(m->id.value, expected[op].front());
+        expected[op].pop_front();
+        sched->OnComplete(m->target, WorkerId{w}, now);
+        ++dispatched;
+        progress = true;
+      }
+    }
+  }
+  EXPECT_EQ(dispatched, enqueued);
+  EXPECT_EQ(sched->pending(), 0u);
+  for (auto& [op, q] : expected) {
+    EXPECT_TRUE(q.empty()) << "operator " << op << " lost messages";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, MailboxInvariants,
+                         ::testing::Values(SchedulerKind::kCameo,
+                                           SchedulerKind::kFifo,
+                                           SchedulerKind::kOrleans,
+                                           SchedulerKind::kSlot),
+                         [](const auto& info) { return ToString(info.param); });
+
+TEST(MailboxProperty, DrainPreservesPushOrderAndCounts) {
+  // The raw mailbox: any mix of pushes and claim/drain/pop cycles preserves
+  // FIFO order and the size counter.
+  Mailbox mb(MailboxOrder::kFifo);
+  Rng rng(7);
+  std::int64_t pushed = 0, popped = 0;
+  std::deque<std::int64_t> order;
+  for (int round = 0; round < 500; ++round) {
+    std::int64_t n = rng.UniformInt(0, 5);
+    for (std::int64_t i = 0; i < n; ++i) {
+      Message m;
+      m.id = MessageId{pushed};
+      order.push_back(pushed);
+      ++pushed;
+      mb.Push(std::move(m));
+    }
+    EXPECT_EQ(mb.size(), pushed - popped);
+    if (rng.Chance(0.7) && mb.size() > 0) {
+      ASSERT_TRUE(mb.TryClaim());
+      mb.DrainInbox();
+      std::int64_t take = rng.UniformInt(1, mb.size());
+      for (std::int64_t i = 0; i < take && !mb.buffer_empty(); ++i) {
+        Message m = mb.PopBest();
+        ASSERT_FALSE(order.empty());
+        EXPECT_EQ(m.id.value, order.front());
+        order.pop_front();
+        ++popped;
+      }
+      ReleaseMailbox(mb, [](Mailbox&) { return 0; }, [](int, std::uint64_t) {});
+    }
+  }
+  EXPECT_EQ(mb.size(), pushed - popped);
 }
 
 // ---------------- Starvation guard (§6.3) ----------------

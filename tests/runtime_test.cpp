@@ -91,7 +91,9 @@ TEST(ThreadRuntimeTest, DrainWaitsForDownstreamWork) {
 }
 
 TEST(ThreadRuntimeTest, AllSchedulersDrainCleanly) {
-  for (int sched = 0; sched < 4; ++sched) {
+  for (SchedulerKind sched :
+       {SchedulerKind::kCameo, SchedulerKind::kFifo, SchedulerKind::kOrleans,
+        SchedulerKind::kSlot}) {
     DataflowGraph graph;
     QuerySpec spec = MakeLatencySensitiveSpec("LS0");
     spec.sources = 2;
@@ -108,7 +110,7 @@ TEST(ThreadRuntimeTest, AllSchedulersDrainCleanly) {
     }
     rt.Drain();
     rt.Stop();
-    EXPECT_GE(rt.latency().outputs(h.job), 3u) << "scheduler " << sched;
+    EXPECT_GE(rt.latency().outputs(h.job), 3u) << ToString(sched);
   }
 }
 
