@@ -227,4 +227,72 @@ TokenScenarioResult RunTokenScenario(const TokenScenarioOptions& opt) {
   return out;
 }
 
+ChurnScenarioResult RunChurnScenario(const ChurnScenarioOptions& opt) {
+  DataflowGraph graph;
+  std::vector<JobHandles> background;
+  for (int i = 0; i < opt.background_ba_jobs; ++i) {
+    QuerySpec spec = MakeBulkAnalyticsSpec("BA" + std::to_string(i));
+    spec.sources = opt.sources_per_job;
+    spec.aggs = opt.aggs_per_job;
+    spec.msgs_per_sec_per_source = opt.ba_msgs_per_sec;
+    spec.tuples_per_msg = opt.ba_tuples_per_msg;
+    background.push_back(BuildAggregationJob(graph, spec));
+  }
+
+  ClusterConfig cfg;
+  cfg.num_workers = opt.workers;
+  cfg.scheduler = opt.scheduler;
+  cfg.sched.quantum = opt.quantum;
+  cfg.policy = opt.policy;
+  cfg.seed = opt.seed;
+  cfg.token_total_rate = opt.token_total_rate;
+  Cluster cluster(cfg, std::move(graph));
+
+  for (std::size_t i = 0; i < background.size(); ++i) {
+    Duration base_phase = static_cast<Duration>(i) * Millis(1);
+    cluster.AddIngestion(
+        background[i].source,
+        MakeFactory(opt.ba_arrivals, opt.ba_msgs_per_sec,
+                    opt.ba_tuples_per_msg, 0, opt.duration, opt.pareto_alpha,
+                    base_phase),
+        Millis(50));
+  }
+
+  // The churn script itself draws from its own RNG stream so adding a
+  // tenant never perturbs the background workload's randomness.
+  Rng churn_rng(opt.seed * 9176 + 11);
+  ChurnScenarioResult out;
+  out.script = GenerateTenantChurn(opt.churn, churn_rng);
+  for (const TenantInterval& ti : out.script.tenants) {
+    QuerySpec spec = MakeLatencySensitiveSpec("T" + std::to_string(ti.tenant));
+    spec.sources = opt.tenant_sources;
+    spec.aggs = opt.tenant_aggs;
+    spec.latency_constraint = opt.tenant_constraint;
+    spec.msgs_per_sec_per_source = opt.tenant_msgs_per_sec;
+    spec.tuples_per_msg = opt.tenant_tuples_per_msg;
+    if (opt.token_total_rate > 0) spec.token_rate_per_sec = 1;  // equal weight
+    SimTime depart = std::min<SimTime>(ti.depart, opt.duration);
+    // Batching clients close intervals at window boundaries regardless of
+    // when the query registered, so the ingestion clock starts at the first
+    // boundary after arrival (otherwise every window would trail its
+    // trigger batch by up to a full window).
+    SimTime aligned_start =
+        ((ti.arrive + spec.window - 1) / spec.window) * spec.window;
+    cluster.ScheduleQuery(
+        ti.arrive, depart,
+        [spec](DataflowGraph& g) { return BuildAggregationJob(g, spec); },
+        MakeFactory(ArrivalKind::kConstant, spec.msgs_per_sec_per_source,
+                    spec.tuples_per_msg, aligned_start, depart, 1.5,
+                    Millis(2) + (ti.tenant % 7) * Millis(3)),
+        Millis(50));
+    ++out.tenants_added;
+    if (ti.depart <= opt.duration) ++out.tenants_departed;
+  }
+
+  cluster.Run(opt.duration);
+  out.run = SummarizeRun(cluster, opt.duration);
+  out.messages_purged = cluster.messages_purged();
+  return out;
+}
+
 }  // namespace cameo

@@ -9,6 +9,7 @@
 
 #include "sim/cluster.h"
 #include "sim/driver.h"
+#include "workload/churn.h"
 #include "workload/tenants.h"
 #include "workload/trace.h"
 
@@ -125,5 +126,51 @@ struct TokenScenarioResult {
 
 /// §5.4 / Fig. 6: token-based proportional fair sharing.
 TokenScenarioResult RunTokenScenario(const TokenScenarioOptions& opt);
+
+struct ChurnScenarioOptions {
+  /// Static background load: bulk-analytics jobs that keep the workers busy
+  /// for the whole run (the contention the churned tenants must live with).
+  /// Pareto arrivals by default: the per-second bursts are what separates
+  /// deadline-aware ordering from FIFO in the tenants' tail.
+  int background_ba_jobs = 2;
+  double ba_msgs_per_sec = 35;
+  std::int64_t ba_tuples_per_msg = 1000;
+  ArrivalKind ba_arrivals = ArrivalKind::kPareto;
+  double pareto_alpha = 1.2;
+  int sources_per_job = 8;
+  int aggs_per_job = 4;
+
+  /// Churned tenants: latency-sensitive queries joining/leaving per a
+  /// GenerateTenantChurn script (Poisson arrivals, Pareto lifetimes).
+  TenantChurnSpec churn;
+  int tenant_sources = 4;
+  int tenant_aggs = 2;
+  Duration tenant_constraint = Millis(800);
+  double tenant_msgs_per_sec = 1.0;
+  std::int64_t tenant_tuples_per_msg = 1000;
+
+  int workers = 4;
+  SimTime duration = Seconds(60);
+  SchedulerKind scheduler = SchedulerKind::kCameo;
+  std::string policy = "LLF";
+  Duration quantum = kMillisecond;
+  std::uint64_t seed = 1;
+  /// > 0: total token rate re-shared across live tenants on every
+  /// membership change (exercises §5.4 under churn).
+  double token_total_rate = 0;
+};
+
+struct ChurnScenarioResult {
+  RunResult run;
+  /// The script that was replayed (tenant jobs are named "T<i>").
+  TenantChurnScript script;
+  int tenants_added = 0;
+  int tenants_departed = 0;  // within the horizon
+  std::int64_t messages_purged = 0;
+};
+
+/// Replays a tenant-churn script on sim::Cluster over a static background
+/// load; jobs are "BA<i>" (background) and "T<i>" (churned tenants).
+ChurnScenarioResult RunChurnScenario(const ChurnScenarioOptions& opt);
 
 }  // namespace cameo

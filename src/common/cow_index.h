@@ -1,0 +1,94 @@
+// Read-mostly copy-on-write pointer index, the membership primitive behind
+// dynamic multi-tenancy (DESIGN.md §1). Lookups are lock-free against an
+// immutable published snapshot; inserts copy-and-publish under a mutex.
+// Retired snapshots and erased values are kept alive for the index's
+// lifetime, so a reader holding a pointer across an arbitrary interleaving
+// of inserts/erases never races reclamation.
+//
+// This generalizes the pattern MailboxTable introduced for mailboxes to
+// every table that must grow (or shrink) while workers are running:
+// operator -> converter, operator -> profiler entry, job -> runtime state.
+// Mutation is O(n) per publish (one map copy), which is fine at query
+// add/remove rate; the per-message path only ever calls Find().
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace cameo {
+
+template <typename Key, typename Value>
+class CowIndex {
+ public:
+  CowIndex() { map_.store(new Map(), std::memory_order_release); }
+  ~CowIndex() { delete map_.load(std::memory_order_acquire); }
+
+  CowIndex(const CowIndex&) = delete;
+  CowIndex& operator=(const CowIndex&) = delete;
+
+  /// Lock-free snapshot lookup; nullptr if `key` is absent.
+  Value* Find(const Key& key) const {
+    const Map* m = map_.load(std::memory_order_acquire);
+    auto it = m->find(key);
+    return it == m->end() ? nullptr : it->second;
+  }
+
+  /// Lookup-or-insert. `make()` builds the value on the slow path (under the
+  /// grow mutex, one map copy).
+  template <typename MakeFn>
+  Value& GetOrCreate(const Key& key, MakeFn&& make) {
+    if (Value* v = Find(key)) return *v;
+    std::lock_guard lock(grow_mu_);
+    const Map* cur = map_.load(std::memory_order_acquire);
+    auto it = cur->find(key);
+    if (it != cur->end()) return *it->second;  // lost the insert race
+    owned_.push_back(make());
+    auto next = std::make_unique<Map>(*cur);
+    (*next)[key] = owned_.back().get();
+    Publish(std::move(next), cur);
+    return *owned_.back().get();
+  }
+
+  /// Batch insert in one snapshot rebuild; keys already present are skipped.
+  /// `make(key)` builds each new value.
+  template <typename Keys, typename MakeFn>
+  void InsertAll(const Keys& keys, MakeFn&& make) {
+    std::lock_guard lock(grow_mu_);
+    const Map* cur = map_.load(std::memory_order_acquire);
+    auto next = std::make_unique<Map>(*cur);
+    bool changed = false;
+    for (const Key& key : keys) {
+      if (next->find(key) != next->end()) continue;
+      owned_.push_back(make(key));
+      (*next)[key] = owned_.back().get();
+      changed = true;
+    }
+    if (changed) Publish(std::move(next), cur);
+  }
+
+  // Deliberately no erase: retirement keeps entries mapped so a stale id
+  // can never be resurrected with a fresh value by a late lookup (see
+  // MailboxTable).
+
+  std::size_t size() const {
+    return map_.load(std::memory_order_acquire)->size();
+  }
+
+ private:
+  using Map = std::unordered_map<Key, Value*>;
+
+  void Publish(std::unique_ptr<Map> next, const Map* cur) {
+    retired_.emplace_back(cur);  // readers may still hold the old snapshot
+    map_.store(next.release(), std::memory_order_release);
+  }
+
+  std::atomic<const Map*> map_;
+  mutable std::mutex grow_mu_;
+  std::vector<std::unique_ptr<Value>> owned_;
+  std::vector<std::unique_ptr<const Map>> retired_;
+};
+
+}  // namespace cameo

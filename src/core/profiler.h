@@ -6,10 +6,15 @@
 // exponentially weighted moving average per operator. Estimates can be
 // perturbed with N(0, sigma) noise to reproduce the paper's measurement-
 // inaccuracy study (Fig. 16).
+//
+// Thread safety: entries live behind a copy-on-write index so Seed() for a
+// hot-added query's operators can run concurrently with workers calling
+// Record/Estimate on other operators. A single entry is only ever touched
+// under its operator's actor-model exclusivity; the perturbation RNG is a
+// simulator-only feature (single-threaded backend).
 #pragma once
 
-#include <unordered_map>
-
+#include "common/cow_index.h"
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/time.h"
@@ -46,9 +51,11 @@ class CostProfiler {
     std::uint64_t count = 0;
   };
 
+  Entry& entry(OperatorId op);
+
   double smoothing_;
   Duration perturb_sigma_ = 0;
-  std::unordered_map<OperatorId, Entry> entries_;
+  CowIndex<OperatorId, Entry> entries_;
   mutable Rng noise_rng_;
 };
 

@@ -4,12 +4,29 @@
 
 namespace cameo {
 
+DataflowGraph::DataflowGraph() : s_(std::make_unique<State>()) {
+  s_->topo.store(new Topology(), std::memory_order_release);
+}
+
+template <typename Fn>
+void DataflowGraph::Mutate(Fn&& fn) {
+  std::lock_guard lock(s_->mutate_mu_);
+  const Topology* cur = s_->topo.load(std::memory_order_acquire);
+  auto next = std::make_unique<Topology>(*cur);
+  fn(*next);
+  s_->retired.emplace_back(cur);  // readers may still hold the old snapshot
+  s_->topo.store(next.release(), std::memory_order_release);
+}
+
 JobId DataflowGraph::AddJob(JobSpec spec) {
   CAMEO_EXPECTS(spec.latency_constraint >= 0);
-  JobId id{static_cast<std::int64_t>(jobs_.size())};
-  jobs_.push_back(std::move(spec));
-  job_ids_.push_back(id);
-  job_stages_.emplace_back();
+  JobId id;
+  Mutate([&](Topology& t) {
+    id = JobId{static_cast<std::int64_t>(t.jobs.size())};
+    JobEntry entry;
+    entry.spec = std::move(spec);
+    t.jobs.push_back(std::move(entry));
+  });
   return id;
 }
 
@@ -17,82 +34,149 @@ StageId DataflowGraph::AddStage(JobId job, const std::string& name,
                                 int parallelism,
                                 const OperatorFactory& factory) {
   CAMEO_EXPECTS(job.valid() &&
-                static_cast<std::size_t>(job.value) < jobs_.size());
+                static_cast<std::size_t>(job.value) < job_count());
   CAMEO_EXPECTS(parallelism >= 1);
-  StageId sid{static_cast<std::int64_t>(stages_.size())};
-  StageInfo info;
-  info.id = sid;
-  info.job = job;
-  info.name = name;
-  info.parallelism = parallelism;
-  for (int i = 0; i < parallelism; ++i) {
-    auto op = factory(i);
-    CAMEO_CHECK(op != nullptr);
-    OperatorId oid{static_cast<std::int64_t>(operators_.size())};
-    op->Bind(oid, sid, job);
-    info.operators.push_back(oid);
-    operators_.push_back(std::move(op));
-  }
-  stages_.push_back(std::move(info));
-  job_stages_[static_cast<std::size_t>(job.value)].push_back(sid);
+  StageId sid;
+  Mutate([&](Topology& t) {
+    sid = StageId{static_cast<std::int64_t>(t.stages.size())};
+    StageInfo info;
+    info.id = sid;
+    info.job = job;
+    info.name = name;
+    info.parallelism = parallelism;
+    for (int i = 0; i < parallelism; ++i) {
+      auto op = factory(i);
+      CAMEO_CHECK(op != nullptr);
+      OperatorId oid{static_cast<std::int64_t>(t.operators.size())};
+      op->Bind(oid, sid, job);
+      info.operators.push_back(oid);
+      t.operators.push_back(op.get());
+      s_->owned_operators.push_back(std::move(op));
+    }
+    t.stages.push_back(std::move(info));
+    t.jobs[static_cast<std::size_t>(job.value)].stages.push_back(sid);
+  });
   return sid;
 }
 
 int DataflowGraph::Connect(StageId from, StageId to, Partition partition) {
-  StageInfo& src = stage_mut(from);
-  StageInfo& dst = stage_mut(to);
-  CAMEO_EXPECTS(src.job == dst.job);
-  if (partition == Partition::kOneToOne) {
-    CAMEO_EXPECTS(src.parallelism == dst.parallelism);
-  }
-  src.downstream.push_back(to);
-  src.partition.push_back(partition);
-  dst.upstream.push_back(from);
-  return static_cast<int>(src.downstream.size()) - 1;
+  int port = -1;
+  Mutate([&](Topology& t) {
+    CAMEO_EXPECTS(from.valid() &&
+                  static_cast<std::size_t>(from.value) < t.stages.size());
+    CAMEO_EXPECTS(to.valid() &&
+                  static_cast<std::size_t>(to.value) < t.stages.size());
+    StageInfo& src = t.stages[static_cast<std::size_t>(from.value)];
+    StageInfo& dst = t.stages[static_cast<std::size_t>(to.value)];
+    CAMEO_EXPECTS(src.job == dst.job);
+    if (partition == Partition::kOneToOne) {
+      CAMEO_EXPECTS(src.parallelism == dst.parallelism);
+    }
+    src.downstream.push_back(to);
+    src.partition.push_back(partition);
+    dst.upstream.push_back(from);
+    port = static_cast<int>(src.downstream.size()) - 1;
+  });
+  return port;
+}
+
+JobId DataflowGraph::AddQuery(
+    const std::function<JobId(DataflowGraph&)>& build) {
+  std::size_t jobs_before = job_count();
+  JobId job = build(*this);
+  CAMEO_CHECK(job.valid() &&
+              static_cast<std::size_t>(job.value) >= jobs_before &&
+              static_cast<std::size_t>(job.value) < job_count());
+  CAMEO_CHECK(query_live(job));
+  return job;
+}
+
+std::vector<OperatorId> DataflowGraph::RemoveQuery(JobId job) {
+  std::vector<OperatorId> ops = OperatorsOf(job);
+  Mutate([&](Topology& t) {
+    JobEntry& entry = t.jobs[static_cast<std::size_t>(job.value)];
+    CAMEO_EXPECTS(entry.live);
+    entry.live = false;
+  });
+  return ops;
+}
+
+bool DataflowGraph::query_live(JobId job) const {
+  return job_entry(job).live;
+}
+
+std::size_t DataflowGraph::live_job_count() const {
+  const Topology* t = topo();
+  return static_cast<std::size_t>(
+      std::count_if(t->jobs.begin(), t->jobs.end(),
+                    [](const JobEntry& j) { return j.live; }));
 }
 
 Operator& DataflowGraph::Get(OperatorId id) {
-  CAMEO_EXPECTS(Contains(id));
-  return *operators_[static_cast<std::size_t>(id.value)];
+  const Topology* t = topo();
+  CAMEO_EXPECTS(id.valid() &&
+                static_cast<std::size_t>(id.value) < t->operators.size());
+  return *t->operators[static_cast<std::size_t>(id.value)];
 }
 
 const Operator& DataflowGraph::Get(OperatorId id) const {
-  CAMEO_EXPECTS(Contains(id));
-  return *operators_[static_cast<std::size_t>(id.value)];
+  const Topology* t = topo();
+  CAMEO_EXPECTS(id.valid() &&
+                static_cast<std::size_t>(id.value) < t->operators.size());
+  return *t->operators[static_cast<std::size_t>(id.value)];
+}
+
+bool DataflowGraph::Contains(OperatorId id) const {
+  return id.valid() &&
+         static_cast<std::size_t>(id.value) < topo()->operators.size();
+}
+
+const DataflowGraph::JobEntry& DataflowGraph::job_entry(JobId id) const {
+  const Topology* t = topo();
+  CAMEO_EXPECTS(id.valid() &&
+                static_cast<std::size_t>(id.value) < t->jobs.size());
+  return t->jobs[static_cast<std::size_t>(id.value)];
 }
 
 const JobSpec& DataflowGraph::job(JobId id) const {
-  CAMEO_EXPECTS(id.valid() && static_cast<std::size_t>(id.value) < jobs_.size());
-  return jobs_[static_cast<std::size_t>(id.value)];
-}
-
-JobSpec& DataflowGraph::job(JobId id) {
-  CAMEO_EXPECTS(id.valid() && static_cast<std::size_t>(id.value) < jobs_.size());
-  return jobs_[static_cast<std::size_t>(id.value)];
+  return job_entry(id).spec;
 }
 
 const StageInfo& DataflowGraph::stage(StageId id) const {
+  const Topology* t = topo();
   CAMEO_EXPECTS(id.valid() &&
-                static_cast<std::size_t>(id.value) < stages_.size());
-  return stages_[static_cast<std::size_t>(id.value)];
+                static_cast<std::size_t>(id.value) < t->stages.size());
+  return t->stages[static_cast<std::size_t>(id.value)];
 }
 
-StageInfo& DataflowGraph::stage_mut(StageId id) {
-  CAMEO_EXPECTS(id.valid() &&
-                static_cast<std::size_t>(id.value) < stages_.size());
-  return stages_[static_cast<std::size_t>(id.value)];
+std::size_t DataflowGraph::job_count() const { return topo()->jobs.size(); }
+
+std::size_t DataflowGraph::operator_count() const {
+  return topo()->operators.size();
+}
+
+std::vector<JobId> DataflowGraph::job_ids() const {
+  std::vector<JobId> out;
+  out.reserve(job_count());
+  for (std::size_t i = 0; i < job_count(); ++i) {
+    out.push_back(JobId{static_cast<std::int64_t>(i)});
+  }
+  return out;
 }
 
 const std::vector<StageId>& DataflowGraph::stages_of(JobId job) const {
-  CAMEO_EXPECTS(job.valid() &&
-                static_cast<std::size_t>(job.value) < job_stages_.size());
-  return job_stages_[static_cast<std::size_t>(job.value)];
+  return job_entry(job).stages;
 }
 
 std::vector<OperatorId> DataflowGraph::OperatorsOf(JobId job) const {
   std::vector<OperatorId> out;
-  for (StageId sid : stages_of(job)) {
-    const StageInfo& s = stage(sid);
+  // One snapshot for the whole walk, so a concurrent AddStage cannot mix
+  // generations.
+  const Topology* t = topo();
+  CAMEO_EXPECTS(job.valid() &&
+                static_cast<std::size_t>(job.value) < t->jobs.size());
+  for (StageId sid : t->jobs[static_cast<std::size_t>(job.value)].stages) {
+    const StageInfo& s = t->stages[static_cast<std::size_t>(sid.value)];
     out.insert(out.end(), s.operators.begin(), s.operators.end());
   }
   return out;
@@ -101,11 +185,19 @@ std::vector<OperatorId> DataflowGraph::OperatorsOf(JobId job) const {
 std::vector<DataflowGraph::Delivery> DataflowGraph::Route(OperatorId sender,
                                                           int port,
                                                           EventBatch batch) {
-  const Operator& op = Get(sender);
-  const StageInfo& src = stage(op.stage());
+  // One snapshot for sender, stage, and receivers: routing never sees a
+  // half-published query.
+  const Topology* t = topo();
+  CAMEO_EXPECTS(sender.valid() &&
+                static_cast<std::size_t>(sender.value) < t->operators.size());
+  const Operator& op = *t->operators[static_cast<std::size_t>(sender.value)];
+  const StageInfo& src =
+      t->stages[static_cast<std::size_t>(op.stage().value)];
   CAMEO_EXPECTS(port >= 0 &&
                 static_cast<std::size_t>(port) < src.downstream.size());
-  const StageInfo& dst = stage(src.downstream[static_cast<std::size_t>(port)]);
+  const StageInfo& dst =
+      t->stages[static_cast<std::size_t>(
+          src.downstream[static_cast<std::size_t>(port)].value)];
   Partition part = src.partition[static_cast<std::size_t>(port)];
 
   std::vector<Delivery> out;
@@ -171,8 +263,8 @@ std::size_t DataflowGraph::NextReplica(std::int64_t edge,
                                        std::size_t replicas) {
   // Workers route concurrently in the wall-clock runtime; the cursor map is
   // the only mutable routing state, so it gets its own small lock.
-  std::lock_guard lock(*rr_mu_);
-  std::size_t& next = rr_state_[edge];
+  std::lock_guard lock(s_->rr_mu);
+  std::size_t& next = s_->rr_state[edge];
   std::size_t pick = next % replicas;
   next = (next + 1) % replicas;
   return pick;
@@ -180,8 +272,13 @@ std::size_t DataflowGraph::NextReplica(std::int64_t edge,
 
 std::vector<StageId> DataflowGraph::SinkStages(JobId job) const {
   std::vector<StageId> out;
-  for (StageId sid : stages_of(job)) {
-    if (stage(sid).downstream.empty()) out.push_back(sid);
+  const Topology* t = topo();
+  CAMEO_EXPECTS(job.valid() &&
+                static_cast<std::size_t>(job.value) < t->jobs.size());
+  for (StageId sid : t->jobs[static_cast<std::size_t>(job.value)].stages) {
+    if (t->stages[static_cast<std::size_t>(sid.value)].downstream.empty()) {
+      out.push_back(sid);
+    }
   }
   return out;
 }

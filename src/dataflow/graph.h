@@ -2,8 +2,28 @@
 // stage parallelized into operators (paper §4.1). The graph owns the
 // operators and answers routing queries: given an emitting operator and an
 // output port, which operator(s) receive the batch and with what partitioning.
+//
+// Dynamic multi-tenancy: the topology is no longer frozen before execution.
+// All read accessors (Get/Route/job/stage/...) resolve against an immutable
+// published snapshot, loaded lock-free, so workers can route while a control
+// thread splices a new query in (AddQuery) or marks one retired
+// (RemoveQuery). Mutations copy-and-publish the snapshot under a mutex;
+// retired snapshots and operators are kept alive for the graph's lifetime,
+// so references handed out earlier never dangle. Ids are append-only and
+// stable: removal never re-numbers anything, it only flips the job's `live`
+// bit (the runtime layers own the actual quiesce/retire of mailboxes and
+// ingestion).
+//
+// Cost trade-off: every AddJob/AddStage/Connect/RemoveQuery publishes one
+// full topology copy that is retained for the graph's lifetime, so memory
+// under sustained churn grows O(mutations * topology size). That is fine at
+// this repo's scale (splicing a tenant is a handful of copies of a small
+// struct-of-vectors); a very-long-lived server would want epoch-based
+// reclamation of retired snapshots once no reader can still hold them.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -63,6 +83,10 @@ struct StageInfo {
 
 class DataflowGraph {
  public:
+  DataflowGraph();
+  DataflowGraph(DataflowGraph&&) = default;
+  DataflowGraph& operator=(DataflowGraph&&) = default;
+
   JobId AddJob(JobSpec spec);
 
   /// Adds a stage of `parallelism` operators built by `factory`.
@@ -72,19 +96,35 @@ class DataflowGraph {
   /// Connects `from` -> `to`; returns the output port index on `from`.
   int Connect(StageId from, StageId to, Partition partition);
 
+  /// Splices a whole query subgraph into the (possibly running) topology:
+  /// `build` composes AddJob/AddStage/Connect and returns the new job's id,
+  /// which is validated and echoed back. Purely a semantic wrapper -- the
+  /// query only receives traffic once the owning runtime starts ingesting
+  /// into its sources.
+  JobId AddQuery(const std::function<JobId(DataflowGraph&)>& build);
+
+  /// Marks `job` retired and returns all of its operator ids (for mailbox
+  /// retirement). Ids and references stay valid; Route still resolves for
+  /// in-flight stragglers, and `query_live` flips to false.
+  std::vector<OperatorId> RemoveQuery(JobId job);
+
+  /// False once RemoveQuery(job) has run.
+  bool query_live(JobId job) const;
+  /// Number of jobs not yet removed.
+  std::size_t live_job_count() const;
+
   Operator& Get(OperatorId id);
   const Operator& Get(OperatorId id) const;
-  bool Contains(OperatorId id) const {
-    return id.valid() && static_cast<std::size_t>(id.value) < operators_.size();
-  }
+  bool Contains(OperatorId id) const;
 
   const JobSpec& job(JobId id) const;
-  JobSpec& job(JobId id);
   const StageInfo& stage(StageId id) const;
 
-  std::size_t job_count() const { return jobs_.size(); }
-  std::size_t operator_count() const { return operators_.size(); }
-  const std::vector<JobId>& job_ids() const { return job_ids_; }
+  std::size_t job_count() const;
+  std::size_t operator_count() const;
+  /// Every job ever added, in id order (including retired ones, so metrics
+  /// can keep reporting a removed tenant's history).
+  std::vector<JobId> job_ids() const;
   const std::vector<StageId>& stages_of(JobId job) const;
 
   /// All operators of a job, across stages.
@@ -105,19 +145,45 @@ class DataflowGraph {
   std::vector<StageId> SinkStages(JobId job) const;
 
  private:
-  StageInfo& stage_mut(StageId id);
+  struct JobEntry {
+    JobSpec spec;
+    std::vector<StageId> stages;
+    bool live = true;
+  };
+  /// One immutable topology snapshot. Snapshots are append-only relative to
+  /// their predecessor (plus `live` flips), so indices are stable across
+  /// publications.
+  struct Topology {
+    std::vector<JobEntry> jobs;
+    std::vector<StageInfo> stages;
+    std::vector<Operator*> operators;
+  };
+  /// Mutable state behind a unique_ptr so the graph stays movable despite
+  /// the atomic snapshot pointer.
+  struct State {
+    std::atomic<const Topology*> topo{nullptr};
+    std::mutex mutate_mu_;
+    std::vector<std::unique_ptr<Operator>> owned_operators;
+    std::vector<std::unique_ptr<const Topology>> retired;
+    // Round-robin routing cursors, the only mutable state Route() touches
+    // outside snapshot publication; guarded so concurrent workers can route.
+    std::mutex rr_mu;
+    std::unordered_map<std::int64_t, std::size_t> rr_state;  // edge -> next
+    ~State() { delete topo.load(std::memory_order_acquire); }
+  };
+
+  const Topology* topo() const {
+    return s_->topo.load(std::memory_order_acquire);
+  }
+  /// Copies the current snapshot, applies `fn`, publishes. Caller must not
+  /// hold mutate_mu_.
+  template <typename Fn>
+  void Mutate(Fn&& fn);
+
+  const JobEntry& job_entry(JobId id) const;
   std::size_t NextReplica(std::int64_t edge, std::size_t replicas);
 
-  std::vector<JobSpec> jobs_;
-  std::vector<JobId> job_ids_;
-  std::vector<std::vector<StageId>> job_stages_;
-  std::vector<StageInfo> stages_;
-  std::vector<std::unique_ptr<Operator>> operators_;
-  // Round-robin routing cursors, the only mutable state Route() touches;
-  // guarded so concurrent workers can route (topology itself is frozen
-  // before execution starts). Behind a unique_ptr so the graph stays movable.
-  std::unique_ptr<std::mutex> rr_mu_ = std::make_unique<std::mutex>();
-  std::unordered_map<std::int64_t, std::size_t> rr_state_;  // edge -> next
+  std::unique_ptr<State> s_;
 };
 
 }  // namespace cameo

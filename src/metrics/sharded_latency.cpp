@@ -5,20 +5,24 @@
 namespace cameo {
 
 ShardedLatencyRecorder::ShardedLatencyRecorder(int worker_shards) {
-  CAMEO_EXPECTS(worker_shards >= 1);
-  shards_.reserve(static_cast<std::size_t>(worker_shards));
-  for (int i = 0; i < worker_shards; ++i) {
-    shards_.push_back(std::make_unique<LatencyRecorder>());
+  CAMEO_EXPECTS(worker_shards >= 1 && worker_shards <= kMaxShards);
+  shards_.reserve(kMaxShards);
+  for (int i = 0; i < kMaxShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
   }
 }
 
 void ShardedLatencyRecorder::RegisterJob(JobId job, Duration latency_constraint,
                                          LogicalTime output_window,
                                          LogicalTime output_slide) {
-  std::lock_guard lock(ingest_mu_);
-  ingest_.RegisterJob(job, latency_constraint, output_window, output_slide);
+  {
+    std::lock_guard lock(ingest_mu_);
+    ingest_.RegisterJob(job, latency_constraint, output_window, output_slide);
+  }
   for (auto& shard : shards_) {
-    shard->RegisterJob(job, latency_constraint, output_window, output_slide);
+    std::lock_guard lock(shard->mu);
+    shard->rec.RegisterJob(job, latency_constraint, output_window,
+                           output_slide);
   }
 }
 
@@ -43,13 +47,16 @@ void ShardedLatencyRecorder::OnSinkOutput(int shard, JobId job,
     last = ingest_.LastArrivalFor(job, window_end);
   }
   if (!last.has_value()) return;  // empty window: no latency defined
-  shards_[static_cast<std::size_t>(shard)]->RecordOutput(job, emit,
-                                                         emit - *last);
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  std::lock_guard lock(s.mu);
+  s.rec.RecordOutput(job, emit, emit - *last);
 }
 
 void ShardedLatencyRecorder::OnSinkTuples(int shard, JobId job,
                                           std::int64_t tuples, SimTime now) {
-  shards_[static_cast<std::size_t>(shard)]->OnSinkTuples(job, tuples, now);
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  std::lock_guard lock(s.mu);
+  s.rec.OnSinkTuples(job, tuples, now);
 }
 
 LatencyRecorder ShardedLatencyRecorder::Merged() const {
@@ -58,7 +65,10 @@ LatencyRecorder ShardedLatencyRecorder::Merged() const {
     std::lock_guard lock(ingest_mu_);
     merged.MergeFrom(ingest_);
   }
-  for (const auto& shard : shards_) merged.MergeFrom(*shard);
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    merged.MergeFrom(shard->rec);
+  }
   return merged;
 }
 

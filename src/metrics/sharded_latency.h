@@ -4,10 +4,15 @@
 // bookkeeping (which slide bucket last saw an event) must be globally visible
 // to whichever worker emits the window, so it lives in one ingest-side
 // recorder behind a small mutex touched at ingest/output rate -- not per
-// message. Everything a sink-side worker accumulates (samples, counters,
-// series) goes into that worker's private shard with no synchronization at
-// all. Readers merge ingest + shards into a plain LatencyRecorder; reads are
-// exact once workers are quiescent (after Drain()).
+// message. Sink-side accumulation (samples, counters, series) goes into the
+// emitting worker's shard under a per-shard mutex that only that worker
+// normally touches, so it is uncontended at steady state; the lock exists
+// because dynamic multi-tenancy registers hot-added queries into every shard
+// while workers are live, and elastic worker pools merge shards mid-run.
+// Shard slots are pre-allocated for the scheduler's whole worker-id range,
+// so growing the pool needs no publication protocol at all. Readers merge
+// ingest + shards into a plain LatencyRecorder; reads are exact once workers
+// are quiescent (after Drain()).
 #pragma once
 
 #include <memory>
@@ -20,9 +25,16 @@ namespace cameo {
 
 class ShardedLatencyRecorder {
  public:
+  /// Matches Scheduler::kMaxWorkers: one shard per possible worker id.
+  static constexpr int kMaxShards = 256;
+
+  /// `worker_shards` is the initially active worker count (validated
+  /// against kMaxShards); all shard slots are allocated up front so the
+  /// runtime can grow its pool later without touching this class.
   explicit ShardedLatencyRecorder(int worker_shards);
 
-  /// Declares a job on the ingest recorder and every shard.
+  /// Declares a job on the ingest recorder and every shard. Safe while
+  /// workers are recording (query hot-add).
   void RegisterJob(JobId job, Duration latency_constraint,
                    LogicalTime output_window, LogicalTime output_slide);
 
@@ -30,7 +42,8 @@ class ShardedLatencyRecorder {
   void OnSourceEvent(JobId job, LogicalTime p, SimTime arrival);
   void OnProcessed(JobId job, std::int64_t tuples, SimTime now);
 
-  // ---- worker side (`shard` = worker index; one writer per shard) ----
+  // ---- worker side (`shard` = worker index; per-shard mutex, uncontended
+  // ---- unless a hot-add registration or a merge read races it) ----
   void OnSinkOutput(int shard, JobId job, LogicalTime window_end, SimTime emit);
   void OnSinkTuples(int shard, JobId job, std::int64_t tuples, SimTime now);
 
@@ -54,9 +67,14 @@ class ShardedLatencyRecorder {
   std::vector<JobId> jobs() const;
 
  private:
+  struct Shard {
+    std::mutex mu;
+    LatencyRecorder rec;
+  };
+
   mutable std::mutex ingest_mu_;
   LatencyRecorder ingest_;  // arrivals + processed-volume accounting
-  std::vector<std::unique_ptr<LatencyRecorder>> shards_;  // sink-side samples
+  std::vector<std::unique_ptr<Shard>> shards_;  // sink-side samples
 };
 
 }  // namespace cameo

@@ -47,32 +47,77 @@ ThreadRuntime::ThreadRuntime(RuntimeConfig config, DataflowGraph graph)
       start_(std::chrono::steady_clock::now()) {
   CAMEO_EXPECTS(config.num_workers >= 1 &&
                 config.num_workers <= Scheduler::kMaxWorkers);
-  for (JobId job : graph_.job_ids()) {
-    const JobSpec& spec = graph_.job(job);
-    latency_.RegisterJob(job, spec.latency_constraint, spec.output_window,
-                         spec.output_slide);
-    ConverterOptions options;
-    options.use_query_semantics = config_.use_query_semantics;
-    options.time_domain = spec.time_domain;
-    for (OperatorId op : graph_.OperatorsOf(job)) {
-      converters_.emplace(
-          op, std::make_unique<ContextConverter>(policy_.get(), options));
-      // Pre-create the profiler entry so hot-path Record/Estimate calls never
-      // mutate the map structure concurrently.
-      profiler_.Seed(op, 0);
-      if (graph_.Get(op).is_source()) {
-        sources_.emplace(op, std::make_unique<SourceState>());
-      }
-    }
-  }
+  std::lock_guard control(control_mu_);
+  for (JobId job : graph_.job_ids()) RegisterJobTables(job);
 }
 
 ThreadRuntime::~ThreadRuntime() { Stop(); }
 
+void ThreadRuntime::RegisterJobTables(JobId job) {
+  const JobSpec& spec = graph_.job(job);
+  latency_.RegisterJob(job, spec.latency_constraint, spec.output_window,
+                       spec.output_slide);
+  ConverterOptions options;
+  options.use_query_semantics = config_.use_query_semantics;
+  options.time_domain = spec.time_domain;
+  std::vector<OperatorId> ops = graph_.OperatorsOf(job);
+  converters_.InsertAll(ops, [&](OperatorId) {
+    return std::make_unique<ContextConverter>(policy_.get(), options);
+  });
+  std::vector<OperatorId> source_ops;
+  for (OperatorId op : ops) {
+    // Pre-create the profiler entry so hot-path Record/Estimate calls never
+    // take its slow path concurrently.
+    profiler_.Seed(op, 0);
+    if (graph_.Get(op).is_source()) source_ops.push_back(op);
+  }
+  sources_.InsertAll(source_ops,
+                     [](OperatorId) { return std::make_unique<SourceState>(); });
+  job_states_.GetOrCreate(job, [] { return std::make_unique<JobState>(); });
+}
+
+JobId ThreadRuntime::AddQuery(
+    const std::function<JobId(DataflowGraph&)>& build) {
+  std::lock_guard control(control_mu_);
+  JobId job = graph_.AddQuery(build);
+  // Tables are fully registered before the id escapes, so the first Ingest
+  // (which is what lets messages reach the new operators) finds everything.
+  RegisterJobTables(job);
+  return job;
+}
+
+void ThreadRuntime::RemoveQuery(JobId job) {
+  std::lock_guard control(control_mu_);
+  JobState* js = job_states_.Find(job);
+  CAMEO_EXPECTS(js != nullptr);
+  CAMEO_EXPECTS(js->live.load(std::memory_order_seq_cst));
+  // 1. Gate: producers that read live after this flip back off; producers
+  // that already passed the gate hold an inflight increment we wait for.
+  js->live.store(false, std::memory_order_seq_cst);
+  // 2. Per-job quiesce under everyone else's live traffic.
+  {
+    std::unique_lock lock(drain_mu_);
+    drain_cv_.wait(lock, [js] {
+      return js->inflight.load(std::memory_order_seq_cst) == 0;
+    });
+  }
+  // 3. Retire: mark the graph, park the mailboxes at kRetired, purge lazy
+  // ready entries. The quiesce guarantees the backlog was executed, so the
+  // purge finds nothing -- removal in this backend never drops a message.
+  std::vector<OperatorId> ops = graph_.RemoveQuery(job);
+  std::int64_t purged = scheduler_->RetireOperators(ops);
+  CAMEO_CHECK(purged == 0 && "graceful removal purged accepted messages");
+}
+
+bool ThreadRuntime::QueryLive(JobId job) const {
+  JobState* js = job_states_.Find(job);
+  return js != nullptr && js->live.load(std::memory_order_seq_cst);
+}
+
 ContextConverter& ThreadRuntime::converter(OperatorId op) {
-  auto it = converters_.find(op);
-  CAMEO_EXPECTS(it != converters_.end());
-  return *it->second;
+  ContextConverter* c = converters_.Find(op);
+  CAMEO_EXPECTS(c != nullptr);
+  return *c;
 }
 
 SimTime ThreadRuntime::Now() const {
@@ -85,9 +130,43 @@ void ThreadRuntime::Start() {
   CAMEO_EXPECTS(threads_.empty());
   start_ = std::chrono::steady_clock::now();
   stop_.store(false, std::memory_order_seq_cst);
+  std::lock_guard control(control_mu_);
+  target_workers_.store(config_.num_workers, std::memory_order_seq_cst);
   for (int i = 0; i < config_.num_workers; ++i) {
     threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
+}
+
+void ThreadRuntime::SetWorkerCount(int workers) {
+  CAMEO_EXPECTS(workers >= 1 && workers <= Scheduler::kMaxWorkers);
+  std::lock_guard control(control_mu_);
+  config_.num_workers = workers;
+  // Retarget placement first (and also before Start(): a statically pinned
+  // scheduler sized at construction would otherwise keep placing work on
+  // slots that will never have a worker).
+  scheduler_->SetWorkerTarget(workers);
+  if (threads_.empty()) return;  // not started yet: Start() spawns to target
+  int cur = static_cast<int>(threads_.size());
+  if (workers == cur) return;
+  target_workers_.store(workers, std::memory_order_seq_cst);
+  if (workers > cur) {
+    for (int i = cur; i < workers; ++i) {
+      threads_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+    return;
+  }
+  wake_cv_.notify_all();
+  for (int i = workers; i < cur; ++i) threads_[static_cast<std::size_t>(i)].join();
+  threads_.resize(static_cast<std::size_t>(workers));
+  // Second pass recovers any work the exiting workers parked on their
+  // private structures after the first retarget.
+  scheduler_->SetWorkerTarget(workers);
+}
+
+int ThreadRuntime::worker_count() const {
+  std::lock_guard control(control_mu_);
+  return threads_.empty() ? config_.num_workers
+                          : static_cast<int>(threads_.size());
 }
 
 void ThreadRuntime::Drain() {
@@ -106,14 +185,18 @@ void ThreadRuntime::Stop() {
   threads_.clear();
 }
 
-void ThreadRuntime::EnqueueTracked(Message m, WorkerId producer) {
+void ThreadRuntime::EnqueueTracked(Message m, WorkerId producer,
+                                   JobState& js) {
   inflight_.fetch_add(1, std::memory_order_seq_cst);
+  js.inflight.fetch_add(1, std::memory_order_seq_cst);
   scheduler_->Enqueue(std::move(m), producer, Now());
   wake_cv_.notify_one();
 }
 
-void ThreadRuntime::FinishOne() {
-  if (inflight_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+void ThreadRuntime::FinishOne(JobState& js) {
+  bool job_done = js.inflight.fetch_sub(1, std::memory_order_seq_cst) == 1;
+  bool all_done = inflight_.fetch_sub(1, std::memory_order_seq_cst) == 1;
+  if (job_done || all_done) {
     // Take the drain lock so a waiter cannot check the predicate and miss
     // this notification in between.
     std::lock_guard lock(drain_mu_);
@@ -121,31 +204,44 @@ void ThreadRuntime::FinishOne() {
   }
 }
 
-void ThreadRuntime::Ingest(OperatorId source, std::int64_t tuples,
+bool ThreadRuntime::Ingest(OperatorId source, std::int64_t tuples,
                            std::optional<LogicalTime> p) {
   const Operator& op = graph_.Get(source);
   CAMEO_EXPECTS(op.is_source());
   SimTime t = Now();
   LogicalTime logical = p.value_or(t);
   EventBatch batch = EventBatch::Synthetic(tuples, logical);
-  IngestBatch(source, std::move(batch));
+  return IngestBatch(source, std::move(batch));
 }
 
-void ThreadRuntime::IngestBatch(OperatorId source, EventBatch batch) {
+bool ThreadRuntime::IngestBatch(OperatorId source, EventBatch batch) {
   const Operator& op = graph_.Get(source);
   CAMEO_EXPECTS(op.is_source());
   const JobSpec& spec = graph_.job(op.job());
-  auto src_it = sources_.find(source);
-  CAMEO_EXPECTS(src_it != sources_.end());
-  SourceState& src = *src_it->second;
+  JobState* js = job_states_.Find(op.job());
+  SourceState* src = sources_.Find(source);
+  CAMEO_EXPECTS(js != nullptr && src != nullptr);
+  // Ingest gate (see JobState): the increment doubles as a guard that keeps
+  // RemoveQuery's quiesce from completing under our feet.
+  js->inflight.fetch_add(1, std::memory_order_seq_cst);
+  if (!js->live.load(std::memory_order_seq_cst)) {
+    // Back out of the guard; if RemoveQuery is already waiting, this release
+    // may be the zero it needs, so notify.
+    if (js->inflight.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+      std::lock_guard lock(drain_mu_);
+      drain_cv_.notify_all();
+    }
+    return false;
+  }
   SimTime t = Now();
   // Serialize per source channel only: progress must be monotone and the
-  // source's mailbox must receive batches in progress order.
-  std::lock_guard lock(src.mu);
-  if (batch.progress <= src.last_progress) {
-    batch.progress = src.last_progress + 1;
+  // source's mailbox must receive batches in progress order, so the lock
+  // covers the enqueue as well.
+  std::lock_guard lock(src->mu);
+  if (batch.progress <= src->last_progress) {
+    batch.progress = src->last_progress + 1;
   }
-  src.last_progress = batch.progress;
+  src->last_progress = batch.progress;
   latency_.OnSourceEvent(op.job(), batch.progress, t);
   SourceEvent e;
   e.p = batch.progress;
@@ -158,12 +254,21 @@ void ThreadRuntime::IngestBatch(OperatorId source, EventBatch batch) {
   m.target = source;
   m.event_time = t;
   m.batch = std::move(batch);
-  EnqueueTracked(std::move(m), WorkerId{});
+  // The guard increment above already counted this message for the job;
+  // only the global counter still needs its increment.
+  inflight_.fetch_add(1, std::memory_order_seq_cst);
+  scheduler_->Enqueue(std::move(m), WorkerId{}, Now());
+  wake_cv_.notify_one();
+  return true;
 }
 
 void ThreadRuntime::RouteOutputs(
     const Message& m, Operator& op,
     std::vector<std::tuple<int, EventBatch, SimTime>>& outs, WorkerId w) {
+  // Edges never cross jobs (Connect checks), so every downstream message
+  // belongs to the sender's job state.
+  JobState* js = job_states_.Find(op.job());
+  CAMEO_EXPECTS(js != nullptr);
   for (auto& [port, batch, event_time] : outs) {
     for (auto& d : graph_.Route(m.target, port, std::move(batch))) {
       Message md;
@@ -175,7 +280,7 @@ void ThreadRuntime::RouteOutputs(
       md.sender = m.target;
       md.event_time = event_time;
       md.batch = std::move(d.batch);
-      EnqueueTracked(std::move(md), w);
+      EnqueueTracked(std::move(md), w, *js);
     }
   }
 }
@@ -186,11 +291,17 @@ void ThreadRuntime::WorkerLoop(int index) {
   std::vector<std::tuple<int, EventBatch, SimTime>> outs;
 
   while (true) {
-    if (stop_.load(std::memory_order_seq_cst)) return;
+    if (stop_.load(std::memory_order_seq_cst) ||
+        index >= target_workers_.load(std::memory_order_seq_cst)) {
+      return;
+    }
     std::optional<Message> msg = scheduler_->Dequeue(w, Now());
     if (!msg) {
       std::unique_lock lock(wake_mu_);
-      if (stop_.load(std::memory_order_seq_cst)) return;
+      if (stop_.load(std::memory_order_seq_cst) ||
+          index >= target_workers_.load(std::memory_order_seq_cst)) {
+        return;
+      }
       wake_cv_.wait_for(lock, std::chrono::microseconds(200));
       continue;
     }
@@ -228,9 +339,11 @@ void ThreadRuntime::WorkerLoop(int index) {
       latency_.OnSinkTuples(index, op.job(), msg->batch.size(), exec_end);
     }
     scheduler_->OnComplete(msg->target, w, Now());
-    // Only after OnComplete and output routing: the counter hits zero iff
-    // the whole dataflow is quiescent.
-    FinishOne();
+    // Only after OnComplete and output routing: the counters hit zero iff
+    // the dataflow (respectively the job) is quiescent.
+    JobState* js = job_states_.Find(op.job());
+    CAMEO_EXPECTS(js != nullptr);
+    FinishOne(*js);
   }
 }
 

@@ -7,28 +7,37 @@
 // Concurrency model (DESIGN.md §1): there is no global control-plane lock.
 //  - Scheduling state is sharded into lock-free per-operator mailboxes plus
 //    per-policy ready queues inside the Scheduler itself.
-//  - The converter table, dataflow graph and cost profiler are frozen before
-//    Start(); per-operator mutable state is protected by the scheduler's
-//    operator-exclusivity or by tiny per-object locks.
+//  - The converter table, cost profiler, graph topology and per-job runtime
+//    state all live behind copy-on-write snapshots (common/cow_index.h), so
+//    the per-message path is lock-free while AddQuery/RemoveQuery splice
+//    tenants in and out of the running system.
 //  - Latency metrics are per-worker shards merged on read.
 //  - Drain() waits on an atomic in-flight message counter: every Enqueue
 //    increments it and each completed invocation decrements it after routing
 //    its outputs, so the counter can only hit zero when the dataflow is
-//    globally quiescent.
+//    globally quiescent. RemoveQuery() waits the same way on a per-job
+//    counter, so a tenant can be quiesced and retired under full load from
+//    everyone else.
 //  - Ingest is serialized per *source* (monotone progress per channel), not
-//    globally.
+//    globally, and is gated per job: once RemoveQuery flips a job's live
+//    bit, Ingest returns false instead of enqueueing.
+//  - SetWorkerCount() grows and shrinks the worker pool mid-run (elastic
+//    workers); shrink signals the excess workers, joins them after their
+//    current invocation, and lets the scheduler re-pin any statically
+//    placed work.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
+#include "common/cow_index.h"
 #include "common/rng.h"
 #include "core/context_converter.h"
 #include "core/profiler.h"
@@ -63,16 +72,44 @@ class ThreadRuntime {
   void Drain();
   void Stop();
 
+  // ---- query lifecycle (thread-safe; serialized among themselves) ----
+
+  /// Splices a new query into the running dataflow: `build` composes
+  /// AddJob/AddStage/Connect on the graph and returns the new job id. All
+  /// runtime tables (converters, profiler seeds, source channels, latency
+  /// accounting) are registered before the call returns, after which Ingest
+  /// to the query's sources is live. Works before Start() too (the
+  /// constructor uses the same path for the initial graph).
+  JobId AddQuery(const std::function<JobId(DataflowGraph&)>& build);
+
+  /// Gracefully removes a query under live traffic from other tenants:
+  /// blocks new Ingest for `job`, waits until every in-flight message of the
+  /// job has fully executed (per-job quiesce on the in-flight counter), then
+  /// retires the job's mailboxes so stale ready-queue entries can never
+  /// dispatch and any later Ingest attempt is rejected. Every message
+  /// accepted before the call is executed -- nothing is dropped.
+  void RemoveQuery(JobId job);
+
+  /// True until RemoveQuery(job) begins.
+  bool QueryLive(JobId job) const;
+
+  /// Elastic worker pool: grows by spawning workers, shrinks by signalling
+  /// and joining the excess ones after their current invocation. May be
+  /// called before Start() (just retargets the initial pool size).
+  void SetWorkerCount(int workers);
+  int worker_count() const;
+
   /// Nanoseconds since Start().
   SimTime Now() const;
 
   /// Ingests a synthetic batch at `source`. Logical time defaults to the
   /// current clock (ingestion-time domain); pass `p` for event-time jobs.
   /// Thread-safe: may be called from any number of external threads.
-  void Ingest(OperatorId source, std::int64_t tuples,
+  /// Returns false (nothing enqueued) once the source's query was removed.
+  bool Ingest(OperatorId source, std::int64_t tuples,
               std::optional<LogicalTime> p = std::nullopt);
   /// Ingests a columnar batch (its `progress` must be set). Thread-safe.
-  void IngestBatch(OperatorId source, EventBatch batch);
+  bool IngestBatch(OperatorId source, EventBatch batch);
 
   DataflowGraph& graph() { return graph_; }
   ShardedLatencyRecorder& latency() { return latency_; }
@@ -84,29 +121,47 @@ class ThreadRuntime {
     std::mutex mu;  // per-channel in-order guarantee
     LogicalTime last_progress = 0;
   };
+  /// Per-job in-flight accounting and the ingest gate. The guard protocol:
+  /// Ingest increments `inflight` *before* reading `live`, and RemoveQuery
+  /// flips `live` *before* waiting for zero, so either the producer observes
+  /// the flip and backs out or the remover waits for that producer's
+  /// message.
+  struct alignas(64) JobState {
+    std::atomic<std::int64_t> inflight{0};
+    std::atomic<bool> live{true};
+  };
 
   void WorkerLoop(int index);
   void RouteOutputs(const Message& m, Operator& op,
                     std::vector<std::tuple<int, EventBatch, SimTime>>& outs,
                     WorkerId w);
   ContextConverter& converter(OperatorId op);
-  void EnqueueTracked(Message m, WorkerId producer);
-  void FinishOne();
+  /// Registers all runtime tables for `job` (converters, profiler seeds,
+  /// source states, latency, job state). Caller holds control_mu_.
+  void RegisterJobTables(JobId job);
+  void EnqueueTracked(Message m, WorkerId producer, JobState& js);
+  void FinishOne(JobState& js);
 
   RuntimeConfig config_;
   DataflowGraph graph_;
   std::unique_ptr<SchedulingPolicy> policy_;
   std::unique_ptr<Scheduler> scheduler_;
-  // Frozen after construction; converters synchronize internally.
-  std::unordered_map<OperatorId, std::unique_ptr<ContextConverter>> converters_;
-  std::unordered_map<OperatorId, std::unique_ptr<SourceState>> sources_;
+  // Copy-on-write tables: lock-free lookups, grown by AddQuery.
+  CowIndex<OperatorId, ContextConverter> converters_;
+  CowIndex<OperatorId, SourceState> sources_;
+  CowIndex<JobId, JobState> job_states_;
   CostProfiler profiler_;
   ShardedLatencyRecorder latency_;
 
   std::atomic<bool> stop_{false};
+  std::atomic<int> target_workers_{0};
   /// Messages enqueued but not yet fully processed (invocation + routing).
   std::atomic<std::int64_t> inflight_{0};
   std::atomic<std::int64_t> next_message_id_{0};
+
+  // Serializes AddQuery/RemoveQuery/SetWorkerCount (control plane only;
+  // never touched by the per-message path).
+  mutable std::mutex control_mu_;
 
   // Sleep/wake plumbing only -- protects no data.
   std::mutex wake_mu_;

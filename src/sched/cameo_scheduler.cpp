@@ -1,6 +1,7 @@
 #include "sched/cameo_scheduler.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/check.h"
 
@@ -15,7 +16,8 @@ SimTime SatAdd(SimTime a, Duration b) {
 }
 }  // namespace
 
-CameoScheduler::CameoScheduler(SchedulerConfig config) : Scheduler(config) {}
+CameoScheduler::CameoScheduler(SchedulerConfig config)
+    : Scheduler(config, MailboxOrder::kLocalPriority) {}
 
 Priority CameoScheduler::EffectivePri(const Message& m) const {
   Priority pri = m.pc.pri_global;
@@ -30,7 +32,11 @@ bool CameoScheduler::StillQueued(OperatorId op, std::uint64_t epoch) const {
   return mb != nullptr && mb->InQueuedSession(epoch);
 }
 
-void CameoScheduler::Release(OperatorId op, Mailbox& mb) {
+void CameoScheduler::Release(OperatorId op, Mailbox& mb, WorkerId w) {
+  if (mb.retiring()) {
+    FinishRetire(mb, w);
+    return;
+  }
   ReleaseMailbox(
       mb,
       [this](Mailbox& m) {  // owner-side: safe to peek the buffer
@@ -41,6 +47,13 @@ void CameoScheduler::Release(OperatorId op, Mailbox& mb) {
       [this, op](ReadyKey key, std::uint64_t epoch) {
         ready_.Push(key, op, epoch);
       });
+  // A retire that raced the release: whoever can still claim the mailbox
+  // finishes the purge (see scheduler.h retire protocol).
+  if (mb.retiring() && mb.TryClaim()) FinishRetire(mb, w);
+}
+
+void CameoScheduler::PurgeReady(const std::vector<OperatorId>& ops) {
+  ready_.EraseOps(std::unordered_set<OperatorId>(ops.begin(), ops.end()));
 }
 
 std::optional<Message> CameoScheduler::Dispatch(Mailbox& mb, WorkerId w) {
@@ -54,13 +67,22 @@ void CameoScheduler::Enqueue(Message m, WorkerId producer, SimTime now) {
   const OperatorId op = m.target;
   const ReadyKey key = KeyFor(m);
   Mailbox& mb = table_.Get(op);
-  mb.Push(std::move(m));
   pending_.fetch_add(1, std::memory_order_relaxed);
+  if (!mb.Push(std::move(m))) {  // operator retired: reject, with accounting
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    shards_.rejected.Inc(shard_of(producer));
+    return;
+  }
   shards_.enqueued.Inc(shard_of(producer));
   for (;;) {
     switch (mb.state()) {
       case Mailbox::State::kActive:
         return;  // the owner's release re-check will pick the message up
+      case Mailbox::State::kRetired:
+        // Retirement finished after our push slipped past the flag; purge
+        // the stragglers back out.
+        DiscardIntoRetired(mb, producer);
+        return;
       case Mailbox::State::kQueued: {
         // Touch the ReadyQueue only when this arrival strictly improves the
         // operator's registered priority (paper: "head may have changed").
@@ -94,26 +116,31 @@ std::optional<Message> CameoScheduler::Dequeue(WorkerId w, SimTime now) {
   if (sl.has_current) {
     Mailbox* mb = table_.Find(sl.current);
     if (mb != nullptr && mb->size() > 0 && mb->TryClaim()) {
-      mb->set_registered_pri(kPriorityFloor);
-      mb->DrainInbox();
-      if (mb->buffer_empty()) {
-        Release(sl.current, *mb);  // raced with a competing claim
+      if (mb->retiring()) {  // current operator's query was removed
+        FinishRetire(*mb, w);
+        sl.has_current = false;
       } else {
-        bool cont = now - sl.quantum_start < config_.quantum;
-        if (!cont) {
-          const ReadyKey head = KeyFor(mb->PeekBest());
-          auto top = ready_.CleanTopKey([this](OperatorId id,
-                                               std::uint64_t epoch) {
-            return StillQueued(id, epoch);
-          });
-          cont = !top.has_value() || !(*top < head);
-          if (cont) sl.quantum_start = now;  // start a fresh quantum
+        mb->set_registered_pri(kPriorityFloor);
+        mb->DrainInbox();
+        if (mb->buffer_empty()) {
+          Release(sl.current, *mb, w);  // raced with a competing claim
+        } else {
+          bool cont = now - sl.quantum_start < config_.quantum;
+          if (!cont) {
+            const ReadyKey head = KeyFor(mb->PeekBest());
+            auto top = ready_.CleanTopKey([this](OperatorId id,
+                                                 std::uint64_t epoch) {
+              return StillQueued(id, epoch);
+            });
+            cont = !top.has_value() || !(*top < head);
+            if (cont) sl.quantum_start = now;  // start a fresh quantum
+          }
+          if (cont) {
+            shards_.continuations.Inc(shard_of(w));
+            return Dispatch(*mb, w);
+          }
+          Release(sl.current, *mb, w);  // yield: back into the ready queue
         }
-        if (cont) {
-          shards_.continuations.Inc(shard_of(w));
-          return Dispatch(*mb, w);
-        }
-        Release(sl.current, *mb);  // yield: back into the ready queue
       }
     }
   }
@@ -123,10 +150,14 @@ std::optional<Message> CameoScheduler::Dequeue(WorkerId w, SimTime now) {
   while (auto e = ready_.Pop()) {
     Mailbox* mb = table_.Find(e->op);
     if (mb == nullptr || !mb->TryClaimQueued(e->epoch)) continue;
+    if (mb->retiring()) {  // removed id: discard its backlog, never dispatch
+      FinishRetire(*mb, w);
+      continue;
+    }
     mb->set_registered_pri(kPriorityFloor);
     mb->DrainInbox();
     if (mb->buffer_empty()) {  // defensive: should not happen (see Release)
-      Release(e->op, *mb);
+      Release(e->op, *mb, w);
       continue;
     }
     if (sl.has_current && sl.current != e->op) {
@@ -140,11 +171,10 @@ std::optional<Message> CameoScheduler::Dequeue(WorkerId w, SimTime now) {
   return std::nullopt;
 }
 
-void CameoScheduler::OnComplete(OperatorId op, WorkerId /*w*/,
-                                SimTime /*now*/) {
+void CameoScheduler::OnComplete(OperatorId op, WorkerId w, SimTime /*now*/) {
   Mailbox* mb = table_.Find(op);
   CAMEO_EXPECTS(mb != nullptr && mb->state() == Mailbox::State::kActive);
-  Release(op, *mb);
+  Release(op, *mb, w);
 }
 
 std::optional<Priority> CameoScheduler::TopPriority() {

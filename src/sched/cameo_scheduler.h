@@ -41,17 +41,20 @@ class CameoScheduler final : public Scheduler {
   /// Compacts stale ready-queue entries as a side effect.
   std::optional<Priority> TopPriority();
 
+ protected:
+  void PurgeReady(const std::vector<OperatorId>& ops) override;
+
  private:
   Priority EffectivePri(const Message& m) const;
   ReadyKey KeyFor(const Message& m) const {
     return ReadyKey{EffectivePri(m), m.id.value};
   }
   bool StillQueued(OperatorId op, std::uint64_t epoch) const;
-  /// Re-queues or idles a claimed mailbox (release protocol).
-  void Release(OperatorId op, Mailbox& mb);
+  /// Re-queues, idles, or (for a retiring operator) retires a claimed
+  /// mailbox (release protocol).
+  void Release(OperatorId op, Mailbox& mb, WorkerId w);
   std::optional<Message> Dispatch(Mailbox& mb, WorkerId w);
 
-  MailboxTable table_{MailboxOrder::kLocalPriority};
   CameoReadyQueue ready_;
 };
 

@@ -1,15 +1,27 @@
 #include "sched/fifo_scheduler.h"
 
+#include <unordered_set>
+
 #include "common/check.h"
 
 namespace cameo {
 
-FifoScheduler::FifoScheduler(SchedulerConfig config) : Scheduler(config) {}
+FifoScheduler::FifoScheduler(SchedulerConfig config)
+    : Scheduler(config, MailboxOrder::kFifo) {}
 
-void FifoScheduler::Release(OperatorId op, Mailbox& mb) {
+void FifoScheduler::Release(OperatorId op, Mailbox& mb, WorkerId w) {
+  if (mb.retiring()) {
+    FinishRetire(mb, w);
+    return;
+  }
   ReleaseMailbox(
       mb, [](Mailbox&) { return 0; },
       [this, op](int, std::uint64_t epoch) { ready_.Push(op, epoch); });
+  if (mb.retiring() && mb.TryClaim()) FinishRetire(mb, w);
+}
+
+void FifoScheduler::PurgeReady(const std::vector<OperatorId>& ops) {
+  ready_.EraseOps(std::unordered_set<OperatorId>(ops.begin(), ops.end()));
 }
 
 std::optional<Message> FifoScheduler::Dispatch(Mailbox& mb, WorkerId w) {
@@ -22,10 +34,20 @@ void FifoScheduler::Enqueue(Message m, WorkerId producer, SimTime now) {
   m.enqueue_time = now;
   const OperatorId op = m.target;
   Mailbox& mb = table_.Get(op);
-  mb.Push(std::move(m));
   pending_.fetch_add(1, std::memory_order_relaxed);
+  if (!mb.Push(std::move(m))) {  // operator retired: reject, with accounting
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    shards_.rejected.Inc(shard_of(producer));
+    return;
+  }
   shards_.enqueued.Inc(shard_of(producer));
-  while (mb.state() == Mailbox::State::kIdle) {
+  for (;;) {
+    Mailbox::State s = mb.state();
+    if (s == Mailbox::State::kRetired) {
+      DiscardIntoRetired(mb, producer);
+      return;
+    }
+    if (s != Mailbox::State::kIdle) return;
     std::uint64_t epoch = 0;
     if (mb.TryMarkQueued(epoch)) {
       ready_.Push(op, epoch);
@@ -40,20 +62,25 @@ std::optional<Message> FifoScheduler::Dequeue(WorkerId w, SimTime now) {
   if (sl.has_current) {
     Mailbox* mb = table_.Find(sl.current);
     if (mb != nullptr && mb->size() > 0 && mb->TryClaim()) {
-      mb->DrainInbox();
-      if (mb->buffer_empty()) {
-        Release(sl.current, *mb);
+      if (mb->retiring()) {  // current operator's query was removed
+        FinishRetire(*mb, w);
+        sl.has_current = false;
       } else {
-        bool cont = now - sl.quantum_start < config_.quantum;
-        if (!cont && ready_.empty()) {
-          cont = true;  // nothing else to run: keep going, fresh quantum
-          sl.quantum_start = now;
+        mb->DrainInbox();
+        if (mb->buffer_empty()) {
+          Release(sl.current, *mb, w);
+        } else {
+          bool cont = now - sl.quantum_start < config_.quantum;
+          if (!cont && ready_.empty()) {
+            cont = true;  // nothing else to run: keep going, fresh quantum
+            sl.quantum_start = now;
+          }
+          if (cont) {
+            shards_.continuations.Inc(shard_of(w));
+            return Dispatch(*mb, w);
+          }
+          Release(sl.current, *mb, w);  // quantum expired: rotate to the tail
         }
-        if (cont) {
-          shards_.continuations.Inc(shard_of(w));
-          return Dispatch(*mb, w);
-        }
-        Release(sl.current, *mb);  // quantum expired: rotate to the tail
       }
     }
   }
@@ -61,9 +88,13 @@ std::optional<Message> FifoScheduler::Dequeue(WorkerId w, SimTime now) {
   while (auto e = ready_.Pop()) {
     Mailbox* mb = table_.Find(e->op);
     if (mb == nullptr || !mb->TryClaimQueued(e->epoch)) continue;  // stale
+    if (mb->retiring()) {  // removed id: discard its backlog, never dispatch
+      FinishRetire(*mb, w);
+      continue;
+    }
     mb->DrainInbox();
     if (mb->buffer_empty()) {  // defensive: kQueued implies pending work
-      Release(e->op, *mb);
+      Release(e->op, *mb, w);
       continue;
     }
     if (sl.has_current && sl.current != e->op) {
@@ -77,10 +108,10 @@ std::optional<Message> FifoScheduler::Dequeue(WorkerId w, SimTime now) {
   return std::nullopt;
 }
 
-void FifoScheduler::OnComplete(OperatorId op, WorkerId /*w*/, SimTime /*now*/) {
+void FifoScheduler::OnComplete(OperatorId op, WorkerId w, SimTime /*now*/) {
   Mailbox* mb = table_.Find(op);
   CAMEO_EXPECTS(mb != nullptr && mb->state() == Mailbox::State::kActive);
-  Release(op, *mb);
+  Release(op, *mb, w);
 }
 
 }  // namespace cameo

@@ -25,11 +25,13 @@ class FifoScheduler final : public Scheduler {
 
   std::string name() const override { return "FIFO"; }
 
+ protected:
+  void PurgeReady(const std::vector<OperatorId>& ops) override;
+
  private:
-  void Release(OperatorId op, Mailbox& mb);
+  void Release(OperatorId op, Mailbox& mb, WorkerId w);
   std::optional<Message> Dispatch(Mailbox& mb, WorkerId w);
 
-  MailboxTable table_{MailboxOrder::kFifo};
   FifoReadyQueue ready_;
 };
 

@@ -30,7 +30,11 @@ Mailbox::~Mailbox() {
   }
 }
 
-void Mailbox::Push(Message m) {
+bool Mailbox::Push(Message m) {
+  // The retiring flag is checked before the size increment, so once a
+  // retirer has observed the flag *and* a size, only pushes it will see (or
+  // that the final kRetired re-check catches) can be in flight.
+  if (retiring_.load(std::memory_order_seq_cst)) return false;
   // Size first: the release protocol's post-kIdle re-check must observe this
   // increment whenever our later state read sees kActive (SC total order).
   size_.fetch_add(1, std::memory_order_seq_cst);
@@ -40,6 +44,7 @@ void Mailbox::Push(Message m) {
     n->next = head;
   } while (!inbox_.compare_exchange_weak(head, n, std::memory_order_release,
                                          std::memory_order_relaxed));
+  return true;
 }
 
 void Mailbox::DrainInbox() {
@@ -106,7 +111,7 @@ bool Mailbox::TryClaimQueued(std::uint64_t epoch) {
 
 bool Mailbox::TryClaim() {
   std::uint64_t w = word_.load(std::memory_order_seq_cst);
-  while (StateOf(w) != State::kActive) {
+  while (StateOf(w) == State::kIdle || StateOf(w) == State::kQueued) {
     if (word_.compare_exchange_weak(w, Pack(State::kActive, EpochOf(w)),
                                     std::memory_order_seq_cst)) {
       return true;
@@ -142,6 +147,37 @@ void Mailbox::ReleaseToIdle() {
   word_.store(Pack(State::kIdle, EpochOf(w)), std::memory_order_seq_cst);
 }
 
+void Mailbox::ReleaseToRetired() {
+  std::uint64_t w = word_.load(std::memory_order_seq_cst);
+  CAMEO_EXPECTS(StateOf(w) == State::kActive);
+  CAMEO_EXPECTS(retiring());
+  // The epoch bump invalidates every outstanding queued-session entry even
+  // if the mailbox is transiently reclaimed for a purge.
+  word_.store(Pack(State::kRetired, EpochOf(w) + 1), std::memory_order_seq_cst);
+}
+
+bool Mailbox::TryReclaimRetired() {
+  std::uint64_t w = word_.load(std::memory_order_seq_cst);
+  while (StateOf(w) == State::kRetired) {
+    if (word_.compare_exchange_weak(w, Pack(State::kActive, EpochOf(w)),
+                                    std::memory_order_seq_cst)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::int64_t Mailbox::PurgeBacklog() {
+  CAMEO_EXPECTS(state() == State::kActive);
+  DrainInbox();
+  auto dropped =
+      static_cast<std::int64_t>(buffer_.size() + heap_.size());
+  buffer_.clear();
+  heap_.clear();
+  if (dropped > 0) size_.fetch_sub(dropped, std::memory_order_seq_cst);
+  return dropped;
+}
+
 bool Mailbox::TryLowerRegisteredPri(Priority p) {
   Priority cur = registered_pri_.load(std::memory_order_relaxed);
   while (p < cur) {
@@ -151,47 +187,6 @@ bool Mailbox::TryLowerRegisteredPri(Priority p) {
     }
   }
   return false;
-}
-
-MailboxTable::MailboxTable(MailboxOrder order) : order_(order) {
-  index_.store(new Index(), std::memory_order_release);
-}
-
-MailboxTable::~MailboxTable() {
-  delete index_.load(std::memory_order_acquire);
-}
-
-Mailbox* MailboxTable::Find(OperatorId op) const {
-  const Index* idx = index_.load(std::memory_order_acquire);
-  auto it = idx->find(op);
-  return it == idx->end() ? nullptr : it->second;
-}
-
-Mailbox& MailboxTable::Get(OperatorId op) {
-  if (Mailbox* mb = Find(op)) return *mb;
-  std::lock_guard lock(grow_mu_);
-  const Index* cur = index_.load(std::memory_order_acquire);
-  auto it = cur->find(op);
-  if (it != cur->end()) return *it->second;  // lost the insert race
-  owned_.push_back(std::make_unique<Mailbox>(order_));
-  auto next = std::make_unique<Index>(*cur);
-  (*next)[op] = owned_.back().get();
-  retired_.emplace_back(cur);  // readers may still hold the old snapshot
-  index_.store(next.release(), std::memory_order_release);
-  return *owned_.back().get();
-}
-
-void MailboxTable::Reserve(const std::vector<OperatorId>& ops) {
-  std::lock_guard lock(grow_mu_);
-  const Index* cur = index_.load(std::memory_order_acquire);
-  auto next = std::make_unique<Index>(*cur);
-  for (OperatorId op : ops) {
-    if (next->find(op) != next->end()) continue;
-    owned_.push_back(std::make_unique<Mailbox>(order_));
-    (*next)[op] = owned_.back().get();
-  }
-  retired_.emplace_back(cur);
-  index_.store(next.release(), std::memory_order_release);
 }
 
 }  // namespace cameo

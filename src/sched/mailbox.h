@@ -1,11 +1,12 @@
 // Lock-free per-operator mailboxes: the lower half of the sharded scheduling
 // control plane (see DESIGN.md §1).
 //
-// A `Mailbox` is an MPSC message queue plus a three-state scheduling word:
+// A `Mailbox` is an MPSC message queue plus a four-state scheduling word:
 //
-//   kIdle   -- no pending work visible; not in any ready structure
-//   kQueued -- registered in the policy's ReadyQueue, waiting for a worker
-//   kActive -- claimed by exactly one worker (actor-model exclusivity)
+//   kIdle    -- no pending work visible; not in any ready structure
+//   kQueued  -- registered in the policy's ReadyQueue, waiting for a worker
+//   kActive  -- claimed by exactly one worker (actor-model exclusivity)
+//   kRetired -- terminal: the operator's query was removed; all claims fail
 //
 // Producers append with a lock-free Treiber push (`Push`) and only touch the
 // policy's ReadyQueue on the kIdle -> kQueued transition, so steady-state
@@ -27,6 +28,15 @@
 // without this, a high-priority entry left over from a consumed urgent
 // message would act as a priority ticket for whatever low-priority backlog
 // the operator was later re-queued with.
+//
+// Retirement (query hot-remove): `BeginRetire()` raises a sticky flag that
+// makes every later `Push` fail, then the scheduler claims the mailbox,
+// purges whatever backlog remains (with accounting -- no message is silently
+// lost), and parks the state word at kRetired with a bumped epoch. The epoch
+// bump plus the terminal state mean a lazy ReadyQueue entry minted for the
+// operator in any earlier session can never be claimed again; the word never
+// leaves kRetired except for a transient purge reclaim when a racing push
+// slipped in between the flag and the final store.
 #pragma once
 
 #include <atomic>
@@ -35,9 +45,9 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/cow_index.h"
 #include "common/ids.h"
 #include "common/time.h"
 #include "dataflow/message.h"
@@ -52,7 +62,7 @@ enum class MailboxOrder {
 
 class Mailbox {
  public:
-  enum class State : int { kIdle = 0, kQueued = 1, kActive = 2 };
+  enum class State : int { kIdle = 0, kQueued = 1, kActive = 2, kRetired = 3 };
 
   explicit Mailbox(MailboxOrder order) : order_(order) {}
   ~Mailbox();
@@ -63,8 +73,10 @@ class Mailbox {
   // ---- producer side (any thread) ----
 
   /// Lock-free append. The size increment is sequenced *before* the node
-  /// becomes reachable, which the release protocol relies on.
-  void Push(Message m);
+  /// becomes reachable, which the release protocol relies on. Returns false
+  /// (message dropped) once the mailbox is retiring; the caller must account
+  /// the rejection.
+  bool Push(Message m);
 
   /// Messages pushed but not yet popped (inbox + ordered buffer). May
   /// transiently over-count a push in flight; never under-counts one that
@@ -95,12 +107,12 @@ class Mailbox {
 
   /// kQueued -> kActive, but only if the mailbox is still in queued session
   /// `epoch`. Failure means the ReadyQueue entry was stale (lazy deletion)
-  /// and must be skipped.
+  /// and must be skipped. Fails unconditionally once retired.
   bool TryClaimQueued(std::uint64_t epoch);
 
-  /// Direct claim for the quantum-continuation path: succeeds from either
-  /// kIdle or kQueued, any epoch (a claim from kQueued strands stale
-  /// ReadyQueue entries, which epoch validation skips).
+  /// Direct claim for the quantum-continuation path: succeeds from kIdle or
+  /// kQueued, any epoch (a claim from kQueued strands stale ReadyQueue
+  /// entries, which epoch validation skips). Never claims a retired mailbox.
   bool TryClaim();
 
   /// kIdle -> kActive inside the owner's release loop.
@@ -123,6 +135,23 @@ class Mailbox {
   /// kActive -> kIdle. The caller MUST re-check size() afterwards and
   /// TryReclaim if it is non-zero (release protocol, see header comment).
   void ReleaseToIdle();
+
+  // ---- retirement (query hot-remove) ----
+
+  /// Sticky: every Push after this returns false. The scheduler completes
+  /// retirement by purging the backlog and parking the word at kRetired.
+  void BeginRetire() { retiring_.store(true, std::memory_order_seq_cst); }
+  bool retiring() const { return retiring_.load(std::memory_order_seq_cst); }
+
+  /// kActive -> kRetired with a bumped epoch (owner only). Terminal apart
+  /// from TryReclaimRetired.
+  void ReleaseToRetired();
+  /// kRetired -> kActive, used only by retire purgers when a racing push
+  /// landed after the final store; the claimer purges and re-retires.
+  bool TryReclaimRetired();
+  /// Owner only: discards the inbox and the ordered buffer, returning how
+  /// many messages were dropped (size() is decremented accordingly).
+  std::int64_t PurgeBacklog();
 
   // ---- Cameo ready-key dedup hint (advisory; any thread) ----
 
@@ -160,6 +189,7 @@ class Mailbox {
   std::atomic<Node*> inbox_{nullptr};  // Treiber stack; drained wholesale
   std::atomic<std::int64_t> size_{0};
   std::atomic<std::uint64_t> word_{Pack(State::kIdle, 0)};
+  std::atomic<bool> retiring_{false};
   std::atomic<Priority> registered_pri_{kTimeMax};
 
   // Owner-only ordered buffer: exactly one is used, per `order_`.
@@ -176,7 +206,8 @@ class Mailbox {
 /// already own it). With an empty buffer the owner publishes kIdle and
 /// re-checks for a racing producer, reclaiming if one slipped in. Returns
 /// true when the mailbox was re-queued. The caller must hold the claim
-/// (state == kActive).
+/// (state == kActive) and must have handled retirement first (schedulers
+/// route retiring mailboxes through their purge path instead).
 template <typename PrepareFn, typename InsertReadyFn>
 bool ReleaseMailbox(Mailbox& mb, PrepareFn&& prepare,
                     InsertReadyFn&& insert_ready) {
@@ -196,37 +227,38 @@ bool ReleaseMailbox(Mailbox& mb, PrepareFn&& prepare,
   }
 }
 
-/// Read-mostly OperatorId -> Mailbox map. Lookups are lock-free against an
-/// immutable published snapshot; inserts (first message of a new operator, or
-/// a Reserve() batch at runtime construction) copy-and-publish under a mutex.
-/// Retired snapshots are kept alive so concurrent readers never race
-/// reclamation; mailboxes are never removed.
+/// Read-mostly OperatorId -> Mailbox map on the copy-on-write index. Lookups
+/// are lock-free against an immutable published snapshot; inserts (first
+/// message of a new operator, or a Reserve() batch) copy-and-publish under a
+/// mutex. Mailboxes are never destroyed or unmapped -- a retired operator's
+/// mailbox stays in the table parked at kRetired, so a stale id can never be
+/// resurrected with a fresh mailbox by a late Enqueue.
 class MailboxTable {
  public:
-  explicit MailboxTable(MailboxOrder order);
-  ~MailboxTable();
+  explicit MailboxTable(MailboxOrder order) : order_(order) {}
 
   MailboxTable(const MailboxTable&) = delete;
   MailboxTable& operator=(const MailboxTable&) = delete;
 
   /// Lock-free lookup; nullptr if `op` has never been seen.
-  Mailbox* Find(OperatorId op) const;
+  Mailbox* Find(OperatorId op) const { return index_.Find(op); }
 
   /// Lookup-or-create (slow path takes the grow mutex).
-  Mailbox& Get(OperatorId op);
+  Mailbox& Get(OperatorId op) {
+    return index_.GetOrCreate(
+        op, [this] { return std::make_unique<Mailbox>(order_); });
+  }
 
   /// Pre-creates mailboxes for a known operator set in one snapshot rebuild
   /// (the runtime calls this with the whole graph before Start()).
-  void Reserve(const std::vector<OperatorId>& ops);
+  void Reserve(const std::vector<OperatorId>& ops) {
+    index_.InsertAll(
+        ops, [this](OperatorId) { return std::make_unique<Mailbox>(order_); });
+  }
 
  private:
-  using Index = std::unordered_map<OperatorId, Mailbox*>;
-
   const MailboxOrder order_;
-  std::atomic<const Index*> index_;
-  std::mutex grow_mu_;
-  std::vector<std::unique_ptr<Mailbox>> owned_;
-  std::vector<std::unique_ptr<const Index>> retired_;
+  CowIndex<OperatorId, Mailbox> index_;
 };
 
 }  // namespace cameo

@@ -1,14 +1,20 @@
 #include "sched/orleans_scheduler.h"
 
+#include <unordered_set>
+
 #include "common/check.h"
 
 namespace cameo {
 
 OrleansScheduler::OrleansScheduler(SchedulerConfig config)
-    : Scheduler(config) {}
+    : Scheduler(config, MailboxOrder::kFifo) {}
 
 void OrleansScheduler::Release(OperatorId op, Mailbox& mb, WorkerId w,
                                bool to_global) {
+  if (mb.retiring()) {
+    FinishRetire(mb, w);
+    return;
+  }
   ReleaseMailbox(
       mb, [](Mailbox&) { return 0; },
       [this, op, w, to_global](int, std::uint64_t epoch) {
@@ -18,6 +24,11 @@ void OrleansScheduler::Release(OperatorId op, Mailbox& mb, WorkerId w,
           ready_.PushLocal(w, op, epoch);  // work stays near its worker
         }
       });
+  if (mb.retiring() && mb.TryClaim()) FinishRetire(mb, w);
+}
+
+void OrleansScheduler::PurgeReady(const std::vector<OperatorId>& ops) {
+  ready_.EraseOps(std::unordered_set<OperatorId>(ops.begin(), ops.end()));
 }
 
 std::optional<Message> OrleansScheduler::Dispatch(Mailbox& mb, WorkerId w) {
@@ -30,10 +41,20 @@ void OrleansScheduler::Enqueue(Message m, WorkerId producer, SimTime now) {
   m.enqueue_time = now;
   const OperatorId op = m.target;
   Mailbox& mb = table_.Get(op);
-  mb.Push(std::move(m));
   pending_.fetch_add(1, std::memory_order_relaxed);
+  if (!mb.Push(std::move(m))) {  // operator retired: reject, with accounting
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    shards_.rejected.Inc(shard_of(producer));
+    return;
+  }
   shards_.enqueued.Inc(shard_of(producer));
-  while (mb.state() == Mailbox::State::kIdle) {
+  for (;;) {
+    Mailbox::State s = mb.state();
+    if (s == Mailbox::State::kRetired) {
+      DiscardIntoRetired(mb, producer);
+      return;
+    }
+    if (s != Mailbox::State::kIdle) return;
     std::uint64_t epoch = 0;
     if (mb.TryMarkQueued(epoch)) {
       if (producer.valid()) {
@@ -53,17 +74,22 @@ std::optional<Message> OrleansScheduler::Dequeue(WorkerId w, SimTime now) {
   if (sl.has_current) {
     Mailbox* mb = table_.Find(sl.current);
     if (mb != nullptr && mb->size() > 0 && mb->TryClaim()) {
-      mb->DrainInbox();
-      if (mb->buffer_empty()) {
-        Release(sl.current, *mb, w, /*to_global=*/false);
+      if (mb->retiring()) {  // current operator's query was removed
+        FinishRetire(*mb, w);
+        sl.has_current = false;
       } else {
-        bool cont = now - sl.quantum_start < config_.quantum;
-        if (cont) {
-          shards_.continuations.Inc(shard_of(w));
-          return Dispatch(*mb, w);
+        mb->DrainInbox();
+        if (mb->buffer_empty()) {
+          Release(sl.current, *mb, w, /*to_global=*/false);
+        } else {
+          bool cont = now - sl.quantum_start < config_.quantum;
+          if (cont) {
+            shards_.continuations.Inc(shard_of(w));
+            return Dispatch(*mb, w);
+          }
+          // Quantum expired: yield the turn to the global tail.
+          Release(sl.current, *mb, w, /*to_global=*/true);
         }
-        // Quantum expired: yield the turn to the global tail.
-        Release(sl.current, *mb, w, /*to_global=*/true);
       }
     }
   }
@@ -75,6 +101,10 @@ std::optional<Message> OrleansScheduler::Dequeue(WorkerId w, SimTime now) {
     });
     if (!next.has_value()) break;
     Mailbox& mb = *table_.Find(*next);
+    if (mb.retiring()) {  // removed id: discard its backlog, never dispatch
+      FinishRetire(mb, w);
+      continue;
+    }
     mb.DrainInbox();
     if (mb.buffer_empty()) {  // defensive: kQueued implies pending work
       Release(*next, mb, w, /*to_global=*/false);
@@ -94,6 +124,11 @@ std::optional<Message> OrleansScheduler::Dequeue(WorkerId w, SimTime now) {
   if (sl.has_current) {
     Mailbox* mb = table_.Find(sl.current);
     if (mb != nullptr && mb->size() > 0 && mb->TryClaim()) {
+      if (mb->retiring()) {
+        FinishRetire(*mb, w);
+        sl.has_current = false;
+        return std::nullopt;
+      }
       mb->DrainInbox();
       if (!mb->buffer_empty()) {
         sl.quantum_start = now;

@@ -33,13 +33,21 @@ class OrleansScheduler final : public Scheduler {
 
   std::string name() const override { return "Orleans"; }
 
+  /// Worker shrink: flushes exiting workers' bags to the global queue (call
+  /// after those workers have stopped) so their work stays reachable.
+  void SetWorkerTarget(int num_workers) override {
+    ready_.FlushBagsBeyond(num_workers);
+  }
+
+ protected:
+  void PurgeReady(const std::vector<OperatorId>& ops) override;
+
  private:
   /// Releases a claimed mailbox; remaining work goes to worker `w`'s bag
   /// (bag locality) or, when `to_global` is set, to the global tail.
   void Release(OperatorId op, Mailbox& mb, WorkerId w, bool to_global);
   std::optional<Message> Dispatch(Mailbox& mb, WorkerId w);
 
-  MailboxTable table_{MailboxOrder::kFifo};
   OrleansReadyState ready_;
 };
 

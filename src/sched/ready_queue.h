@@ -13,6 +13,12 @@
 // different priority. Stale entries simply fail the CAS and are skipped.
 // This keeps every ReadyQueue operation O(log n) or O(1) under a lock held
 // for a handful of instructions.
+//
+// Query hot-remove adds one eager path: `EraseOps` drops every entry for a
+// retired operator set so the queues do not accumulate dead ids under tenant
+// churn. Correctness never depends on it -- a surviving stale entry still
+// fails the epoch CAS against the kRetired mailbox -- it only bounds memory
+// and pop-side skip work.
 #pragma once
 
 #include <algorithm>
@@ -21,6 +27,7 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/ids.h"
@@ -84,6 +91,17 @@ class CameoReadyQueue {
     return heap_.empty();
   }
 
+  /// Drops every entry whose operator is in `ops` and restores the heap.
+  void EraseOps(const std::unordered_set<OperatorId>& ops) {
+    std::lock_guard lock(mu_);
+    auto it = std::remove_if(heap_.begin(), heap_.end(), [&](const Entry& e) {
+      return ops.count(e.op) > 0;
+    });
+    if (it == heap_.end()) return;
+    heap_.erase(it, heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), KeyGreater{});
+  }
+
  private:
   // std heap algorithms build max-heaps, so "greater" yields the min-heap.
   struct KeyGreater {
@@ -126,6 +144,15 @@ class FifoReadyQueue {
   bool empty() const {
     std::lock_guard lock(mu_);
     return queue_.empty();
+  }
+
+  void EraseOps(const std::unordered_set<OperatorId>& ops) {
+    std::lock_guard lock(mu_);
+    queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                                [&](const ReadyEntry& e) {
+                                  return ops.count(e.op) > 0;
+                                }),
+                 queue_.end());
   }
 
  private:
@@ -190,6 +217,30 @@ class OrleansReadyState {
     return std::nullopt;
   }
 
+  void EraseOps(const std::unordered_set<OperatorId>& ops) {
+    std::lock_guard lock(mu_);
+    auto drop = [&](auto& seq) {
+      seq.erase(std::remove_if(seq.begin(), seq.end(),
+                               [&](const ReadyEntry& e) {
+                                 return ops.count(e.op) > 0;
+                               }),
+                seq.end());
+    };
+    for (auto& [w, bag] : bags_) drop(bag);
+    drop(global_);
+  }
+
+  /// Worker shrink: moves the bags of workers with index >= `workers` to the
+  /// global queue so their entries stay reachable after those threads exit.
+  void FlushBagsBeyond(int workers) {
+    std::lock_guard lock(mu_);
+    for (auto& [w, bag] : bags_) {
+      if (w.value < workers) continue;
+      for (ReadyEntry& e : bag) global_.push_back(e);
+      bag.clear();
+    }
+  }
+
  private:
   mutable std::mutex mu_;
   std::unordered_map<WorkerId, std::vector<ReadyEntry>> bags_;
@@ -219,6 +270,29 @@ class SlotReadyQueues {
     std::lock_guard lock(mu_);
     auto it = queues_.find(w);
     return it == queues_.end() || it->second.empty();
+  }
+
+  void EraseOps(const std::unordered_set<OperatorId>& ops) {
+    std::lock_guard lock(mu_);
+    for (auto& [w, q] : queues_) {
+      q.erase(std::remove_if(
+                  q.begin(), q.end(),
+                  [&](const ReadyEntry& e) { return ops.count(e.op) > 0; }),
+              q.end());
+    }
+  }
+
+  /// Worker shrink: removes and returns every entry queued for a worker with
+  /// index >= `workers`, so the caller can re-pin and re-push them.
+  std::vector<ReadyEntry> DrainSlotsBeyond(int workers) {
+    std::lock_guard lock(mu_);
+    std::vector<ReadyEntry> out;
+    for (auto& [w, q] : queues_) {
+      if (w.value < workers) continue;
+      out.insert(out.end(), q.begin(), q.end());
+      q.clear();
+    }
+    return out;
   }
 
  private:

@@ -7,6 +7,30 @@
 
 namespace cameo {
 
+std::int64_t Scheduler::RetireOperators(const std::vector<OperatorId>& ops) {
+  std::int64_t purged = 0;
+  for (OperatorId op : ops) {
+    // Get (not Find): an operator never enqueued to still gets a mailbox so
+    // its id can never be resurrected by a late first message.
+    Mailbox& mb = table_.Get(op);
+    mb.BeginRetire();
+    for (;;) {
+      Mailbox::State s = mb.state();
+      if (s == Mailbox::State::kActive) break;  // owner's release finishes it
+      if (s == Mailbox::State::kRetired) {
+        if (mb.size() == 0) break;
+        if (!mb.TryReclaimRetired()) continue;  // racing purger; re-read
+      } else if (!mb.TryClaim()) {
+        continue;  // lost a kIdle/kQueued transition race; re-read
+      }
+      purged += FinishRetire(mb, WorkerId{});
+      break;
+    }
+  }
+  PurgeReady(ops);
+  return purged;
+}
+
 std::string ToString(SchedulerKind kind) {
   switch (kind) {
     case SchedulerKind::kCameo:

@@ -15,6 +15,14 @@
 // policy's ReadyQueue (its own small lock) on an empty -> non-empty
 // transition; Dequeue/OnComplete claim and release mailboxes with atomic
 // state transitions. Statistics are sharded per worker and merged on read.
+//
+// Dynamic multi-tenancy: RetireOperators() retires a removed query's
+// mailboxes -- each rejects every later Enqueue (counted in
+// `stats().rejected`), has its remaining backlog purged with accounting
+// (`stats().purged`), and parks at the terminal kRetired state so no lazy
+// ready-queue entry can ever claim it again. SetWorkerTarget() lets the
+// wall-clock runtime grow and shrink its worker pool; only the slot
+// scheduler (static pinning) has real work to do there.
 #pragma once
 
 #include <atomic>
@@ -29,6 +37,7 @@
 #include "common/time.h"
 #include "dataflow/message.h"
 #include "metrics/sharded_stats.h"
+#include "sched/mailbox.h"
 
 namespace cameo {
 
@@ -56,6 +65,12 @@ struct SchedulerStats {
   std::uint64_t operator_swaps = 0;
   /// Worker kept its current operator at a quantum boundary.
   std::uint64_t continuations = 0;
+  /// Enqueues refused because the target operator was retired. Not counted
+  /// in `enqueued`.
+  std::uint64_t rejected = 0;
+  /// Messages accepted earlier but discarded by retirement purges. At
+  /// quiescence, enqueued == dispatched + purged.
+  std::uint64_t purged = 0;
 };
 
 class Scheduler {
@@ -79,6 +94,22 @@ class Scheduler {
   /// by the worker the message was dequeued on.
   virtual void OnComplete(OperatorId op, WorkerId w, SimTime now) = 0;
 
+  /// Retires a removed query's operators: marks their mailboxes retiring
+  /// (later Enqueues are rejected and counted), purges whatever backlog is
+  /// claimable right now (counted in stats().purged), erases their lazy
+  /// ready-queue entries, and parks each mailbox at kRetired. A mailbox a
+  /// worker currently holds kActive finishes retirement in that worker's
+  /// release path. Returns the number of messages purged by this call.
+  /// Thread-safe; may run concurrently with Enqueue/Dequeue/OnComplete.
+  std::int64_t RetireOperators(const std::vector<OperatorId>& ops);
+
+  /// Announces the runtime's new worker-pool size. Call once with the new
+  /// target before signalling shrinking workers to exit (so future work is
+  /// placed within the surviving range) and once after they have exited (so
+  /// work parked on dead workers' private structures is recovered). The
+  /// default is a no-op; only placement-aware schedulers override.
+  virtual void SetWorkerTarget(int num_workers) { (void)num_workers; }
+
   std::size_t pending() const {
     std::int64_t p = pending_.load(std::memory_order_relaxed);
     return p > 0 ? static_cast<std::size_t>(p) : 0;
@@ -92,6 +123,8 @@ class Scheduler {
     s.dispatched = shards_.dispatched.Total();
     s.operator_swaps = shards_.operator_swaps.Total();
     s.continuations = shards_.continuations.Total();
+    s.rejected = shards_.rejected.Total();
+    s.purged = shards_.purged.Total();
     return s;
   }
 
@@ -109,8 +142,8 @@ class Scheduler {
     bool has_current = false;
   };
 
-  explicit Scheduler(SchedulerConfig config)
-      : config_(config), slots_(kMaxWorkers) {}
+  Scheduler(SchedulerConfig config, MailboxOrder order)
+      : config_(config), table_(order), slots_(kMaxWorkers) {}
 
   WorkerSlot& slot(WorkerId w) {
     CAMEO_EXPECTS(w.valid() && w.value < kMaxWorkers);
@@ -127,9 +160,44 @@ class Scheduler {
     ShardedCounter dispatched;
     ShardedCounter operator_swaps;
     ShardedCounter continuations;
+    ShardedCounter rejected;
+    ShardedCounter purged;
   };
 
+  /// Erases the retiring operators' entries from the subclass's ready
+  /// structure(s) (eager cleanup; correctness rests on epoch validation).
+  virtual void PurgeReady(const std::vector<OperatorId>& ops) = 0;
+
+  /// Owner-side completion of a retire: purges the claimed mailbox with
+  /// accounting and parks it at kRetired, reclaiming if a racing push lands
+  /// after the final store. Call instead of ReleaseMailbox whenever
+  /// `mb.retiring()` is observed while holding the claim. Returns the number
+  /// of messages purged.
+  std::int64_t FinishRetire(Mailbox& mb, WorkerId w) {
+    std::int64_t total = 0;
+    for (;;) {
+      std::int64_t purged = mb.PurgeBacklog();
+      if (purged > 0) {
+        total += purged;
+        pending_.fetch_sub(purged, std::memory_order_relaxed);
+        shards_.purged.Inc(shard_of(w), static_cast<std::uint64_t>(purged));
+      }
+      mb.ReleaseToRetired();
+      if (mb.size() == 0) return total;
+      // A push raced the retiring flag; take the word back and purge again.
+      if (!mb.TryReclaimRetired()) return total;  // another purger owns it
+    }
+  }
+
+  /// Enqueue-side handler for the post-push state read seeing kRetired: our
+  /// own push (and possibly others) landed after the final store, so purge
+  /// it back out with accounting.
+  void DiscardIntoRetired(Mailbox& mb, WorkerId w) {
+    if (mb.size() > 0 && mb.TryReclaimRetired()) FinishRetire(mb, w);
+  }
+
   SchedulerConfig config_;
+  MailboxTable table_;
   StatShards shards_;
   std::atomic<std::int64_t> pending_{0};
   std::vector<WorkerSlot> slots_;

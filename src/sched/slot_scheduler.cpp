@@ -1,17 +1,19 @@
 #include "sched/slot_scheduler.h"
 
+#include <unordered_set>
+
 #include "common/check.h"
 
 namespace cameo {
 
 SlotScheduler::SlotScheduler(int num_workers, SchedulerConfig config)
-    : Scheduler(config), num_workers_(num_workers) {
+    : Scheduler(config, MailboxOrder::kFifo), num_workers_(num_workers) {
   CAMEO_EXPECTS(num_workers >= 1);
 }
 
 void SlotScheduler::Assign(OperatorId op, WorkerId worker) {
-  CAMEO_EXPECTS(worker.valid() && worker.value < num_workers_);
   std::lock_guard lock(assign_mu_);
+  CAMEO_EXPECTS(worker.valid() && worker.value < num_workers_);
   assignment_[op] = worker;
 }
 
@@ -25,12 +27,42 @@ WorkerId SlotScheduler::SlotOf(OperatorId op) {
   return w;
 }
 
-void SlotScheduler::Release(OperatorId op, Mailbox& mb) {
+void SlotScheduler::SetWorkerTarget(int num_workers) {
+  CAMEO_EXPECTS(num_workers >= 1);
+  {
+    std::lock_guard lock(assign_mu_);
+    num_workers_ = num_workers;
+    // Re-pin stranded operators round-robin over the surviving slots.
+    for (auto& [op, w] : assignment_) {
+      if (w.value >= num_workers) {
+        w = WorkerId{next_slot_ % num_workers};
+        ++next_slot_;
+      }
+    }
+  }
+  // Ready entries parked on removed slots follow their operator's new pin.
+  // Stale entries (their queued session already over) are re-pushed too;
+  // they fail the epoch claim on pop, exactly like any lazy-deleted entry.
+  for (const ReadyEntry& e : ready_.DrainSlotsBeyond(num_workers)) {
+    ready_.Push(SlotOf(e.op), e.op, e.epoch);
+  }
+}
+
+void SlotScheduler::PurgeReady(const std::vector<OperatorId>& ops) {
+  ready_.EraseOps(std::unordered_set<OperatorId>(ops.begin(), ops.end()));
+}
+
+void SlotScheduler::Release(OperatorId op, Mailbox& mb, WorkerId w) {
+  if (mb.retiring()) {
+    FinishRetire(mb, w);
+    return;
+  }
   ReleaseMailbox(
       mb, [](Mailbox&) { return 0; },
       [this, op](int, std::uint64_t epoch) {
         ready_.Push(SlotOf(op), op, epoch);
       });
+  if (mb.retiring() && mb.TryClaim()) FinishRetire(mb, w);
 }
 
 std::optional<Message> SlotScheduler::Dispatch(Mailbox& mb, WorkerId w) {
@@ -43,10 +75,20 @@ void SlotScheduler::Enqueue(Message m, WorkerId producer, SimTime now) {
   m.enqueue_time = now;
   const OperatorId op = m.target;
   Mailbox& mb = table_.Get(op);
-  mb.Push(std::move(m));
   pending_.fetch_add(1, std::memory_order_relaxed);
+  if (!mb.Push(std::move(m))) {  // operator retired: reject, with accounting
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    shards_.rejected.Inc(shard_of(producer));
+    return;
+  }
   shards_.enqueued.Inc(shard_of(producer));
-  while (mb.state() == Mailbox::State::kIdle) {
+  for (;;) {
+    Mailbox::State s = mb.state();
+    if (s == Mailbox::State::kRetired) {
+      DiscardIntoRetired(mb, producer);
+      return;
+    }
+    if (s != Mailbox::State::kIdle) return;
     std::uint64_t epoch = 0;
     if (mb.TryMarkQueued(epoch)) {
       ready_.Push(SlotOf(op), op, epoch);
@@ -61,20 +103,25 @@ std::optional<Message> SlotScheduler::Dequeue(WorkerId w, SimTime now) {
   if (sl.has_current) {
     Mailbox* mb = table_.Find(sl.current);
     if (mb != nullptr && mb->size() > 0 && mb->TryClaim()) {
-      mb->DrainInbox();
-      if (mb->buffer_empty()) {
-        Release(sl.current, *mb);
+      if (mb->retiring()) {  // current operator's query was removed
+        FinishRetire(*mb, w);
+        sl.has_current = false;
       } else {
-        bool cont = now - sl.quantum_start < config_.quantum;
-        if (!cont && ready_.empty(w)) {
-          cont = true;  // the slot has nothing else: keep going
-          sl.quantum_start = now;
+        mb->DrainInbox();
+        if (mb->buffer_empty()) {
+          Release(sl.current, *mb, w);
+        } else {
+          bool cont = now - sl.quantum_start < config_.quantum;
+          if (!cont && ready_.empty(w)) {
+            cont = true;  // the slot has nothing else: keep going
+            sl.quantum_start = now;
+          }
+          if (cont) {
+            shards_.continuations.Inc(shard_of(w));
+            return Dispatch(*mb, w);
+          }
+          Release(sl.current, *mb, w);  // rotate within the slot
         }
-        if (cont) {
-          shards_.continuations.Inc(shard_of(w));
-          return Dispatch(*mb, w);
-        }
-        Release(sl.current, *mb);  // rotate within the slot
       }
     }
   }
@@ -82,9 +129,13 @@ std::optional<Message> SlotScheduler::Dequeue(WorkerId w, SimTime now) {
   while (auto e = ready_.Pop(w)) {
     Mailbox* mb = table_.Find(e->op);
     if (mb == nullptr || !mb->TryClaimQueued(e->epoch)) continue;  // stale
+    if (mb->retiring()) {  // removed id: discard its backlog, never dispatch
+      FinishRetire(*mb, w);
+      continue;
+    }
     mb->DrainInbox();
     if (mb->buffer_empty()) {  // defensive: kQueued implies pending work
-      Release(e->op, *mb);
+      Release(e->op, *mb, w);
       continue;
     }
     if (sl.has_current && sl.current != e->op) {
@@ -98,11 +149,10 @@ std::optional<Message> SlotScheduler::Dequeue(WorkerId w, SimTime now) {
   return std::nullopt;
 }
 
-void SlotScheduler::OnComplete(OperatorId op, WorkerId /*w*/,
-                               SimTime /*now*/) {
+void SlotScheduler::OnComplete(OperatorId op, WorkerId w, SimTime /*now*/) {
   Mailbox* mb = table_.Find(op);
   CAMEO_EXPECTS(mb != nullptr && mb->state() == Mailbox::State::kActive);
-  Release(op, *mb);
+  Release(op, *mb, w);
 }
 
 }  // namespace cameo

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "dataflow/critical_path.h"
+#include "workload/churn.h"
 
 namespace cameo {
 
@@ -67,25 +68,41 @@ void Cluster::SetupConverters() {
 }
 
 void Cluster::SeedEstimates() {
-  for (JobId job : graph_.job_ids()) {
-    CriticalPathResult cp =
-        ComputeCriticalPath(graph_, job, config_.seed_nominal_tuples);
-    for (const auto& [op, cost] : cp.cost) profiler_.Seed(op, cost);
-    for (StageId sid : graph_.stages_of(job)) {
-      const StageInfo& stage = graph_.stage(sid);
-      for (StageId did : stage.downstream) {
-        for (OperatorId u : stage.operators) {
-          for (OperatorId t : graph_.stage(did).operators) {
-            ReplyContext rc;
-            rc.valid = true;
-            rc.cost_m = cp.cost.at(t);
-            rc.cost_path = cp.path_below.at(t);
-            converters_.at(u)->SeedReply(t, rc);
-          }
+  for (JobId job : graph_.job_ids()) SeedEstimatesFor(job);
+}
+
+void Cluster::SeedEstimatesFor(JobId job) {
+  CriticalPathResult cp =
+      ComputeCriticalPath(graph_, job, config_.seed_nominal_tuples);
+  for (const auto& [op, cost] : cp.cost) profiler_.Seed(op, cost);
+  for (StageId sid : graph_.stages_of(job)) {
+    const StageInfo& stage = graph_.stage(sid);
+    for (StageId did : stage.downstream) {
+      for (OperatorId u : stage.operators) {
+        for (OperatorId t : graph_.stage(did).operators) {
+          ReplyContext rc;
+          rc.valid = true;
+          rc.cost_m = cp.cost.at(t);
+          rc.cost_path = cp.path_below.at(t);
+          converters_.at(u)->SeedReply(t, rc);
         }
       }
     }
   }
+}
+
+void Cluster::RegisterLateJob(JobId job) {
+  const JobSpec& spec = graph_.job(job);
+  ConverterOptions options;
+  options.use_query_semantics = config_.use_query_semantics;
+  options.time_domain = spec.time_domain;
+  for (OperatorId op : graph_.OperatorsOf(job)) {
+    converters_.emplace(
+        op, std::make_unique<ContextConverter>(policy_.get(), options));
+  }
+  latency_.RegisterJob(job, spec.latency_constraint, spec.output_window,
+                       spec.output_slide);
+  if (config_.seed_static_estimates) SeedEstimatesFor(job);
 }
 
 ContextConverter& Cluster::converter(OperatorId op) {
@@ -114,13 +131,110 @@ void Cluster::AddIngestion(StageId source_stage,
   }
 }
 
+int Cluster::ScheduleQuery(SimTime at, SimTime until, QueryBuilder builder,
+                           ArrivalProcessFactory ingestion,
+                           Duration event_time_delay) {
+  CAMEO_EXPECTS(builder != nullptr && ingestion != nullptr);
+  auto ticket = static_cast<int>(scheduled_.size());
+  auto q = std::make_unique<ScheduledQuery>();
+  q->at = at;
+  q->until = until;
+  q->build = std::move(builder);
+  q->ingestion = std::move(ingestion);
+  q->event_time_delay = event_time_delay;
+  scheduled_.push_back(std::move(q));
+  events_.Schedule(at, [this, ticket] {
+    ScheduledQuery& q = *scheduled_[static_cast<std::size_t>(ticket)];
+    std::size_t first_source = sources_.size();
+    JobHandles h = q.build(graph_);
+    q.job = h.job;
+    RegisterLateJob(h.job);
+    AddIngestion(h.source, q.ingestion, q.event_time_delay);
+    if (h.source_right.valid()) {
+      AddIngestion(h.source_right, q.ingestion, q.event_time_delay);
+    }
+    for (std::size_t i = first_source; i < sources_.size(); ++i) {
+      PumpSource(i);
+    }
+    if (q.until > q.at) {
+      events_.Schedule(q.until, [this, job = h.job] { RemoveQueryNow(job); });
+    }
+    if (config_.token_total_rate > 0) RebalanceTokens();
+  });
+  return ticket;
+}
+
+std::optional<JobId> Cluster::ScheduledJob(int ticket) const {
+  CAMEO_EXPECTS(ticket >= 0 &&
+                static_cast<std::size_t>(ticket) < scheduled_.size());
+  return scheduled_[static_cast<std::size_t>(ticket)]->job;
+}
+
+void Cluster::RemoveQueryNow(JobId job) {
+  if (!graph_.query_live(job)) return;  // idempotent under scripted overlap
+  std::vector<OperatorId> ops = graph_.RemoveQuery(job);
+  // Purge with accounting: backlog of an abruptly departing tenant is
+  // discarded, never silently lost (conservation: enqueued = dispatched +
+  // purged at quiescence; messages_purged() reads the stats so purges an
+  // active mailbox defers to its owner's release are counted too).
+  scheduler_->RetireOperators(ops);
+  if (config_.token_total_rate > 0) RebalanceTokens();
+}
+
+void Cluster::At(SimTime t, std::function<void()> fn) {
+  events_.Schedule(t, std::move(fn));
+}
+
+void Cluster::SetJobTokenRate(JobId job, double per_source_rate) {
+  for (SourceState& s : sources_) {
+    if (graph_.Get(s.op).job() != job) continue;
+    auto it = token_buckets_.find(s.op);
+    if (it == token_buckets_.end()) continue;
+    it->second.SetBudget(
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(per_source_rate)));
+  }
+}
+
+void Cluster::RebalanceTokens() {
+  // Weights are the specs' configured token rates; the live tenants split
+  // config_.token_total_rate proportionally (SplitTokenShares, shared with
+  // the churn scripts), spread over each job's sources.
+  struct Member {
+    JobId job;
+    int sources = 0;
+  };
+  std::vector<Member> members;
+  std::vector<double> weights;
+  for (SourceState& s : sources_) {
+    JobId job = graph_.Get(s.op).job();
+    if (!graph_.query_live(job)) continue;
+    if (token_buckets_.find(s.op) == token_buckets_.end()) continue;
+    auto it = std::find_if(members.begin(), members.end(),
+                           [&](const Member& m) { return m.job == job; });
+    if (it == members.end()) {
+      members.push_back({job, 1});
+      weights.push_back(graph_.job(job).token_rate_per_sec);
+    } else {
+      ++it->sources;
+    }
+  }
+  std::vector<double> shares =
+      SplitTokenShares(config_.token_total_rate, weights);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (shares[i] <= 0) continue;
+    SetJobTokenRate(members[i].job, shares[i] / std::max(1, members[i].sources));
+  }
+}
+
 void Cluster::PumpSource(std::size_t idx) {
   SourceState& s = sources_[idx];
+  if (!graph_.query_live(graph_.Get(s.op).job())) return;  // tenant left
   auto next = s.process->Next(rng_);
   if (!next) return;
   events_.Schedule(next->time, [this, idx, a = *next] {
     SourceState& src = sources_[idx];
     const Operator& op = graph_.Get(src.op);
+    if (!graph_.query_live(op.job())) return;  // removed while scheduled
     const JobSpec& spec = graph_.job(op.job());
     const SimTime t = events_.now();
     LogicalTime p;

@@ -13,9 +13,19 @@
 //   -> execute for cost -> Invoke (emits) -> per delivery:
 //        BuildCxtAtOperator -> network delay -> Enqueue
 //   -> ack: PrepareReply -> network delay -> ProcessCtxFromReply (sender)
+//
+// Dynamic multi-tenancy: queries can join and leave the simulated cluster in
+// virtual time. `ScheduleQuery` splices a tenant's dataflow in at its arrival
+// time (converters, profiler seeds and ingestion are registered on the spot)
+// and retires it at its departure time: the source stops pumping, the
+// scheduler purges the tenant's mailboxes (counted, never silent) and parks
+// them at kRetired, and -- when `token_total_rate` is set -- the token-bucket
+// shares of the surviving tenants are rebalanced (§5.4 under churn).
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +41,7 @@
 #include "sched/scheduler.h"
 #include "sim/event_queue.h"
 #include "workload/generators.h"
+#include "workload/tenants.h"
 
 namespace cameo {
 
@@ -65,6 +76,10 @@ struct ClusterConfig {
   double straggler_factor = 15.0;
   std::uint64_t seed = 1;
   bool enable_timeline = false;
+  /// > 0: total token issuance (tokens/s) shared by all token-enabled jobs,
+  /// re-split proportionally to their specs' token rates on every scheduled
+  /// query arrival/departure.
+  double token_total_rate = 0;
 };
 
 class Cluster {
@@ -77,6 +92,41 @@ class Cluster {
   /// constant delay" assumption).
   void AddIngestion(StageId source_stage, const ArrivalProcessFactory& factory,
                     Duration event_time_delay = 0);
+
+  // ---- scripted query churn (virtual time) ----
+
+  /// Builds a query's dataflow; returns its handles (workload/tenants.h).
+  using QueryBuilder = std::function<JobHandles(DataflowGraph&)>;
+
+  /// Schedules a tenant query to join at `at` and -- when `until > at` and
+  /// inside the run horizon -- to leave at `until`. On arrival the builder
+  /// runs against the live graph, runtime tables are registered, and
+  /// `ingestion` starts pumping the new source stage. Returns a ticket that
+  /// resolves to the JobId once the arrival has executed.
+  int ScheduleQuery(SimTime at, SimTime until, QueryBuilder builder,
+                    ArrivalProcessFactory ingestion,
+                    Duration event_time_delay = 0);
+
+  /// JobId created for `ticket`, once its arrival time has passed.
+  std::optional<JobId> ScheduledJob(int ticket) const;
+
+  /// Immediately retires `job`: ingestion stops, mailbox backlog is purged
+  /// with accounting, stale ready entries can never dispatch again. Also the
+  /// tail half of a ScheduleQuery departure.
+  void RemoveQueryNow(JobId job);
+
+  /// Runs `fn` at virtual time `t` (scripted perturbations, rebalances, ...).
+  void At(SimTime t, std::function<void()> fn);
+
+  /// Re-shares `per_source_rate` tokens/s onto each source bucket of `job`.
+  void SetJobTokenRate(JobId job, double per_source_rate);
+
+  /// Messages discarded by query retirement (accounted, never silent).
+  /// Derived from scheduler stats so purges deferred to a worker's release
+  /// path (mailbox active mid-invocation at departure) are included.
+  std::int64_t messages_purged() const {
+    return static_cast<std::int64_t>(scheduler_->stats().purged);
+  }
 
   /// Runs the simulation until virtual time `until`.
   void Run(SimTime until);
@@ -106,9 +156,22 @@ class Cluster {
     Duration event_time_delay = 0;
     LogicalTime last_logical = 0;  // logical times start at 1
   };
+  struct ScheduledQuery {
+    SimTime at = 0;
+    SimTime until = 0;
+    QueryBuilder build;
+    ArrivalProcessFactory ingestion;
+    Duration event_time_delay = 0;
+    std::optional<JobId> job;  // set once the arrival executes
+  };
 
   void SetupConverters();
   void SeedEstimates();
+  /// Registers converters/latency/static seeds for a job added mid-run.
+  void RegisterLateJob(JobId job);
+  void SeedEstimatesFor(JobId job);
+  /// Re-splits config_.token_total_rate across live token-enabled jobs.
+  void RebalanceTokens();
   void PumpSource(std::size_t idx);
   void Deliver(Message m, WorkerId producer);
   void KickIdleWorker();
@@ -130,6 +193,7 @@ class Cluster {
   Timeline timeline_;
   std::vector<WorkerState> workers_;
   std::vector<SourceState> sources_;
+  std::vector<std::unique_ptr<ScheduledQuery>> scheduled_;
   std::int64_t next_message_id_ = 0;
   std::uint64_t messages_delivered_ = 0;
 };

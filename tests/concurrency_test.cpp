@@ -229,5 +229,138 @@ INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerHammer,
                          ::testing::ValuesIn(kAllKinds),
                          [](const auto& info) { return ToString(info.param); });
 
+// ---- Query churn under live ingest ----
+
+// Builds a single-source flat query; used as the churned tenant shape.
+JobId BuildChurnQuery(DataflowGraph& g, int serial) {
+  JobSpec spec;
+  spec.name = "churn" + std::to_string(serial);
+  spec.latency_constraint = Seconds(10);
+  spec.time_domain = TimeDomain::kEventTime;
+  JobId job = g.AddJob(spec);
+  StageId src = g.AddStage(job, "src", 1, [](int) {
+    return std::make_unique<SourceOp>("csrc", CostModel{});
+  });
+  StageId sink = g.AddStage(job, "sink", 1, [](int) {
+    return std::make_unique<SinkOp>("csink", CostModel{});
+  });
+  g.Connect(src, sink, Partition::kShard);
+  return job;
+}
+
+// The churn hammer: N producer threads ingest into a static job (exact
+// conservation anchor) and into whatever churned query is currently live,
+// while a mutator thread hot-adds/removes >= 100 queries and flexes the
+// worker pool. Every message accepted into a churned query must be executed
+// before RemoveQuery returns (graceful removal), every rejected Ingest must
+// leave no trace, and the static job must lose nothing.
+TEST(ConcurrencyTest, ChurnHammerAddRemoveUnderLiveIngest) {
+  constexpr int kProducers = 3;
+  constexpr int kCycles = 110;
+  constexpr std::int64_t kTuples = 3;
+  constexpr int kMutatorBatches = 5;
+
+  for (SchedulerKind kind : {SchedulerKind::kCameo, SchedulerKind::kSlot}) {
+    DataflowGraph graph;
+    FlatJob fj = BuildFlatJob(graph, kProducers);
+    RuntimeConfig cfg;
+    cfg.num_workers = 3;
+    cfg.scheduler = kind;
+    cfg.emulate_cost = false;
+    ThreadRuntime rt(cfg, std::move(graph));
+    rt.Start();
+
+    // The mutator publishes (cycle << 32) | source-op for the live churn
+    // query in ONE atomic so producers can never pair a stale cycle with a
+    // fresh source; -1 = none. The probe counter is incremented *before*
+    // reading the token, so after unpublishing, a drained counter proves no
+    // producer still holds a stale token.
+    std::atomic<std::int64_t> live_token{-1};
+    std::atomic<int> probe_inflight{0};
+    std::vector<std::unique_ptr<std::atomic<std::int64_t>>> accepted;
+    for (int i = 0; i < kCycles; ++i) {
+      accepted.push_back(std::make_unique<std::atomic<std::int64_t>>(0));
+    }
+    std::atomic<bool> done{false};
+    std::atomic<std::int64_t> static_batches{0};
+
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kProducers; ++t) {
+      producers.emplace_back([&, t] {
+        std::int64_t k = 0;
+        while (!done.load(std::memory_order_acquire)) {
+          // Backpressure: unchecked producers outrun the workers and grow
+          // the backlog without bound; pressure, not memory, is the point.
+          if (rt.scheduler().pending() > 2000) {
+            std::this_thread::yield();
+            continue;
+          }
+          // Keep the static job under constant pressure...
+          rt.Ingest(fj.sources[static_cast<std::size_t>(t)], kTuples,
+                    Millis(++k));
+          static_batches.fetch_add(1, std::memory_order_relaxed);
+          // ...and poke the churned query of the moment, tolerating the
+          // removal race (a false return must mean "no trace left").
+          probe_inflight.fetch_add(1, std::memory_order_seq_cst);
+          std::int64_t token = live_token.load(std::memory_order_seq_cst);
+          if (token >= 0) {
+            auto cyc = static_cast<std::size_t>(token >> 32);
+            OperatorId src{token & 0xffffffff};
+            if (rt.Ingest(src, kTuples, Millis(k))) {
+              accepted[cyc]->fetch_add(kTuples, std::memory_order_seq_cst);
+            }
+          }
+          probe_inflight.fetch_sub(1, std::memory_order_seq_cst);
+        }
+      });
+    }
+
+    int serial = 0;
+    for (int cyc = 0; cyc < kCycles; ++cyc) {
+      JobId job = rt.AddQuery(
+          [&](DataflowGraph& g) { return BuildChurnQuery(g, serial++); });
+      ASSERT_TRUE(rt.QueryLive(job));
+      OperatorId src = rt.graph().OperatorsOf(job).front();
+      OperatorId sink = rt.graph().OperatorsOf(job).back();
+      std::int64_t own = 0;
+      live_token.store((static_cast<std::int64_t>(cyc) << 32) | src.value,
+                       std::memory_order_seq_cst);
+      for (int i = 0; i < kMutatorBatches; ++i) {
+        ASSERT_TRUE(rt.Ingest(src, kTuples));
+        own += kTuples;
+      }
+      // Unpublish, wait out producers that may hold the token, then remove.
+      live_token.store(-1, std::memory_order_seq_cst);
+      while (probe_inflight.load(std::memory_order_seq_cst) != 0) {
+        std::this_thread::yield();
+      }
+      rt.RemoveQuery(job);
+      EXPECT_FALSE(rt.QueryLive(job));
+      EXPECT_FALSE(rt.Ingest(src, kTuples)) << "retired source accepted";
+      // Graceful removal: everything accepted was executed at the sink.
+      auto& s = dynamic_cast<SinkOp&>(rt.graph().Get(sink));
+      EXPECT_EQ(s.tuples(),
+                own + accepted[static_cast<std::size_t>(cyc)]->load())
+          << ToString(kind) << " cycle " << cyc;
+      // Flex the worker pool every few cycles (elastic workers).
+      if (cyc % 10 == 4) rt.SetWorkerCount(1 + (cyc / 10) % 4);
+    }
+    done.store(true, std::memory_order_release);
+    for (std::thread& t : producers) t.join();
+    rt.Drain();
+
+    auto& sink = dynamic_cast<SinkOp&>(rt.graph().Get(fj.sink));
+    EXPECT_EQ(sink.tuples(), static_batches.load() * kTuples)
+        << ToString(kind);
+    EXPECT_EQ(rt.scheduler().pending(), 0u) << ToString(kind);
+    SchedulerStats stats = rt.scheduler().stats();
+    // Zero lost or duplicated: everything enqueued was dispatched; graceful
+    // removal purges nothing; rejected ingests never reached a mailbox.
+    EXPECT_EQ(stats.enqueued, stats.dispatched) << ToString(kind);
+    EXPECT_EQ(stats.purged, 0u) << ToString(kind);
+    rt.Stop();
+  }
+}
+
 }  // namespace
 }  // namespace cameo

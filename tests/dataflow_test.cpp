@@ -195,6 +195,62 @@ TEST(GraphTest, MultipleJobsIsolated) {
 
 // ---------------- Critical path ----------------
 
+TEST(GraphTest, AddQuerySplicesAndRemoveQueryRetires) {
+  DataflowGraph g;
+  JobId first = g.AddJob({.name = "static"});
+  StageId fsrc = g.AddStage(first, "src", 1, SourceFactory());
+  StageId fsink = g.AddStage(first, "sink", 1, SinkFactory());
+  g.Connect(fsrc, fsink, Partition::kOneToOne);
+
+  JobId added = g.AddQuery([](DataflowGraph& gr) {
+    JobId job = gr.AddJob({.name = "tenant"});
+    StageId s = gr.AddStage(job, "src", 2, SourceFactory());
+    StageId k = gr.AddStage(job, "sink", 1, SinkFactory());
+    gr.Connect(s, k, Partition::kShard);
+    return job;
+  });
+  EXPECT_EQ(g.job_count(), 2u);
+  EXPECT_EQ(g.live_job_count(), 2u);
+  EXPECT_TRUE(g.query_live(added));
+  EXPECT_EQ(g.OperatorsOf(added).size(), 3u);
+  EXPECT_EQ(g.job(added).name, "tenant");
+
+  std::vector<OperatorId> retired_ops = g.RemoveQuery(added);
+  EXPECT_EQ(retired_ops.size(), 3u);
+  EXPECT_FALSE(g.query_live(added));
+  EXPECT_TRUE(g.query_live(first));
+  EXPECT_EQ(g.live_job_count(), 1u);
+  // Ids stay stable and resolvable for in-flight stragglers and metrics.
+  EXPECT_EQ(g.job_count(), 2u);
+  for (OperatorId op : retired_ops) {
+    EXPECT_TRUE(g.Contains(op));
+    EXPECT_EQ(g.Get(op).job(), added);
+  }
+}
+
+TEST(GraphTest, ReferencesSurviveLaterMutations) {
+  // Snapshot references handed out before a mutation must stay valid after
+  // it (retired snapshots are kept alive).
+  DataflowGraph g;
+  JobId job = g.AddJob({.name = "j"});
+  StageId s = g.AddStage(job, "src", 2, SourceFactory());
+  const StageInfo& before = g.stage(s);
+  const Operator& op_before = g.Get(before.operators[0]);
+  for (int i = 0; i < 8; ++i) {
+    g.AddQuery([&](DataflowGraph& gr) {
+      JobId t = gr.AddJob({.name = "t"});
+      StageId a = gr.AddStage(t, "src", 1, SourceFactory());
+      StageId b = gr.AddStage(t, "sink", 1, SinkFactory());
+      gr.Connect(a, b, Partition::kOneToOne);
+      return t;
+    });
+  }
+  EXPECT_EQ(before.parallelism, 2);
+  EXPECT_EQ(before.operators.size(), 2u);
+  EXPECT_EQ(op_before.name(), "src");
+  EXPECT_EQ(g.job_count(), 9u);
+}
+
 TEST(CriticalPathTest, LinearPipelineSumsDownstream) {
   DataflowGraph g;
   JobId job = g.AddJob({.name = "j"});

@@ -460,6 +460,195 @@ TEST(MailboxProperty, DrainPreservesPushOrderAndCounts) {
   EXPECT_EQ(mb.size(), pushed - popped);
 }
 
+// ---------------- Retirement invariants (query hot-remove) ----------------
+
+TEST(RetirementProperty, RetiredMailboxRejectsEveryClaimAndPush) {
+  Mailbox mb(MailboxOrder::kFifo);
+  Message m;
+  m.id = MessageId{1};
+  ASSERT_TRUE(mb.Push(std::move(m)));
+  std::uint64_t session = 0;
+  ASSERT_TRUE(mb.TryMarkQueued(session));  // mint a lazy ready entry's epoch
+
+  mb.BeginRetire();
+  ASSERT_TRUE(mb.TryClaim());
+  EXPECT_EQ(mb.PurgeBacklog(), 1);  // backlog discarded with accounting
+  mb.ReleaseToRetired();
+
+  EXPECT_EQ(mb.state(), Mailbox::State::kRetired);
+  EXPECT_GT(mb.epoch(), session) << "retirement must open a fresh epoch";
+  // The stale entry (old epoch), a forged entry (current epoch), and every
+  // other claim path must all fail forever.
+  EXPECT_FALSE(mb.TryClaimQueued(session));
+  EXPECT_FALSE(mb.TryClaimQueued(mb.epoch()));
+  EXPECT_FALSE(mb.TryClaim());
+  EXPECT_FALSE(mb.TryReclaim());
+  std::uint64_t epoch_out = 0;
+  EXPECT_FALSE(mb.TryMarkQueued(epoch_out));
+  Message late;
+  late.id = MessageId{2};
+  EXPECT_FALSE(mb.Push(std::move(late))) << "retired mailbox took a push";
+  EXPECT_EQ(mb.size(), 0);
+}
+
+TEST(RetirementProperty, EpochNeverRegressesThroughRandomLifecycle) {
+  Rng rng(31);
+  for (int round = 0; round < 50; ++round) {
+    Mailbox mb(MailboxOrder::kFifo);
+    std::uint64_t last_epoch = mb.epoch();
+    std::int64_t id = 0;
+    auto check = [&] {
+      std::uint64_t e = mb.epoch();
+      ASSERT_GE(e, last_epoch) << "epoch word regressed";
+      last_epoch = e;
+    };
+    for (int step = 0; step < 200; ++step) {
+      switch (rng.UniformInt(0, 3)) {
+        case 0: {
+          Message m;
+          m.id = MessageId{id++};
+          mb.Push(std::move(m));
+          break;
+        }
+        case 1: {
+          std::uint64_t e = 0;
+          mb.TryMarkQueued(e);
+          break;
+        }
+        case 2:
+          if (mb.TryClaim()) {
+            mb.DrainInbox();
+            while (!mb.buffer_empty() && rng.Chance(0.5)) mb.PopBest();
+            ReleaseMailbox(
+                mb, [](Mailbox&) { return 0; }, [](int, std::uint64_t) {});
+          }
+          break;
+        default:
+          break;
+      }
+      check();
+    }
+    // Terminal retirement bumps once more and then pins the epoch.
+    mb.BeginRetire();
+    if (mb.state() != Mailbox::State::kRetired && mb.TryClaim()) {
+      mb.PurgeBacklog();
+      mb.ReleaseToRetired();
+    }
+    check();
+    EXPECT_EQ(mb.state(), Mailbox::State::kRetired);
+  }
+}
+
+// Random Enqueue/Dequeue/OnComplete/RetireOperators interleavings: once
+// RetireOperators(op) has returned (and any invocation running at that
+// moment completed), no message for op is ever dispatched again -- lazy
+// ready-queue entries are discarded, not served -- and the books close:
+// every enqueue attempt is dispatched, purged, or rejected.
+class RetirementSweep : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(RetirementSweep, RetiredOpsNeverDispatchAndEverythingIsAccounted) {
+  constexpr int kWorkers = 3;
+  constexpr int kOperators = 12;
+  constexpr int kSteps = 20000;
+  SchedulerConfig cfg;
+  cfg.quantum = Micros(50);
+  auto sched = MakeScheduler(GetParam(), kWorkers, cfg);
+
+  Rng rng(9001);
+  std::int64_t next_id = 0;
+  SimTime now = 0;
+  std::unordered_set<std::int64_t> retired;
+  std::unordered_map<int, std::int64_t> running;  // worker -> operator
+  std::int64_t attempts = 0;
+  std::int64_t dispatched = 0;
+
+  auto dequeue_on = [&](int w) {
+    auto m = sched->Dequeue(WorkerId{w}, now);
+    if (!m.has_value()) return false;
+    EXPECT_EQ(retired.count(m->target.value), 0u)
+        << sched->name() << ": dispatched retired operator "
+        << m->target.value;
+    running[w] = m->target.value;
+    ++dispatched;
+    return true;
+  };
+
+  for (int step = 0; step < kSteps; ++step) {
+    now += rng.UniformInt(0, Micros(20));
+    switch (rng.UniformInt(0, 9)) {
+      case 0:
+      case 1: {  // complete a random running invocation
+        if (running.empty()) break;
+        auto it = running.begin();
+        sched->OnComplete(OperatorId{it->second}, WorkerId{it->first}, now);
+        running.erase(it);
+        break;
+      }
+      case 2: {  // retire a random operator (possibly mid-invocation)
+        std::int64_t op = rng.UniformInt(0, kOperators - 1);
+        bool is_running = false;
+        for (auto& [w, r] : running) is_running |= r == op;
+        if (is_running) break;  // keep the model simple: retire parked ops
+        sched->RetireOperators({OperatorId{op}});
+        retired.insert(op);
+        break;
+      }
+      case 3:
+      case 4:
+      case 5: {  // enqueue (sometimes to an already-retired operator)
+        std::int64_t op = rng.UniformInt(0, kOperators - 1);
+        Message m;
+        m.id = MessageId{next_id++};
+        m.target = OperatorId{op};
+        m.pc.id = m.id;
+        m.pc.pri_global = Millis(1 + op);
+        m.batch = EventBatch::Synthetic(1, step + 1);
+        sched->Enqueue(std::move(m), WorkerId{}, now);
+        ++attempts;
+        break;
+      }
+      default: {  // dequeue on a random free worker
+        int w = static_cast<int>(rng.UniformInt(0, kWorkers - 1));
+        if (running.find(w) != running.end()) break;
+        dequeue_on(w);
+        break;
+      }
+    }
+  }
+  for (auto& [w, op] : running) {
+    sched->OnComplete(OperatorId{op}, WorkerId{w}, now);
+  }
+  running.clear();
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int w = 0; w < kWorkers; ++w) {
+      now += Micros(10);
+      while (dequeue_on(w)) {
+        auto it = running.find(w);
+        sched->OnComplete(OperatorId{it->second}, WorkerId{w}, now);
+        running.erase(it);
+        progress = true;
+      }
+    }
+  }
+
+  SchedulerStats stats = sched->stats();
+  EXPECT_EQ(sched->pending(), 0u);
+  EXPECT_EQ(stats.enqueued + stats.rejected,
+            static_cast<std::uint64_t>(attempts));
+  EXPECT_EQ(stats.enqueued, stats.dispatched + stats.purged)
+      << sched->name() << ": purge accounting leaked messages";
+  EXPECT_EQ(stats.dispatched, static_cast<std::uint64_t>(dispatched));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, RetirementSweep,
+                         ::testing::Values(SchedulerKind::kCameo,
+                                           SchedulerKind::kFifo,
+                                           SchedulerKind::kOrleans,
+                                           SchedulerKind::kSlot),
+                         [](const auto& info) { return ToString(info.param); });
+
 // ---------------- Starvation guard (§6.3) ----------------
 
 TEST(StarvationGuard, BoundsLowPriorityWaitUnderPressure) {

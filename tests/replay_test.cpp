@@ -1,0 +1,137 @@
+// Golden seed-replay regression suite: three fixed-seed sim::Cluster
+// scenarios with their exact run summaries pinned (messages delivered,
+// outputs, met-deadline counts, coarse p99 buckets). The simulator is
+// bit-deterministic for a fixed seed, so any accidental change to
+// scheduling order, routing, retirement accounting or priority generation
+// fails these tests loudly instead of silently shifting every benchmark.
+//
+// Updating the goldens: when a PR *deliberately* changes scheduling
+// behaviour, run the suite and copy the "actual" values from the failure
+// output (each EXPECT names the field); the new constants are the review
+// artifact. Never update them to paper over an unintended diff.
+//
+// The p99 figures are pinned as whole-millisecond buckets, not raw doubles:
+// sample ordering is deterministic, but bucketing keeps the goldens readable
+// and robust to float printing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "bench_util/scenarios.h"
+
+namespace cameo {
+namespace {
+
+// ---- Golden values (see the update procedure above) ----
+
+// Scenario 1: MultiTenantControlGroupSeed7
+constexpr std::uint64_t kGoldenMtMessages = 8109;
+constexpr std::uint64_t kGoldenMtLsOutputs = 22;
+constexpr std::uint64_t kGoldenMtBaOutputs = 2;
+constexpr std::uint64_t kGoldenMtLsMet = 22;
+constexpr std::int64_t kGoldenMtLsP99Ms = 5;
+
+// Scenario 2: TenantChurnSeed3
+constexpr int kGoldenChurnTenants = 7;
+constexpr int kGoldenChurnDeparted = 6;
+constexpr std::uint64_t kGoldenChurnMessages = 22586;
+constexpr std::int64_t kGoldenChurnPurged = 0;
+constexpr std::uint64_t kGoldenChurnTenantOutputs = 16;
+constexpr std::uint64_t kGoldenChurnTenantMet = 16;
+
+// Scenario 3: SkewedWorkloadSeed11
+constexpr std::uint64_t kGoldenSkewMessages = 3290;
+constexpr std::uint64_t kGoldenSkewT1Outputs = 9;
+constexpr std::uint64_t kGoldenSkewT2Outputs = 9;
+constexpr std::uint64_t kGoldenSkewMet = 18;
+
+std::int64_t P99Bucket(const RunResult& run, const std::string& prefix) {
+  return static_cast<std::int64_t>(std::floor(run.GroupPercentile(prefix, 99)));
+}
+
+std::uint64_t MetCount(const RunResult& run, const std::string& prefix) {
+  double met = 0;
+  for (const JobResult& j : run.jobs) {
+    if (j.name.rfind(prefix, 0) != 0) continue;
+    met += j.success_rate * static_cast<double>(j.outputs);
+  }
+  return static_cast<std::uint64_t>(std::llround(met));
+}
+
+std::uint64_t Outputs(const RunResult& run, const std::string& prefix) {
+  std::uint64_t outputs = 0;
+  for (const JobResult& j : run.jobs) {
+    if (j.name.rfind(prefix, 0) == 0) outputs += j.outputs;
+  }
+  return outputs;
+}
+
+// ---- Scenario 1: the §6.2 control-group multi-tenant workload ----
+
+TEST(ReplayTest, MultiTenantControlGroupSeed7) {
+  MultiTenantOptions opt;
+  opt.ls_jobs = 2;
+  opt.ba_jobs = 2;
+  opt.ba_msgs_per_sec = 20;
+  opt.workers = 4;
+  opt.duration = Seconds(12);
+  opt.seed = 7;
+  RunResult r = RunMultiTenant(opt);
+
+  EXPECT_EQ(r.messages, kGoldenMtMessages);
+  EXPECT_EQ(r.sched.enqueued, r.sched.dispatched);
+  EXPECT_EQ(Outputs(r, "LS"), kGoldenMtLsOutputs);
+  EXPECT_EQ(Outputs(r, "BA"), kGoldenMtBaOutputs);
+  EXPECT_EQ(MetCount(r, "LS"), kGoldenMtLsMet);
+  EXPECT_EQ(P99Bucket(r, "LS"), kGoldenMtLsP99Ms);
+}
+
+// ---- Scenario 2: tenant churn (hot add/remove) ----
+
+TEST(ReplayTest, TenantChurnSeed3) {
+  ChurnScenarioOptions opt;
+  opt.scheduler = SchedulerKind::kCameo;
+  opt.workers = 4;
+  opt.duration = Seconds(20);
+  opt.churn.end = opt.duration;
+  opt.churn.arrivals_per_sec = 0.5;
+  opt.churn.mean_lifetime = Seconds(6);
+  opt.churn.min_lifetime = Seconds(3);
+  opt.churn.max_concurrent = 6;
+  opt.seed = 3;
+  ChurnScenarioResult r = RunChurnScenario(opt);
+
+  EXPECT_EQ(r.tenants_added, kGoldenChurnTenants);
+  EXPECT_EQ(r.tenants_departed, kGoldenChurnDeparted);
+  EXPECT_EQ(r.run.messages, kGoldenChurnMessages);
+  EXPECT_EQ(r.messages_purged, kGoldenChurnPurged);
+  EXPECT_EQ(Outputs(r.run, "T"), kGoldenChurnTenantOutputs);
+  EXPECT_EQ(MetCount(r.run, "T"), kGoldenChurnTenantMet);
+  // Conservation across retirement: everything delivered was dispatched,
+  // purged with accounting, or rejected at a retired mailbox.
+  EXPECT_EQ(r.run.sched.enqueued, r.run.sched.dispatched + r.run.sched.purged);
+}
+
+// ---- Scenario 3: production-derived skew (Fig. 10 shape) ----
+
+TEST(ReplayTest, SkewedWorkloadSeed11) {
+  SkewScenarioOptions opt;
+  opt.jobs_type1 = 1;
+  opt.jobs_type2 = 1;
+  opt.type1_tuples_per_sec = 200000;
+  opt.type2_tuples_per_sec = 100000;
+  opt.sources_per_job = 4;
+  opt.workers = 2;
+  opt.duration = Seconds(10);
+  opt.seed = 11;
+  RunResult r = RunSkewedScenario(opt);
+
+  EXPECT_EQ(r.messages, kGoldenSkewMessages);
+  EXPECT_EQ(Outputs(r, "T1-"), kGoldenSkewT1Outputs);
+  EXPECT_EQ(Outputs(r, "T2-"), kGoldenSkewT2Outputs);
+  EXPECT_EQ(MetCount(r, "T1-") + MetCount(r, "T2-"), kGoldenSkewMet);
+}
+
+}  // namespace
+}  // namespace cameo

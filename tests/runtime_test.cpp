@@ -151,5 +151,113 @@ TEST(ThreadRuntimeTest, ProfilerObservesRealDurations) {
   EXPECT_LT(rt.profiler().Estimate(agg), Millis(60));
 }
 
+// ---- Query lifecycle (hot add/remove) ----
+
+JobId BuildTenant(DataflowGraph& g, const std::string& name) {
+  QuerySpec spec = MakeLatencySensitiveSpec(name);
+  spec.sources = 1;
+  spec.aggs = 1;
+  spec.domain = TimeDomain::kEventTime;
+  return BuildAggregationJob(g, spec).job;
+}
+
+TEST(ThreadRuntimeTest, AddQueryServesTrafficImmediately) {
+  DataflowGraph graph;
+  BuildTenant(graph, "static");
+  ThreadRuntime rt(FastConfig(), std::move(graph));
+  rt.Start();
+
+  JobId added = rt.AddQuery(
+      [](DataflowGraph& g) { return BuildTenant(g, "tenant"); });
+  EXPECT_TRUE(rt.QueryLive(added));
+  OperatorId src = rt.graph().stage(rt.graph().stages_of(added)[0])
+                       .operators[0];
+  for (int k = 1; k <= 3; ++k) {
+    EXPECT_TRUE(rt.Ingest(src, 100, Seconds(k)));
+  }
+  rt.Drain();
+  rt.Stop();
+  EXPECT_GE(rt.latency().outputs(added), 2u);
+}
+
+TEST(ThreadRuntimeTest, RemoveQueryExecutesBacklogThenRejects) {
+  DataflowGraph graph;
+  JobId keeper = BuildTenant(graph, "keeper");
+  JobId doomed = BuildTenant(graph, "doomed");
+  ThreadRuntime rt(FastConfig(), std::move(graph));
+  OperatorId keeper_src =
+      rt.graph().stage(rt.graph().stages_of(keeper)[0]).operators[0];
+  OperatorId doomed_src =
+      rt.graph().stage(rt.graph().stages_of(doomed)[0]).operators[0];
+  rt.Start();
+  for (int k = 1; k <= 3; ++k) {
+    ASSERT_TRUE(rt.Ingest(keeper_src, 50, Seconds(k)));
+    ASSERT_TRUE(rt.Ingest(doomed_src, 50, Seconds(k)));
+  }
+  rt.RemoveQuery(doomed);  // graceful: quiesces the backlog first
+  EXPECT_FALSE(rt.QueryLive(doomed));
+  EXPECT_GE(rt.latency().outputs(doomed), 2u) << "backlog must be executed";
+  EXPECT_FALSE(rt.Ingest(doomed_src, 10, Seconds(9)));
+  // The surviving tenant is untouched.
+  EXPECT_TRUE(rt.QueryLive(keeper));
+  EXPECT_TRUE(rt.Ingest(keeper_src, 50, Seconds(4)));
+  rt.Drain();
+  rt.Stop();
+  SchedulerStats stats = rt.scheduler().stats();
+  EXPECT_EQ(stats.enqueued, stats.dispatched);
+  EXPECT_EQ(stats.purged, 0u);
+  EXPECT_EQ(stats.rejected, 0u)
+      << "a rejected ingest never reaches a mailbox";
+}
+
+TEST(ThreadRuntimeTest, SetWorkerCountBeforeStartRetargetsSlotPinning) {
+  // A pre-Start shrink must reach the slot scheduler: operators pinned by
+  // the construction-time worker count would otherwise wait on slots that
+  // never get a worker, and Drain() would hang.
+  DataflowGraph graph;
+  JobId job = BuildTenant(graph, "prestart");
+  RuntimeConfig cfg = FastConfig();
+  cfg.scheduler = SchedulerKind::kSlot;
+  cfg.num_workers = 4;
+  ThreadRuntime rt(cfg, std::move(graph));
+  OperatorId src =
+      rt.graph().stage(rt.graph().stages_of(job)[0]).operators[0];
+  rt.SetWorkerCount(1);
+  rt.Start();
+  EXPECT_EQ(rt.worker_count(), 1);
+  for (int k = 1; k <= 3; ++k) ASSERT_TRUE(rt.Ingest(src, 50, Seconds(k)));
+  rt.Drain();
+  rt.Stop();
+  EXPECT_GE(rt.latency().outputs(job), 2u);
+}
+
+TEST(ThreadRuntimeTest, SetWorkerCountGrowsAndShrinksMidRun) {
+  for (SchedulerKind kind : {SchedulerKind::kCameo, SchedulerKind::kSlot,
+                             SchedulerKind::kOrleans}) {
+    DataflowGraph graph;
+    JobId job = BuildTenant(graph, "elastic");
+    RuntimeConfig cfg = FastConfig();
+    cfg.scheduler = kind;
+    cfg.num_workers = 1;
+    ThreadRuntime rt(cfg, std::move(graph));
+    OperatorId src =
+        rt.graph().stage(rt.graph().stages_of(job)[0]).operators[0];
+    rt.Start();
+    EXPECT_EQ(rt.worker_count(), 1);
+    for (int k = 1; k <= 4; ++k) ASSERT_TRUE(rt.Ingest(src, 50, Seconds(k)));
+    rt.SetWorkerCount(4);
+    EXPECT_EQ(rt.worker_count(), 4);
+    for (int k = 5; k <= 8; ++k) ASSERT_TRUE(rt.Ingest(src, 50, Seconds(k)));
+    rt.SetWorkerCount(2);  // shrink: excess workers join, work migrates
+    EXPECT_EQ(rt.worker_count(), 2);
+    for (int k = 9; k <= 12; ++k) ASSERT_TRUE(rt.Ingest(src, 50, Seconds(k)));
+    rt.Drain();
+    rt.Stop();
+    EXPECT_GE(rt.latency().outputs(job), 11u) << ToString(kind);
+    SchedulerStats stats = rt.scheduler().stats();
+    EXPECT_EQ(stats.enqueued, stats.dispatched) << ToString(kind);
+  }
+}
+
 }  // namespace
 }  // namespace cameo

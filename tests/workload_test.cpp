@@ -6,6 +6,7 @@
 #include "ops/windowed_join.h"
 #include "workload/generators.h"
 #include "workload/tenants.h"
+#include "workload/churn.h"
 #include "workload/trace.h"
 
 namespace cameo {
@@ -252,6 +253,82 @@ TEST(TenantsTest, IpqSpecsDifferentiate) {
   EXPECT_LT(MakeIpqSpec(2).slide, MakeIpqSpec(2).window) << "IPQ2 sliding";
   EXPECT_TRUE(MakeIpqSpec(3).per_key) << "IPQ3 grouped";
   EXPECT_FALSE(MakeIpqSpec(1).per_key);
+}
+
+// ---------------- Tenant churn scripts ----------------
+
+TEST(TenantChurnTest, ScriptIsDeterministicAndOrdered) {
+  TenantChurnSpec spec;
+  spec.arrivals_per_sec = 0.5;
+  spec.end = Seconds(120);
+  auto gen = [&] {
+    Rng rng(77);
+    return GenerateTenantChurn(spec, rng);
+  };
+  TenantChurnScript a = gen();
+  TenantChurnScript b = gen();
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+    EXPECT_EQ(a.tenants[i].arrive, b.tenants[i].arrive);
+    EXPECT_EQ(a.tenants[i].depart, b.tenants[i].depart);
+    EXPECT_EQ(a.tenants[i].tenant, static_cast<int>(i));
+    if (i > 0) EXPECT_GE(a.tenants[i].arrive, a.tenants[i - 1].arrive);
+    EXPECT_GE(a.tenants[i].depart - a.tenants[i].arrive, spec.min_lifetime);
+  }
+  EXPECT_GT(a.tenants.size(), 20u) << "0.5/s over 120s";
+}
+
+TEST(TenantChurnTest, ArrivalRateAndLifetimesMatchSpec) {
+  TenantChurnSpec spec;
+  spec.arrivals_per_sec = 1.0;
+  spec.end = Seconds(2000);
+  spec.mean_lifetime = Seconds(10);
+  spec.lifetime_alpha = 2.5;  // light enough tail for a stable sample mean
+  spec.min_lifetime = Millis(100);
+  spec.max_concurrent = 1 << 20;  // effectively off for this check
+  Rng rng(5);
+  TenantChurnScript s = GenerateTenantChurn(spec, rng);
+  // Poisson(1/s) over 2000s: ~2000 tenants.
+  EXPECT_GT(s.tenants.size(), 1700u);
+  EXPECT_LT(s.tenants.size(), 2300u);
+  double mean = 0;
+  for (const TenantInterval& ti : s.tenants) {
+    mean += static_cast<double>(ti.depart - ti.arrive);
+  }
+  mean /= static_cast<double>(s.tenants.size());
+  EXPECT_NEAR(mean, static_cast<double>(spec.mean_lifetime),
+              0.35 * static_cast<double>(spec.mean_lifetime));
+}
+
+TEST(TenantChurnTest, AdmissionControlCapsConcurrency) {
+  TenantChurnSpec spec;
+  spec.arrivals_per_sec = 5.0;     // heavy pressure...
+  spec.mean_lifetime = Seconds(30);  // ...with long lifetimes
+  spec.end = Seconds(200);
+  spec.max_concurrent = 4;
+  Rng rng(9);
+  TenantChurnScript s = GenerateTenantChurn(spec, rng);
+  EXPECT_LE(s.peak_concurrent, 4);
+  for (const TenantInterval& ti : s.tenants) {
+    EXPECT_LE(s.LiveAt(ti.arrive), 4);
+  }
+}
+
+TEST(TokenShareTest, SplitsProportionallyAndHandlesEdges) {
+  auto shares = SplitTokenShares(60, {1, 2, 3});
+  ASSERT_EQ(shares.size(), 3u);
+  EXPECT_DOUBLE_EQ(shares[0], 10);
+  EXPECT_DOUBLE_EQ(shares[1], 20);
+  EXPECT_DOUBLE_EQ(shares[2], 30);
+  // No preferences: uniform.
+  shares = SplitTokenShares(30, {0, 0, 0});
+  EXPECT_DOUBLE_EQ(shares[0], 10);
+  // Membership change: the departing tenant's share flows to survivors.
+  auto before = SplitTokenShares(40, {1, 1});
+  auto after = SplitTokenShares(40, {1});
+  EXPECT_DOUBLE_EQ(before[0], 20);
+  EXPECT_DOUBLE_EQ(after[0], 40);
+  EXPECT_TRUE(SplitTokenShares(40, {}).empty());
 }
 
 }  // namespace
