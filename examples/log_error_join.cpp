@@ -1,6 +1,7 @@
 // Log error summarization: the paper's IPQ4 ("summarizes errors from log
 // events via a windowed join of two event streams, followed by aggregation
-// on a tumbling window"), with real columnar data on the thread runtime.
+// on a tumbling window"), defined with the fluent API and fed real columnar
+// data on the wall-clock engine.
 //
 //   requests (srcL) --+
 //                     +-- windowed join on request id (1 s windows)
@@ -10,31 +11,39 @@
 // The join emits one tuple per (request, error) match; the final aggregation
 // counts matches per window.
 #include <cstdio>
+#include <vector>
 
+#include "api/thread_engine.h"
 #include "ops/sink.h"
-#include "runtime/thread_runtime.h"
-#include "workload/tenants.h"
 
 using namespace cameo;
 
 int main() {
-  QuerySpec spec = MakeIpqSpec(4);
-  spec.name = "log_errors";
-  spec.sources = 2;  // per side
-  spec.aggs = 1;     // single join shard keeps the arithmetic transparent
-  spec.domain = TimeDomain::kEventTime;
+  QueryDef def =
+      Query("log_errors")
+          .Constraint(Millis(800))
+          .EventTime()
+          .Source(2, {Micros(200), 0, 0.05}, "requests")
+          .RightSource(2, {Micros(200), 0, 0.05}, "errors")
+          .Shuffle()
+          .WindowedJoin(1, Seconds(1), {Millis(2), /*per_tuple=*/40000, 0.05})
+          .Shuffle()
+          .WindowAgg(1, WindowSpec::Tumbling(Seconds(1)),
+                     {Millis(2), Micros(10), 0.05}, AggKind::kSum,
+                     /*per_key=*/false, "final")
+          .OneToOne()
+          .Sink({Micros(100), 0, 0.0});
 
-  DataflowGraph graph;
-  JobHandles job = BuildJoinJob(graph, spec);
-  std::vector<OperatorId> requests = graph.stage(job.source).operators;
-  std::vector<OperatorId> errors = graph.stage(job.source_right).operators;
-  OperatorId sink_id = graph.stage(job.sink).operators[0];
-
-  RuntimeConfig cfg;
-  cfg.num_workers = 2;
-  cfg.emulate_cost = false;
-  ThreadRuntime runtime(cfg, std::move(graph));
-  runtime.Start();
+  EngineOptions opt;
+  opt.workers = 2;
+  opt.wallclock.emulate_cost = false;
+  ThreadEngine engine(opt);
+  QueryHandle q = engine.Submit(def);
+  std::vector<OperatorId> requests =
+      engine.graph().stage(q.handles.source).operators;
+  std::vector<OperatorId> errors =
+      engine.graph().stage(q.handles.source_right).operators;
+  OperatorId sink_id = engine.graph().stage(q.handles.sink).operators[0];
 
   // Two logical seconds of traffic. Requests 0..49 each second; errors for
   // every 5th request. Expected matches per closed window: 10.
@@ -46,7 +55,7 @@ int main() {
         if (static_cast<int>(s) != id % 2) continue;  // split across sources
         req.Append(/*key=*/id, /*value=*/1.0, Seconds(second) - Millis(10));
       }
-      runtime.IngestBatch(requests[s], std::move(req));
+      engine.IngestBatch(requests[s], std::move(req));
     }
     for (std::size_t s = 0; s < errors.size(); ++s) {
       EventBatch err;
@@ -55,19 +64,19 @@ int main() {
         if (static_cast<int>(s) != id % 2) continue;
         err.Append(/*key=*/id, /*value=*/1.0, Seconds(second) - Millis(3));
       }
-      runtime.IngestBatch(errors[s], std::move(err));
+      engine.IngestBatch(errors[s], std::move(err));
     }
   }
-  runtime.Drain();
-  runtime.Stop();
+  engine.Drain();
+  engine.Stop();
 
-  auto& sink = dynamic_cast<SinkOp&>(runtime.graph().Get(sink_id));
+  auto& sink = dynamic_cast<SinkOp&>(engine.graph().Get(sink_id));
   std::printf("windows summarized: %llu\n",
               static_cast<unsigned long long>(sink.outputs()));
   std::printf("matched (request, error) pairs in the last closed window: "
               "%.0f (expected 10)\n",
               sink.last_value());
-  const SampleStats& lat = runtime.latency().Latency(job.job);
+  SampleStats lat = engine.Latency(q);
   if (!lat.empty()) {
     std::printf("join-to-dashboard latency: median %.2f ms\n",
                 lat.Median() / kMillisecond);

@@ -1,43 +1,48 @@
-// Quickstart: build a windowed-aggregation dataflow, run it on the
-// wall-clock thread runtime under the Cameo scheduler, feed it real columnar
-// events, and read the results.
+// Quickstart: define a windowed-aggregation query with the fluent QueryDef
+// API, run it on the wall-clock engine under the Cameo scheduler, feed it
+// real columnar events, and read the results.
 //
 //   source (2 replicas) -> tumbling 1 s sum per key (2 replicas)
 //          -> global sum -> sink
 //
 // Build & run:   ./quickstart
 #include <cstdio>
+#include <vector>
 
+#include "api/thread_engine.h"
 #include "ops/sink.h"
-#include "runtime/thread_runtime.h"
-#include "workload/tenants.h"
 
 using namespace cameo;
 
 int main() {
-  // 1. Describe the query. QuerySpec is a convenience wrapper around
-  //    DataflowGraph::AddJob/AddStage/Connect; see workload/tenants.h.
-  QuerySpec spec = MakeLatencySensitiveSpec("quickstart");
-  spec.sources = 2;
-  spec.aggs = 2;
-  spec.domain = TimeDomain::kEventTime;
-  spec.window = Seconds(1);  // tumbling 1 s windows
-  spec.slide = Seconds(1);
-  spec.latency_constraint = Millis(800);
+  // 1. Describe the query. The fluent definition carries everything that
+  //    belongs to the *query*: topology, window, latency target, semantics.
+  QueryDef def =
+      Query("quickstart")
+          .Constraint(Millis(800))
+          .EventTime()
+          .Source(2)
+          .Shuffle()
+          .WindowAgg(2, WindowSpec::Tumbling(Seconds(1)),
+                     {Micros(300), /*per_tuple=*/1500, 0.05})
+          .Shuffle()
+          .WindowAgg(1, WindowSpec::Tumbling(Seconds(1)),
+                     {Micros(500), Micros(5), 0.05}, AggKind::kSum,
+                     /*per_key=*/false, "final")
+          .OneToOne()
+          .Sink();
 
-  DataflowGraph graph;
-  JobHandles job = BuildAggregationJob(graph, spec);
-  std::vector<OperatorId> sources = graph.stage(job.source).operators;
-  OperatorId sink_id = graph.stage(job.sink).operators[0];
-
-  // 2. Start the runtime: 2 workers, Cameo scheduler, LLF policy.
-  RuntimeConfig cfg;
-  cfg.num_workers = 2;
-  cfg.scheduler = SchedulerKind::kCameo;
-  cfg.policy = "LLF";
-  cfg.emulate_cost = false;  // run at real speed, no synthetic spinning
-  ThreadRuntime runtime(cfg, std::move(graph));
-  runtime.Start();
+  // 2. Start the engine: 2 workers, Cameo scheduler, LLF policy. The same
+  //    definition would run unchanged on SimEngine in virtual time.
+  EngineOptions opt;
+  opt.workers = 2;
+  opt.scheduler = SchedulerKind::kCameo;
+  opt.policy = "LLF";
+  opt.wallclock.emulate_cost = false;  // run at real speed, no spinning
+  ThreadEngine engine(opt);
+  QueryHandle q = engine.Submit(def);
+  std::vector<OperatorId> sources = engine.graph().stage(q.handles.source).operators;
+  OperatorId sink_id = engine.graph().stage(q.handles.sink).operators[0];
 
   // 3. Feed three logical seconds of events. Each batch carries (key, value,
   //    event-time) tuples; a batch whose progress lands on a window boundary
@@ -54,24 +59,23 @@ int main() {
                      Seconds(second) - Millis(5 * (i + 1)));
         if (second == 3) last_window_expected += revenue;
       }
-      runtime.IngestBatch(sources[s], std::move(batch));
+      engine.IngestBatch(sources[s], std::move(batch));
     }
   }
-  runtime.Drain();
-  runtime.Stop();
+  engine.Drain();
+  engine.Stop();
 
   // 4. Read results: per-window outputs arrived at the sink; the latency
   //    recorder tracked the paper's end-to-end latency definition.
-  auto& sink = dynamic_cast<SinkOp&>(runtime.graph().Get(sink_id));
+  auto& sink = dynamic_cast<SinkOp&>(engine.graph().Get(sink_id));
   std::printf("windows produced: %llu\n",
               static_cast<unsigned long long>(sink.outputs()));
-  const SampleStats& lat = runtime.latency().Latency(job.job);
+  SampleStats lat = engine.Latency(q);
   if (!lat.empty()) {
     std::printf("end-to-end latency: median %.2f ms, max %.2f ms\n",
                 lat.Median() / kMillisecond, lat.Max() / kMillisecond);
   }
-  std::printf("deadline success rate: %.0f%%\n",
-              100 * runtime.latency().SuccessRate(job.job));
+  std::printf("deadline success rate: %.0f%%\n", 100 * engine.SuccessRate(q));
   std::printf("window-3 revenue: %.2f (expected %.2f)\n", sink.last_value(),
               last_window_expected);
   return 0;

@@ -1,0 +1,18 @@
+#include "api/engine.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "core/policies.h"
+
+namespace cameo {
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  CAMEO_EXPECTS(options_.workers >= 1 &&
+                options_.workers <= Scheduler::kMaxWorkers);
+  // Fail fast at the front door: an unknown policy string aborts here with
+  // the roster, not deep inside a backend's first dispatch.
+  CheckPolicyName(options_.policy);
+}
+
+}  // namespace cameo

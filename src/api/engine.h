@@ -1,0 +1,130 @@
+// Backend-agnostic execution facade over the two runtimes.
+//
+// An Engine accepts QueryDefs (api/query_def.h), owns the execution backend
+// they run on, and exposes the lifecycle both backends share:
+//
+//   Submit(def)            -> QueryHandle   (query joins, ingestion attaches)
+//   Remove(handle)                          (graceful retirement)
+//   RunFor(duration)                        (advance time; drive ingestion)
+//   Drain()                                 (quiesce outstanding work)
+//
+// Two implementations:
+//  - SimEngine (api/sim_engine.h): wraps sim::Cluster -- virtual time,
+//    bit-reproducible, scripted churn via Submit(at, until, def).
+//  - ThreadEngine (api/thread_engine.h): wraps ThreadRuntime -- wall clock,
+//    ingestion specs become external producer threads, queries hot-add and
+//    remove against live traffic.
+//
+// EngineOptions unifies the old ClusterConfig/RuntimeConfig front doors:
+// the shared knobs (workers, scheduler, policy, semantics, seed) live at
+// the top level; knobs only one backend can honour live in the `sim` and
+// `wallclock` sub-structs, so it is explicit which settings survive a
+// backend swap. Policy names are validated at engine construction
+// (CheckPolicyName) -- an unknown string aborts with the roster instead of
+// failing deep inside the backend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/query_def.h"
+#include "common/histogram.h"
+#include "sched/scheduler.h"
+
+namespace cameo {
+
+struct EngineOptions {
+  // ---- shared by both backends ----
+  int workers = 4;
+  SchedulerKind scheduler = SchedulerKind::kCameo;
+  SchedulerConfig sched;
+  /// Cameo policy: "LLF", "EDF", "SJF", or "TokenFair" (ValidPolicyNames).
+  std::string policy = "LLF";
+  /// Fig. 15 ablation: topology-aware but not query-semantics-aware.
+  bool use_query_semantics = true;
+  std::uint64_t seed = 1;
+
+  /// Knobs only the simulated backend can honour.
+  struct SimOptions {
+    Duration network_delay = kMillisecond;  // VM-to-VM hop
+    /// Charged when a worker switches operators (cache refill, activation
+    /// swap); drives the Fig. 14 quantum trade-off.
+    Duration switch_cost = Micros(20);
+    /// Fig. 16: N(0, sigma) noise on profiled cost estimates.
+    Duration profiler_perturbation = 0;
+    /// Rare execution stragglers (GC pauses, page faults, JIT).
+    double straggler_prob = 0.003;
+    double straggler_factor = 15.0;
+    /// Seed profiler and Reply Contexts from static critical-path analysis.
+    bool seed_static_estimates = true;
+    std::int64_t seed_nominal_tuples = 1000;
+    bool enable_timeline = false;
+    /// > 0: total token issuance (tokens/s) re-shared across live
+    /// token-enabled queries on every membership change.
+    double token_total_rate = 0;
+  } sim;
+
+  /// Knobs only the wall-clock backend can honour.
+  struct WallClockOptions {
+    /// Spin/sleep each invocation's CostModel duration to emulate compute.
+    bool emulate_cost = true;
+    /// Wall-clock seconds per virtual second when replaying ingestion specs
+    /// (< 1 compresses a scenario's timeline into a faster real-time run).
+    double time_scale = 1.0;
+  } wallclock;
+};
+
+/// A submitted query. Cheap value type: the stage/job handles plus the
+/// submission ticket (scripted sim queries only compile at their virtual
+/// arrival time, so their job id resolves after the run reaches it).
+struct QueryHandle {
+  std::string name;
+  JobHandles handles;
+  /// SimEngine scripted-churn ticket; -1 for immediate submissions.
+  int ticket = -1;
+
+  JobId job() const { return handles.job; }
+  bool valid() const { return handles.job.valid() || ticket >= 0; }
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Submits a query: compiles the definition into the backend's dataflow
+  /// and attaches its ingestion spec (if any).
+  virtual QueryHandle Submit(const QueryDef& def) = 0;
+
+  /// Gracefully removes a submitted query (retires mailboxes, stops
+  /// ingestion; accounting per backend contract).
+  virtual void Remove(const QueryHandle& q) = 0;
+
+  /// Advances the engine by `d`: virtual time for SimEngine, wall-clock
+  /// producer replay for ThreadEngine.
+  virtual void RunFor(Duration d) = 0;
+
+  /// Blocks until outstanding work has completed (no-op in virtual time,
+  /// where RunFor already leaves the horizon quiescent).
+  virtual void Drain() = 0;
+
+  /// End-to-end latency samples / met-deadline fraction of one query.
+  virtual SampleStats Latency(const QueryHandle& q) const = 0;
+  virtual double SuccessRate(const QueryHandle& q) const = 0;
+
+  virtual DataflowGraph& graph() = 0;
+  virtual SchedulerStats sched_stats() const = 0;
+  virtual std::string backend() const = 0;
+
+  const EngineOptions& options() const { return options_; }
+
+ protected:
+  /// Validates the shared options (worker bounds, policy roster).
+  explicit Engine(EngineOptions options);
+
+  EngineOptions options_;
+};
+
+}  // namespace cameo

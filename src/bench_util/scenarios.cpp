@@ -1,154 +1,128 @@
+// All scenario builders are expressed through the frontend API: each tenant
+// is a fluent QueryDef with its ingestion spec attached, submitted to a
+// SimEngine. The engine reproduces the classic build-graph/construct-
+// cluster/attach-ingestion/run sequence call for call, so fixed-seed runs
+// (tests/replay_test.cpp goldens) are bit-identical to the hand-wired past.
 #include "bench_util/scenarios.h"
 
 #include <algorithm>
 
+#include "api/sim_engine.h"
 #include "common/check.h"
 
 namespace cameo {
 
 namespace {
 
-ArrivalProcessFactory MakeFactory(ArrivalKind kind, double msgs_per_sec,
-                                  std::int64_t tuples_per_msg, SimTime start,
-                                  SimTime end, double pareto_alpha,
-                                  Duration base_phase = 0) {
+IngestSpec::Kind ToIngestKind(ArrivalKind kind) {
   switch (kind) {
     case ArrivalKind::kConstant:
-      // Aligned batching clients: replica r sends each interval's batch a
-      // small, fixed phase after the boundary (paper model: 1000 events
-      // buffered per second, then sent).
-      return [=](int replica) {
-        Duration phase = base_phase + Millis(2) + replica * Millis(9);
-        return std::make_unique<ConstantRate>(msgs_per_sec, tuples_per_msg,
-                                              start, end, phase,
-                                              /*aligned=*/true);
-      };
+      return IngestSpec::Kind::kConstant;
     case ArrivalKind::kPoisson:
-      return [=](int) {
-        return std::make_unique<PoissonArrivals>(msgs_per_sec, tuples_per_msg,
-                                                 start, end);
-      };
-    case ArrivalKind::kPareto: {
-      double mean_per_interval = msgs_per_sec * tuples_per_msg;
-      int msgs_per_interval = std::max(1, static_cast<int>(msgs_per_sec));
-      return [=](int) {
-        return std::make_unique<ParetoBurst>(mean_per_interval, pareto_alpha,
-                                             msgs_per_interval, kSecond, start,
-                                             end);
-      };
-    }
+      return IngestSpec::Kind::kPoisson;
+    case ArrivalKind::kPareto:
+      return IngestSpec::Kind::kParetoBurst;
   }
   CAMEO_CHECK(false && "unknown arrival kind");
-  return {};
+  return IngestSpec::Kind::kConstant;
 }
 
 }  // namespace
 
 RunResult RunMultiTenant(const MultiTenantOptions& opt) {
-  DataflowGraph graph;
-  std::vector<JobHandles> handles;
-  std::vector<Duration> delays;
+  EngineOptions eo;
+  eo.workers = opt.workers;
+  eo.scheduler = opt.scheduler;
+  eo.sched.quantum = opt.quantum;
+  eo.policy = opt.policy;
+  eo.use_query_semantics = opt.use_query_semantics;
+  eo.seed = opt.seed;
+  eo.sim.profiler_perturbation = opt.perturbation;
+  eo.sim.switch_cost = opt.switch_cost;
+  SimEngine engine(eo);
 
-  for (int i = 0; i < opt.ls_jobs; ++i) {
-    QuerySpec spec = MakeLatencySensitiveSpec("LS" + std::to_string(i));
+  const int total = opt.ls_jobs + opt.ba_jobs;
+  for (int i = 0; i < total; ++i) {
+    const bool is_ls = i < opt.ls_jobs;
+    QuerySpec spec =
+        is_ls ? MakeLatencySensitiveSpec("LS" + std::to_string(i))
+              : MakeBulkAnalyticsSpec("BA" + std::to_string(i - opt.ls_jobs));
     spec.sources = opt.sources_per_job;
     spec.aggs = opt.aggs_per_job;
-    spec.msgs_per_sec_per_source = opt.ls_msgs_per_sec;
-    spec.tuples_per_msg = opt.ls_tuples_per_msg;
-    if (opt.ls_constraint > 0) spec.latency_constraint = opt.ls_constraint;
-    handles.push_back(BuildAggregationJob(graph, spec));
-    delays.push_back(opt.event_time_delay + i * opt.interleave_step);
-  }
-  for (int i = 0; i < opt.ba_jobs; ++i) {
-    QuerySpec spec = MakeBulkAnalyticsSpec("BA" + std::to_string(i));
-    spec.sources = opt.sources_per_job;
-    spec.aggs = opt.aggs_per_job;
-    spec.msgs_per_sec_per_source = opt.ba_msgs_per_sec;
-    spec.tuples_per_msg = opt.ba_tuples_per_msg;
-    if (opt.ba_constraint > 0) spec.latency_constraint = opt.ba_constraint;
-    handles.push_back(BuildAggregationJob(graph, spec));
-    delays.push_back(opt.event_time_delay +
-                     (opt.ls_jobs + i) * opt.interleave_step);
-  }
+    spec.msgs_per_sec_per_source =
+        is_ls ? opt.ls_msgs_per_sec : opt.ba_msgs_per_sec;
+    spec.tuples_per_msg = is_ls ? opt.ls_tuples_per_msg : opt.ba_tuples_per_msg;
+    if (is_ls && opt.ls_constraint > 0) {
+      spec.latency_constraint = opt.ls_constraint;
+    }
+    if (!is_ls && opt.ba_constraint > 0) {
+      spec.latency_constraint = opt.ba_constraint;
+    }
 
-  ClusterConfig cfg;
-  cfg.num_workers = opt.workers;
-  cfg.scheduler = opt.scheduler;
-  cfg.sched.quantum = opt.quantum;
-  cfg.policy = opt.policy;
-  cfg.use_query_semantics = opt.use_query_semantics;
-  cfg.profiler_perturbation = opt.perturbation;
-  cfg.switch_cost = opt.switch_cost;
-  cfg.seed = opt.seed;
-  Cluster cluster(cfg, std::move(graph));
-
-  for (std::size_t i = 0; i < handles.size(); ++i) {
-    bool is_ls = i < static_cast<std::size_t>(opt.ls_jobs);
-    double rate = is_ls ? opt.ls_msgs_per_sec : opt.ba_msgs_per_sec;
-    std::int64_t tuples = is_ls ? opt.ls_tuples_per_msg : opt.ba_tuples_per_msg;
-    ArrivalKind kind = is_ls ? ArrivalKind::kConstant : opt.ba_arrivals;
+    IngestSpec ingest;
+    ingest.kind =
+        is_ls ? IngestSpec::Kind::kConstant : ToIngestKind(opt.ba_arrivals);
+    ingest.msgs_per_sec = spec.msgs_per_sec_per_source;
+    ingest.tuples_per_msg = spec.tuples_per_msg;
+    ingest.end = opt.duration;
+    ingest.pareto_alpha = opt.pareto_alpha;
     // Per-job phase: interleave_step spreads jobs' window triggers across
     // the interval (Fig. 14 right); the default keeps them clustered.
-    Duration base_phase = static_cast<Duration>(i) * opt.interleave_step +
-                          static_cast<Duration>(i) * Millis(1);
-    cluster.AddIngestion(handles[i].source,
-                         MakeFactory(kind, rate, tuples, 0, opt.duration,
-                                     opt.pareto_alpha, base_phase),
-                         delays[i]);
+    ingest.phase = static_cast<Duration>(i) * opt.interleave_step +
+                   static_cast<Duration>(i) * Millis(1);
+    ingest.event_time_delay = opt.event_time_delay + i * opt.interleave_step;
+    engine.Submit(AggregationQueryDef(spec).Ingest(ingest));
   }
 
-  cluster.Run(opt.duration);
-  return SummarizeRun(cluster, opt.duration);
+  engine.RunFor(opt.duration);
+  return engine.Summarize(opt.duration);
 }
 
 SingleTenantResult RunSingleTenant(const SingleTenantOptions& opt) {
-  DataflowGraph graph;
   QuerySpec spec = MakeIpqSpec(opt.ipq);
   spec.msgs_per_sec_per_source *= opt.load_factor;
-  JobHandles h = opt.ipq == 4 ? BuildJoinJob(graph, spec)
-                              : BuildAggregationJob(graph, spec);
 
-  ClusterConfig cfg;
-  cfg.num_workers = opt.workers;
-  cfg.scheduler = opt.scheduler;
-  cfg.sched.quantum = opt.quantum;
-  cfg.policy = opt.policy;
-  cfg.seed = opt.seed;
-  cfg.enable_timeline = opt.enable_timeline;
-  Cluster cluster(cfg, std::move(graph));
-  if (opt.enable_timeline) cluster.timeline().SetJobFilter(h.job);
+  EngineOptions eo;
+  eo.workers = opt.workers;
+  eo.scheduler = opt.scheduler;
+  eo.sched.quantum = opt.quantum;
+  eo.policy = opt.policy;
+  eo.seed = opt.seed;
+  eo.sim.enable_timeline = opt.enable_timeline;
+  SimEngine engine(eo);
 
-  auto factory = MakeFactory(ArrivalKind::kConstant,
-                             spec.msgs_per_sec_per_source, spec.tuples_per_msg,
-                             0, opt.duration, 1.5);
-  cluster.AddIngestion(h.source, factory, Millis(50));
-  if (opt.ipq == 4) cluster.AddIngestion(h.source_right, factory, Millis(50));
+  IngestSpec ingest;
+  ingest.msgs_per_sec = spec.msgs_per_sec_per_source;
+  ingest.tuples_per_msg = spec.tuples_per_msg;
+  ingest.end = opt.duration;
+  ingest.event_time_delay = Millis(50);
+  QueryDef def = opt.ipq == 4 ? JoinQueryDef(spec) : AggregationQueryDef(spec);
+  QueryHandle q = engine.Submit(def.Ingest(ingest));
+  if (opt.enable_timeline) engine.cluster().timeline().SetJobFilter(q.job());
 
-  cluster.Run(opt.duration);
+  engine.RunFor(opt.duration);
   SingleTenantResult out;
-  out.run = SummarizeRun(cluster, opt.duration);
-  out.timeline = cluster.timeline().records();
-  out.latency = cluster.latency().Latency(h.job);
+  out.run = engine.Summarize(opt.duration);
+  out.timeline = engine.cluster().timeline().records();
+  out.latency = engine.Latency(q);
   return out;
 }
 
 RunResult RunSkewedScenario(const SkewScenarioOptions& opt) {
-  DataflowGraph graph;
-  struct JobIngest {
-    JobHandles handles;
-    std::vector<std::vector<Arrival>> trace;
-  };
-  std::vector<JobIngest> jobs;
-  Rng trace_rng(opt.seed * 77 + 13);
+  EngineOptions eo;
+  eo.workers = opt.workers;
+  eo.scheduler = opt.scheduler;
+  eo.sched.quantum = opt.quantum;
+  eo.seed = opt.seed;
+  SimEngine engine(eo);
 
-  auto add_jobs = [&](int count, const std::string& prefix,
-                      double tuples_per_sec, double skew) {
+  Rng trace_rng(opt.seed * 77 + 13);
+  auto submit_jobs = [&](int count, const std::string& prefix,
+                         double tuples_per_sec, double skew) {
     for (int i = 0; i < count; ++i) {
       QuerySpec spec = MakeLatencySensitiveSpec(prefix + std::to_string(i));
       spec.sources = opt.sources_per_job;
       spec.latency_constraint = opt.constraint;
-      JobIngest ji;
-      ji.handles = BuildAggregationJob(graph, spec);
       SkewedTraceSpec ts;
       ts.sources = opt.sources_per_job;
       ts.length = opt.duration;
@@ -156,106 +130,91 @@ RunResult RunSkewedScenario(const SkewScenarioOptions& opt) {
       ts.skew_ratio = skew;
       ts.burst_alpha = opt.burst_alpha;
       ts.msgs_per_interval = opt.msgs_per_interval;
-      ji.trace = SynthesizeSkewedTrace(ts, trace_rng);
-      jobs.push_back(std::move(ji));
+      // Each replica replays its own per-source arrival list.
+      auto trace = std::make_shared<std::vector<std::vector<Arrival>>>(
+          SynthesizeSkewedTrace(ts, trace_rng));
+      IngestSpec ingest;
+      ingest.kind = IngestSpec::Kind::kCustom;
+      ingest.event_time_delay = Millis(50);
+      ingest.custom = [trace](int replica) {
+        return std::make_unique<ReplayTrace>(
+            (*trace)[static_cast<std::size_t>(replica)]);
+      };
+      engine.Submit(AggregationQueryDef(spec).Ingest(ingest));
     }
   };
-  add_jobs(opt.jobs_type1, "T1-", opt.type1_tuples_per_sec, opt.type1_skew);
-  add_jobs(opt.jobs_type2, "T2-", opt.type2_tuples_per_sec, opt.type2_skew);
+  submit_jobs(opt.jobs_type1, "T1-", opt.type1_tuples_per_sec, opt.type1_skew);
+  submit_jobs(opt.jobs_type2, "T2-", opt.type2_tuples_per_sec, opt.type2_skew);
 
-  ClusterConfig cfg;
-  cfg.num_workers = opt.workers;
-  cfg.scheduler = opt.scheduler;
-  cfg.sched.quantum = opt.quantum;
-  cfg.seed = opt.seed;
-  Cluster cluster(cfg, std::move(graph));
-
-  for (auto& ji : jobs) {
-    // Each replica replays its own per-source arrival list.
-    auto trace = std::make_shared<std::vector<std::vector<Arrival>>>(
-        std::move(ji.trace));
-    cluster.AddIngestion(
-        ji.handles.source,
-        [trace](int replica) {
-          return std::make_unique<ReplayTrace>(
-              (*trace)[static_cast<std::size_t>(replica)]);
-        },
-        Millis(50));
-  }
-
-  cluster.Run(opt.duration);
-  return SummarizeRun(cluster, opt.duration);
+  engine.RunFor(opt.duration);
+  return engine.Summarize(opt.duration);
 }
 
 TokenScenarioResult RunTokenScenario(const TokenScenarioOptions& opt) {
-  DataflowGraph graph;
-  std::vector<JobHandles> handles;
+  EngineOptions eo;
+  eo.workers = opt.workers;
+  eo.scheduler = SchedulerKind::kCameo;
+  eo.policy = "TokenFair";
+  eo.seed = opt.seed;
+  SimEngine engine(eo);
+
+  std::vector<QueryHandle> handles;
   for (std::size_t i = 0; i < opt.token_rates.size(); ++i) {
     QuerySpec spec = MakeLatencySensitiveSpec("J" + std::to_string(i + 1));
     spec.sources = opt.sources_per_job;
     spec.aggs = 2;
     spec.token_rate_per_sec = opt.token_rates[i];
     spec.msgs_per_sec_per_source = opt.msgs_per_sec;
-    spec.tuples_per_msg = opt.tuples_per_msg;
     // Keep per-message work large enough that the cluster saturates once all
     // jobs are active (the regime where token shares matter).
-    handles.push_back(BuildAggregationJob(graph, spec));
+    spec.tuples_per_msg = opt.tuples_per_msg;
+
+    // Unaligned steady offered load, staggered starts (job i at i*stagger).
+    IngestSpec ingest;
+    ingest.aligned = false;
+    ingest.msgs_per_sec = opt.msgs_per_sec;
+    ingest.tuples_per_msg = opt.tuples_per_msg;
+    ingest.start = static_cast<SimTime>(i) * opt.stagger;
+    ingest.end = opt.duration;
+    handles.push_back(engine.Submit(AggregationQueryDef(spec).Ingest(ingest)));
   }
 
-  ClusterConfig cfg;
-  cfg.num_workers = opt.workers;
-  cfg.scheduler = SchedulerKind::kCameo;
-  cfg.policy = "TokenFair";
-  cfg.seed = opt.seed;
-  Cluster cluster(cfg, std::move(graph));
-
-  for (std::size_t i = 0; i < handles.size(); ++i) {
-    SimTime start = static_cast<SimTime>(i) * opt.stagger;
-    cluster.AddIngestion(handles[i].source, [&, start](int) {
-      return std::make_unique<ConstantRate>(
-          opt.msgs_per_sec, opt.tuples_per_msg, start, opt.duration);
-    });
-  }
-
-  cluster.Run(opt.duration);
+  engine.RunFor(opt.duration);
   TokenScenarioResult out;
-  out.run = SummarizeRun(cluster, opt.duration);
-  for (std::size_t i = 0; i < handles.size(); ++i) {
-    out.throughput.push_back(cluster.latency().ProcessedBuckets(
-        handles[i].job, kSecond, opt.duration));
+  out.run = engine.Summarize(opt.duration);
+  for (const QueryHandle& q : handles) {
+    out.throughput.push_back(engine.cluster().latency().ProcessedBuckets(
+        q.job(), kSecond, opt.duration));
   }
   return out;
 }
 
 ChurnScenarioResult RunChurnScenario(const ChurnScenarioOptions& opt) {
-  DataflowGraph graph;
-  std::vector<JobHandles> background;
+  EngineOptions eo;
+  eo.workers = opt.workers;
+  eo.scheduler = opt.scheduler;
+  eo.sched.quantum = opt.quantum;
+  eo.policy = opt.policy;
+  eo.seed = opt.seed;
+  eo.sim.token_total_rate = opt.token_total_rate;
+  SimEngine engine(eo);
+
   for (int i = 0; i < opt.background_ba_jobs; ++i) {
     QuerySpec spec = MakeBulkAnalyticsSpec("BA" + std::to_string(i));
     spec.sources = opt.sources_per_job;
     spec.aggs = opt.aggs_per_job;
     spec.msgs_per_sec_per_source = opt.ba_msgs_per_sec;
     spec.tuples_per_msg = opt.ba_tuples_per_msg;
-    background.push_back(BuildAggregationJob(graph, spec));
-  }
 
-  ClusterConfig cfg;
-  cfg.num_workers = opt.workers;
-  cfg.scheduler = opt.scheduler;
-  cfg.sched.quantum = opt.quantum;
-  cfg.policy = opt.policy;
-  cfg.seed = opt.seed;
-  cfg.token_total_rate = opt.token_total_rate;
-  Cluster cluster(cfg, std::move(graph));
-
-  for (std::size_t i = 0; i < background.size(); ++i) {
-    Duration base_phase = static_cast<Duration>(i) * Millis(1);
-    cluster.AddIngestion(
-        background[i].source,
-        MakeFactory(opt.ba_arrivals, opt.ba_msgs_per_sec,
-                    opt.ba_tuples_per_msg, 0, opt.duration, opt.pareto_alpha,
-                    base_phase),
-        Millis(50));
+    IngestSpec ingest;
+    ingest.kind = ToIngestKind(opt.ba_arrivals);
+    ingest.msgs_per_sec = opt.ba_msgs_per_sec;
+    ingest.tuples_per_msg = opt.ba_tuples_per_msg;
+    ingest.end = opt.duration;
+    ingest.pareto_alpha = opt.pareto_alpha;
+    ingest.phase = static_cast<Duration>(i) * Millis(1);
+    ingest.event_time_delay = Millis(50);
+    engine.Submit(AggregationQueryDef(spec).Ingest(ingest));
   }
 
   // The churn script itself draws from its own RNG stream so adding a
@@ -278,20 +237,22 @@ ChurnScenarioResult RunChurnScenario(const ChurnScenarioOptions& opt) {
     // trigger batch by up to a full window).
     SimTime aligned_start =
         ((ti.arrive + spec.window - 1) / spec.window) * spec.window;
-    cluster.ScheduleQuery(
-        ti.arrive, depart,
-        [spec](DataflowGraph& g) { return BuildAggregationJob(g, spec); },
-        MakeFactory(ArrivalKind::kConstant, spec.msgs_per_sec_per_source,
-                    spec.tuples_per_msg, aligned_start, depart, 1.5,
-                    Millis(2) + (ti.tenant % 7) * Millis(3)),
-        Millis(50));
+
+    IngestSpec ingest;
+    ingest.msgs_per_sec = spec.msgs_per_sec_per_source;
+    ingest.tuples_per_msg = spec.tuples_per_msg;
+    ingest.start = aligned_start;
+    ingest.end = depart;
+    ingest.phase = Millis(2) + (ti.tenant % 7) * Millis(3);
+    ingest.event_time_delay = Millis(50);
+    engine.Submit(ti.arrive, depart, AggregationQueryDef(spec).Ingest(ingest));
     ++out.tenants_added;
     if (ti.depart <= opt.duration) ++out.tenants_departed;
   }
 
-  cluster.Run(opt.duration);
-  out.run = SummarizeRun(cluster, opt.duration);
-  out.messages_purged = cluster.messages_purged();
+  engine.RunFor(opt.duration);
+  out.run = engine.Summarize(opt.duration);
+  out.messages_purged = engine.cluster().messages_purged();
   return out;
 }
 

@@ -1,6 +1,11 @@
 // Scenario builders for the paper's evaluation (§6). Each benchmark binary
 // configures one of these and prints the rows/series the corresponding
 // figure reports. Integration tests reuse the same builders.
+//
+// Internally every scenario is expressed through the frontend API: tenants
+// are fluent QueryDefs with IngestSpecs attached, submitted to a SimEngine
+// (api/sim_engine.h). The option structs below stay as the benches'
+// parameter blocks.
 #pragma once
 
 #include <memory>

@@ -1,5 +1,8 @@
 #include "core/policies.h"
 
+#include <algorithm>
+#include <cstdio>
+
 #include "common/check.h"
 
 namespace cameo {
@@ -36,12 +39,37 @@ void TokenFair::AssignPriority(PriorityContext& pc,
   }
 }
 
+const std::vector<std::string>& ValidPolicyNames() {
+  static const std::vector<std::string> kNames = {"LLF", "EDF", "SJF",
+                                                  "TokenFair"};
+  return kNames;
+}
+
+bool IsValidPolicyName(const std::string& name) {
+  const std::vector<std::string>& names = ValidPolicyNames();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+void CheckPolicyName(const std::string& name) {
+  if (IsValidPolicyName(name)) return;
+  std::fprintf(stderr, "unknown scheduling policy \"%s\"; valid policies:",
+               name.c_str());
+  for (const std::string& n : ValidPolicyNames()) {
+    std::fprintf(stderr, " %s", n.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  CAMEO_CHECK(false && "unknown policy (valid: LLF, EDF, SJF, TokenFair)");
+}
+
 std::unique_ptr<SchedulingPolicy> MakePolicy(const std::string& name) {
+  CheckPolicyName(name);
   if (name == "LLF") return std::make_unique<LeastLaxityFirst>();
   if (name == "EDF") return std::make_unique<EarliestDeadlineFirst>();
   if (name == "SJF") return std::make_unique<ShortestJobFirst>();
   if (name == "TokenFair") return std::make_unique<TokenFair>();
-  CAMEO_CHECK(false && "unknown policy");
+  // A name in ValidPolicyNames() but not matched above means the roster and
+  // this factory drifted apart; fail loudly rather than mis-schedule.
+  CAMEO_CHECK(false && "policy roster and MakePolicy out of sync");
   return nullptr;
 }
 

@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "dataflow/context.h"
 #include "dataflow/message.h"
@@ -58,6 +59,18 @@ class TokenFair final : public SchedulingPolicy {
   void AssignPriority(PriorityContext& pc, const ReplyContext& rc) const override;
   std::string name() const override { return "TokenFair"; }
 };
+
+/// The policy roster, in registration order: "LLF", "EDF", "SJF",
+/// "TokenFair". Config structs (`ClusterConfig`, `RuntimeConfig`,
+/// `EngineOptions`) validate their `policy` strings against this list as
+/// soon as they are consumed.
+const std::vector<std::string>& ValidPolicyNames();
+
+bool IsValidPolicyName(const std::string& name);
+
+/// CHECK-fails fast -- printing the offending string and the roster of valid
+/// names -- when `name` is not a registered policy.
+void CheckPolicyName(const std::string& name);
 
 std::unique_ptr<SchedulingPolicy> MakePolicy(const std::string& name);
 

@@ -80,15 +80,14 @@ int DataflowGraph::Connect(StageId from, StageId to, Partition partition) {
   return port;
 }
 
-JobId DataflowGraph::AddQuery(
-    const std::function<JobId(DataflowGraph&)>& build) {
+JobHandles DataflowGraph::AddQuery(const QueryBuilder& build) {
   std::size_t jobs_before = job_count();
-  JobId job = build(*this);
-  CAMEO_CHECK(job.valid() &&
-              static_cast<std::size_t>(job.value) >= jobs_before &&
-              static_cast<std::size_t>(job.value) < job_count());
-  CAMEO_CHECK(query_live(job));
-  return job;
+  JobHandles h = build(*this);
+  CAMEO_CHECK(h.job.valid() &&
+              static_cast<std::size_t>(h.job.value) >= jobs_before &&
+              static_cast<std::size_t>(h.job.value) < job_count());
+  CAMEO_CHECK(query_live(h.job));
+  return h;
 }
 
 std::vector<OperatorId> DataflowGraph::RemoveQuery(JobId job) {

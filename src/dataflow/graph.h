@@ -81,6 +81,27 @@ struct StageInfo {
   std::vector<StageId> upstream;
 };
 
+/// Handles to one query's subgraph, returned by every query builder. Only
+/// `job` must be valid; the stage handles are conveniences for wiring
+/// ingestion and reading sinks.
+struct JobHandles {
+  JobId job;
+  StageId source;
+  StageId sink;
+  std::vector<StageId> stages;  // in pipeline order
+  /// Second source stage for join jobs; invalid otherwise.
+  StageId source_right;
+};
+
+class DataflowGraph;
+
+/// The one query-builder callback signature shared by every layer that
+/// splices queries into a graph (DataflowGraph::AddQuery,
+/// ThreadRuntime::AddQuery, sim::Cluster::ScheduleQuery, QueryDef::Builder):
+/// composes AddJob/AddStage/Connect against the graph and returns the new
+/// query's handles.
+using QueryBuilder = std::function<JobHandles(DataflowGraph&)>;
+
 class DataflowGraph {
  public:
   DataflowGraph();
@@ -97,11 +118,11 @@ class DataflowGraph {
   int Connect(StageId from, StageId to, Partition partition);
 
   /// Splices a whole query subgraph into the (possibly running) topology:
-  /// `build` composes AddJob/AddStage/Connect and returns the new job's id,
-  /// which is validated and echoed back. Purely a semantic wrapper -- the
-  /// query only receives traffic once the owning runtime starts ingesting
-  /// into its sources.
-  JobId AddQuery(const std::function<JobId(DataflowGraph&)>& build);
+  /// `build` composes AddJob/AddStage/Connect and returns the new query's
+  /// handles, whose job id is validated and echoed back. Purely a semantic
+  /// wrapper -- the query only receives traffic once the owning runtime
+  /// starts ingesting into its sources.
+  JobHandles AddQuery(const QueryBuilder& build);
 
   /// Marks `job` retired and returns all of its operator ids (for mailbox
   /// retirement). Ids and references stay valid; Route still resolves for

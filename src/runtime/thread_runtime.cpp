@@ -76,14 +76,13 @@ void ThreadRuntime::RegisterJobTables(JobId job) {
   job_states_.GetOrCreate(job, [] { return std::make_unique<JobState>(); });
 }
 
-JobId ThreadRuntime::AddQuery(
-    const std::function<JobId(DataflowGraph&)>& build) {
+JobHandles ThreadRuntime::AddQuery(const QueryBuilder& build) {
   std::lock_guard control(control_mu_);
-  JobId job = graph_.AddQuery(build);
+  JobHandles h = graph_.AddQuery(build);
   // Tables are fully registered before the id escapes, so the first Ingest
   // (which is what lets messages reach the new operators) finds everything.
-  RegisterJobTables(job);
-  return job;
+  RegisterJobTables(h.job);
+  return h;
 }
 
 void ThreadRuntime::RemoveQuery(JobId job) {

@@ -74,13 +74,15 @@ class ThreadRuntime {
 
   // ---- query lifecycle (thread-safe; serialized among themselves) ----
 
-  /// Splices a new query into the running dataflow: `build` composes
-  /// AddJob/AddStage/Connect on the graph and returns the new job id. All
-  /// runtime tables (converters, profiler seeds, source channels, latency
-  /// accounting) are registered before the call returns, after which Ingest
-  /// to the query's sources is live. Works before Start() too (the
-  /// constructor uses the same path for the initial graph).
-  JobId AddQuery(const std::function<JobId(DataflowGraph&)>& build);
+  /// Splices a new query into the running dataflow: `build` is the shared
+  /// `QueryBuilder` callback (dataflow/graph.h) -- it composes
+  /// AddJob/AddStage/Connect on the graph and returns the new query's
+  /// handles, which are echoed back. All runtime tables (converters,
+  /// profiler seeds, source channels, latency accounting) are registered
+  /// before the call returns, after which Ingest to the query's sources is
+  /// live. Works before Start() too (the constructor uses the same path for
+  /// the initial graph).
+  JobHandles AddQuery(const QueryBuilder& build);
 
   /// Gracefully removes a query under live traffic from other tenants:
   /// blocks new Ingest for `job`, waits until every in-flight message of the

@@ -41,7 +41,7 @@
 
 namespace cameo {
 
-/// The scheduler roster (DESIGN.md §3), shared by both execution backends.
+/// The scheduler roster (DESIGN.md §4), shared by both execution backends.
 enum class SchedulerKind { kCameo, kFifo, kOrleans, kSlot };
 
 std::string ToString(SchedulerKind kind);

@@ -156,6 +156,7 @@ int Cluster::ScheduleQuery(SimTime at, SimTime until, QueryBuilder builder,
     for (std::size_t i = first_source; i < sources_.size(); ++i) {
       PumpSource(i);
     }
+    if (pumped_sources_ < sources_.size()) pumped_sources_ = sources_.size();
     if (q.until > q.at) {
       events_.Schedule(q.until, [this, job = h.job] { RemoveQueryNow(job); });
     }
@@ -377,7 +378,10 @@ void Cluster::Complete(WorkerId w, Message m, SimTime dispatch_time,
 }
 
 void Cluster::Run(SimTime until) {
-  for (std::size_t i = 0; i < sources_.size(); ++i) PumpSource(i);
+  for (std::size_t i = pumped_sources_; i < sources_.size(); ++i) {
+    PumpSource(i);
+  }
+  pumped_sources_ = sources_.size();
   events_.RunUntil(until);
   utilization_.SetSpan(until);
   utilization_.SetWorkerCount(config_.num_workers);

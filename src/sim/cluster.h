@@ -95,8 +95,8 @@ class Cluster {
 
   // ---- scripted query churn (virtual time) ----
 
-  /// Builds a query's dataflow; returns its handles (workload/tenants.h).
-  using QueryBuilder = std::function<JobHandles(DataflowGraph&)>;
+  // Query builders use the shared `cameo::QueryBuilder` signature
+  // (dataflow/graph.h): compose the subgraph, return its JobHandles.
 
   /// Schedules a tenant query to join at `at` and -- when `until > at` and
   /// inside the run horizon -- to leave at `until`. On arrival the builder
@@ -128,7 +128,9 @@ class Cluster {
     return static_cast<std::int64_t>(scheduler_->stats().purged);
   }
 
-  /// Runs the simulation until virtual time `until`.
+  /// Runs the simulation until virtual time `until`. May be called again
+  /// with a later horizon to continue the run: sources whose arrival chain
+  /// is already pumping are not pumped a second time.
   void Run(SimTime until);
 
   SimTime now() const { return events_.now(); }
@@ -193,6 +195,10 @@ class Cluster {
   Timeline timeline_;
   std::vector<WorkerState> workers_;
   std::vector<SourceState> sources_;
+  /// Sources below this index already have their arrival chain scheduled
+  /// (each PumpSource self-schedules its successor); Run only pumps the new
+  /// tail, so continuing a run never double-pumps a source.
+  std::size_t pumped_sources_ = 0;
   std::vector<std::unique_ptr<ScheduledQuery>> scheduled_;
   std::int64_t next_message_id_ = 0;
   std::uint64_t messages_delivered_ = 0;

@@ -1,163 +1,59 @@
 #include "workload/tenants.h"
 
 #include "common/check.h"
-#include "ops/sink.h"
-#include "ops/source.h"
-#include "ops/window_agg.h"
-#include "ops/windowed_join.h"
 
 namespace cameo {
 
-namespace {
-
-/// Upstream operator count that can deliver to replica `idx` of a stage.
-int ExpectedChannels(const DataflowGraph& g, const StageInfo& stage, int idx) {
-  int channels = 0;
-  for (std::size_t e = 0; e < stage.upstream.size(); ++e) {
-    const StageInfo& up = g.stage(stage.upstream[e]);
-    // Find the partition used on the edge up -> stage.
-    Partition part = Partition::kKeyHash;
-    for (std::size_t p = 0; p < up.downstream.size(); ++p) {
-      if (up.downstream[p] == stage.id) {
-        part = up.partition[p];
-        break;
-      }
-    }
-    switch (part) {
-      case Partition::kOneToOne:
-        channels += 1;
-        break;
-      case Partition::kShard: {
-        for (int i = 0; i < up.parallelism; ++i) {
-          if (i % stage.parallelism == idx) ++channels;
-        }
-        break;
-      }
-      case Partition::kKeyHash:
-      case Partition::kRoundRobin:
-      case Partition::kBroadcast:
-        channels += up.parallelism;
-        break;
-    }
-  }
-  return channels;
-}
-
-}  // namespace
-
-void FinalizeChannels(DataflowGraph& g, JobId job) {
-  for (StageId sid : g.stages_of(job)) {
-    const StageInfo& stage = g.stage(sid);
-    if (stage.upstream.empty()) continue;
-    for (int i = 0; i < stage.parallelism; ++i) {
-      int channels = ExpectedChannels(g, stage, i);
-      if (channels < 1) continue;
-      Operator& op = g.Get(stage.operators[static_cast<std::size_t>(i)]);
-      if (auto* agg = dynamic_cast<WindowAggOp*>(&op)) {
-        agg->SetExpectedChannels(channels);
-      } else if (auto* join = dynamic_cast<WindowedJoinOp*>(&op)) {
-        join->SetExpectedChannels(std::max(2, channels));
-      }
-    }
-  }
-}
-
-JobHandles BuildAggregationJob(DataflowGraph& g, const QuerySpec& spec) {
+QueryDef AggregationQueryDef(const QuerySpec& spec) {
   CAMEO_EXPECTS(spec.sources >= 1 && spec.aggs >= 1);
   CAMEO_EXPECTS(spec.slide > 0 && spec.window >= spec.slide);
 
-  JobSpec job;
-  job.name = spec.name;
-  job.latency_constraint = spec.latency_constraint;
-  job.time_domain = spec.domain;
-  job.output_window = spec.window;
-  job.output_slide = spec.slide;
-  job.token_rate_per_sec = spec.token_rate_per_sec;
-  JobHandles h;
-  h.job = g.AddJob(job);
-
   WindowSpec window{spec.window, spec.slide};
-  h.source = g.AddStage(h.job, spec.name + "/src", spec.sources, [&](int) {
-    return std::make_unique<SourceOp>(spec.name + "/src", spec.source_cost);
-  });
-  StageId pre = g.AddStage(h.job, spec.name + "/agg", spec.aggs, [&](int) {
-    return std::make_unique<WindowAggOp>(spec.name + "/agg", window,
-                                         spec.agg_cost, AggKind::kSum,
-                                         spec.per_key);
-  });
-  StageId fin = g.AddStage(h.job, spec.name + "/final", 1, [&](int) {
-    return std::make_unique<WindowAggOp>(spec.name + "/final", window,
-                                         spec.final_cost, AggKind::kSum,
-                                         spec.per_key);
-  });
-  h.sink = g.AddStage(h.job, spec.name + "/sink", 1, [&](int) {
-    return std::make_unique<SinkOp>(spec.name + "/sink", spec.sink_cost);
-  });
-
-  g.Connect(h.source, pre, Partition::kShard);
-  g.Connect(pre, fin, Partition::kShard);
-  g.Connect(fin, h.sink, Partition::kOneToOne);
-  h.stages = {h.source, pre, fin, h.sink};
-  FinalizeChannels(g, h.job);
-  return h;
+  return Query(spec.name)
+      .Constraint(spec.latency_constraint)
+      .Domain(spec.domain)
+      .TokenRate(spec.token_rate_per_sec)
+      .Source(spec.sources, spec.source_cost)
+      .Shuffle()
+      .WindowAgg(spec.aggs, window, spec.agg_cost, AggKind::kSum, spec.per_key)
+      .Shuffle()
+      .WindowAgg(1, window, spec.final_cost, AggKind::kSum, spec.per_key,
+                 "final")
+      .OneToOne()
+      .Sink(spec.sink_cost);
 }
 
-JobHandles BuildJoinJob(DataflowGraph& g, const QuerySpec& spec) {
+QueryDef JoinQueryDef(const QuerySpec& spec) {
   CAMEO_EXPECTS(spec.sources >= 1);
   CAMEO_EXPECTS(spec.window == spec.slide);  // join uses tumbling windows
 
-  JobSpec job;
-  job.name = spec.name;
-  job.latency_constraint = spec.latency_constraint;
-  job.time_domain = spec.domain;
-  job.output_window = spec.window;
-  job.output_slide = spec.slide;
-  job.token_rate_per_sec = spec.token_rate_per_sec;
-  JobHandles h;
-  h.job = g.AddJob(job);
-
-  h.source = g.AddStage(h.job, spec.name + "/srcL", spec.sources, [&](int) {
-    return std::make_unique<SourceOp>(spec.name + "/srcL", spec.source_cost);
-  });
-  h.source_right =
-      g.AddStage(h.job, spec.name + "/srcR", spec.sources, [&](int) {
-        return std::make_unique<SourceOp>(spec.name + "/srcR",
-                                          spec.source_cost);
-      });
   // The join is memory-heavy (paper: IPQ4 "has a higher execution time with
   // heavy memory access"); its cost model is the pre-agg's scaled up. It is
   // sharded `aggs` ways by source index so its work parallelizes.
   CostModel join_cost = spec.agg_cost;
   join_cost.fixed *= 4;
   join_cost.per_tuple *= 2;
-  StageId join = g.AddStage(h.job, spec.name + "/join", spec.aggs, [&](int) {
-    return std::make_unique<WindowedJoinOp>(spec.name + "/join", spec.window,
-                                            join_cost);
-  });
-  StageId fin = g.AddStage(h.job, spec.name + "/final", 1, [&](int) {
-    return std::make_unique<WindowAggOp>(spec.name + "/final",
-                                         WindowSpec::Tumbling(spec.window),
-                                         spec.final_cost, AggKind::kSum,
-                                         spec.per_key);
-  });
-  h.sink = g.AddStage(h.job, spec.name + "/sink", 1, [&](int) {
-    return std::make_unique<SinkOp>(spec.name + "/sink", spec.sink_cost);
-  });
+  return Query(spec.name)
+      .Constraint(spec.latency_constraint)
+      .Domain(spec.domain)
+      .TokenRate(spec.token_rate_per_sec)
+      .Source(spec.sources, spec.source_cost, "srcL")
+      .RightSource(spec.sources, spec.source_cost, "srcR")
+      .Shuffle()
+      .WindowedJoin(spec.aggs, spec.window, join_cost)
+      .Shuffle()
+      .WindowAgg(1, WindowSpec::Tumbling(spec.window), spec.final_cost,
+                 AggKind::kSum, spec.per_key, "final")
+      .OneToOne()
+      .Sink(spec.sink_cost);
+}
 
-  g.Connect(h.source, join, Partition::kShard);
-  g.Connect(h.source_right, join, Partition::kShard);
-  g.Connect(join, fin, Partition::kShard);
-  g.Connect(fin, h.sink, Partition::kOneToOne);
-  h.stages = {h.source, h.source_right, join, fin, h.sink};
+JobHandles BuildAggregationJob(DataflowGraph& g, const QuerySpec& spec) {
+  return AggregationQueryDef(spec).Build(g);
+}
 
-  // Tell every join replica which upstream operators feed its left side.
-  for (OperatorId op : g.stage(join).operators) {
-    auto* join_op = dynamic_cast<WindowedJoinOp*>(&g.Get(op));
-    CAMEO_CHECK(join_op != nullptr);
-    join_op->SetLeftInputs(g.stage(h.source).operators);
-  }
-  FinalizeChannels(g, h.job);
-  return h;
+JobHandles BuildJoinJob(DataflowGraph& g, const QuerySpec& spec) {
+  return JoinQueryDef(spec).Build(g);
 }
 
 QuerySpec MakeLatencySensitiveSpec(const std::string& name) {

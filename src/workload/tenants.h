@@ -2,24 +2,29 @@
 // (§6). All benchmarks, examples, and integration tests assemble their
 // workloads from these builders so the shapes stay consistent:
 //
-//  - BuildAggregationJob: source stage -> parallel windowed pre-aggregation
-//    -> global windowed aggregation -> sink (the paper's "multiple stages of
-//    windowed aggregation parallelized into a group of operators", stages
-//    0..3 of Fig. 7(c)). Tumbling or sliding according to the spec.
-//  - BuildJoinJob (IPQ4): two source groups -> windowed join -> tumbling
-//    aggregation -> sink.
+//  - AggregationQueryDef / BuildAggregationJob: source stage -> parallel
+//    windowed pre-aggregation -> global windowed aggregation -> sink (the
+//    paper's "multiple stages of windowed aggregation parallelized into a
+//    group of operators", stages 0..3 of Fig. 7(c)). Tumbling or sliding
+//    according to the spec.
+//  - JoinQueryDef / BuildJoinJob (IPQ4): two source groups -> windowed join
+//    -> tumbling aggregation -> sink.
 //  - Group 1 "Latency Sensitive" (LS): sparse input (1 msg/s/source, 1000
 //    events/msg), 1 s windows, strict constraint (800 ms in §6.2).
 //  - Group 2 "Bulk Analytics" (BA): high/variable volume, 10 s windows, lax
 //    constraint (7200 s).
+//
+// A QuerySpec is the parameter block; the *QueryDef functions lower it to
+// the fluent frontend IR (api/query_def.h), and the Build* functions remain
+// as one-line compile-into-graph conveniences for code holding a graph.
 //
 // Scale note: replica counts and rates default to a laptop-scale version of
 // the paper's 32-node setup; benches override them per experiment.
 #pragma once
 
 #include <string>
-#include <vector>
 
+#include "api/query_def.h"
 #include "dataflow/graph.h"
 
 namespace cameo {
@@ -48,25 +53,17 @@ struct QuerySpec {
   CostModel sink_cost{Micros(50), 0, 0.0};
 };
 
-struct JobHandles {
-  JobId job;
-  StageId source;
-  StageId sink;
-  std::vector<StageId> stages;  // in pipeline order
-  /// Second source stage for join jobs; invalid otherwise.
-  StageId source_right;
-};
+// JobHandles lives in dataflow/graph.h (shared by every query builder).
 
-/// 4-stage windowed aggregation pipeline.
-JobHandles BuildAggregationJob(DataflowGraph& g, const QuerySpec& spec);
+/// 4-stage windowed aggregation pipeline, as a fluent definition.
+QueryDef AggregationQueryDef(const QuerySpec& spec);
 
 /// IPQ4: join of two streams followed by tumbling aggregation.
-JobHandles BuildJoinJob(DataflowGraph& g, const QuerySpec& spec);
+QueryDef JoinQueryDef(const QuerySpec& spec);
 
-/// Wires SetExpectedChannels on every windowed operator of `job` from the
-/// topology (how many upstream operators can deliver to each replica).
-/// Builders call this; call it again after manual graph surgery.
-void FinalizeChannels(DataflowGraph& g, JobId job);
+/// Compile-into-graph conveniences (equivalent to `*QueryDef(spec).Build(g)`).
+JobHandles BuildAggregationJob(DataflowGraph& g, const QuerySpec& spec);
+JobHandles BuildJoinJob(DataflowGraph& g, const QuerySpec& spec);
 
 /// Paper §6.2 control groups.
 QuerySpec MakeLatencySensitiveSpec(const std::string& name);

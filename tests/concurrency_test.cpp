@@ -232,7 +232,7 @@ INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerHammer,
 // ---- Query churn under live ingest ----
 
 // Builds a single-source flat query; used as the churned tenant shape.
-JobId BuildChurnQuery(DataflowGraph& g, int serial) {
+JobHandles BuildChurnQuery(DataflowGraph& g, int serial) {
   JobSpec spec;
   spec.name = "churn" + std::to_string(serial);
   spec.latency_constraint = Seconds(10);
@@ -245,7 +245,7 @@ JobId BuildChurnQuery(DataflowGraph& g, int serial) {
     return std::make_unique<SinkOp>("csink", CostModel{});
   });
   g.Connect(src, sink, Partition::kShard);
-  return job;
+  return {.job = job, .source = src, .sink = sink};
 }
 
 // The churn hammer: N producer threads ingest into a static job (exact
@@ -317,8 +317,9 @@ TEST(ConcurrencyTest, ChurnHammerAddRemoveUnderLiveIngest) {
 
     int serial = 0;
     for (int cyc = 0; cyc < kCycles; ++cyc) {
-      JobId job = rt.AddQuery(
-          [&](DataflowGraph& g) { return BuildChurnQuery(g, serial++); });
+      JobId job = rt.AddQuery([&](DataflowGraph& g) {
+                       return BuildChurnQuery(g, serial++);
+                     }).job;
       ASSERT_TRUE(rt.QueryLive(job));
       OperatorId src = rt.graph().OperatorsOf(job).front();
       OperatorId sink = rt.graph().OperatorsOf(job).back();

@@ -309,6 +309,21 @@ TEST(PolicyTest, FactoryCreatesAll) {
   EXPECT_EQ(MakePolicy("TokenFair")->name(), "TokenFair");
 }
 
+TEST(PolicyTest, ValidatesNamesAgainstRoster) {
+  EXPECT_EQ(ValidPolicyNames().size(), 4u);
+  for (const std::string& name : ValidPolicyNames()) {
+    EXPECT_TRUE(IsValidPolicyName(name)) << name;
+    EXPECT_EQ(MakePolicy(name)->name(), name);
+  }
+  EXPECT_FALSE(IsValidPolicyName("LIFO"));
+  EXPECT_FALSE(IsValidPolicyName("llf"));  // case-sensitive
+  EXPECT_FALSE(IsValidPolicyName(""));
+}
+
+TEST(PolicyDeathTest, UnknownPolicyFailsFastWithRoster) {
+  EXPECT_DEATH(MakePolicy("LIFO"), "valid policies: LLF EDF SJF TokenFair");
+}
+
 // ---------------- TokenBucket ----------------
 
 TEST(TokenBucketTest, GrantsUpToBudgetPerInterval) {

@@ -207,8 +207,8 @@ TEST(GraphTest, AddQuerySplicesAndRemoveQueryRetires) {
     StageId s = gr.AddStage(job, "src", 2, SourceFactory());
     StageId k = gr.AddStage(job, "sink", 1, SinkFactory());
     gr.Connect(s, k, Partition::kShard);
-    return job;
-  });
+    return JobHandles{.job = job, .source = s, .sink = k};
+  }).job;
   EXPECT_EQ(g.job_count(), 2u);
   EXPECT_EQ(g.live_job_count(), 2u);
   EXPECT_TRUE(g.query_live(added));
@@ -242,7 +242,7 @@ TEST(GraphTest, ReferencesSurviveLaterMutations) {
       StageId a = gr.AddStage(t, "src", 1, SourceFactory());
       StageId b = gr.AddStage(t, "sink", 1, SinkFactory());
       gr.Connect(a, b, Partition::kOneToOne);
-      return t;
+      return JobHandles{.job = t, .source = a, .sink = b};
     });
   }
   EXPECT_EQ(before.parallelism, 2);

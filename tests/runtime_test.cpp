@@ -153,12 +153,16 @@ TEST(ThreadRuntimeTest, ProfilerObservesRealDurations) {
 
 // ---- Query lifecycle (hot add/remove) ----
 
-JobId BuildTenant(DataflowGraph& g, const std::string& name) {
+JobHandles BuildTenantHandles(DataflowGraph& g, const std::string& name) {
   QuerySpec spec = MakeLatencySensitiveSpec(name);
   spec.sources = 1;
   spec.aggs = 1;
   spec.domain = TimeDomain::kEventTime;
-  return BuildAggregationJob(g, spec).job;
+  return BuildAggregationJob(g, spec);
+}
+
+JobId BuildTenant(DataflowGraph& g, const std::string& name) {
+  return BuildTenantHandles(g, name).job;
 }
 
 TEST(ThreadRuntimeTest, AddQueryServesTrafficImmediately) {
@@ -167,8 +171,9 @@ TEST(ThreadRuntimeTest, AddQueryServesTrafficImmediately) {
   ThreadRuntime rt(FastConfig(), std::move(graph));
   rt.Start();
 
-  JobId added = rt.AddQuery(
-      [](DataflowGraph& g) { return BuildTenant(g, "tenant"); });
+  JobId added = rt.AddQuery([](DataflowGraph& g) {
+                     return BuildTenantHandles(g, "tenant");
+                   }).job;
   EXPECT_TRUE(rt.QueryLive(added));
   OperatorId src = rt.graph().stage(rt.graph().stages_of(added)[0])
                        .operators[0];
