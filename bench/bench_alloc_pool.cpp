@@ -1,0 +1,115 @@
+// Allocation microbench: the zero-allocation hot path in isolation.
+//  - pooled vs heap node round-trips (what Mailbox::Push saves per message),
+//  - the pooled mailbox push -> drain -> pop cycle,
+//  - the allocation-free sim event loop (calendar queue + inline closures).
+// Simple chrono loops rather than google-benchmark: scenarios share one
+// process-wide google-benchmark registry, and fig12 owns it.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/runner/registry.h"
+#include "common/pool.h"
+#include "sched/mailbox.h"
+#include "sim/event_queue.h"
+
+namespace cameo {
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double NsPerOp(clock_type::time_point t0, clock_type::time_point t1,
+               int iters) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+             .count() /
+         static_cast<double>(iters);
+}
+
+struct PayloadNode {
+  explicit PayloadNode(Message m) : msg(std::move(m)) {}
+  Message msg;
+  PayloadNode* next = nullptr;
+};
+
+Message MakeMsg(std::int64_t id) {
+  Message m;
+  m.id = MessageId{id};
+  m.target = OperatorId{id % 7};
+  m.pc.id = m.id;
+  m.pc.pri_global = id;
+  m.pc.pri_local = id;
+  m.batch = EventBatch::Synthetic(1, id);
+  return m;
+}
+
+void Run(bench::BenchContext& ctx) {
+  const int kIters = ctx.smoke ? 50000 : 500000;
+  std::printf("=== allocation microbench (%d iters) ===\n", kIters);
+
+  // Heap round-trip: what every mailbox push used to pay.
+  auto t0 = clock_type::now();
+  for (int i = 0; i < kIters; ++i) {
+    auto* n = new PayloadNode(MakeMsg(i));
+    delete n;
+  }
+  auto t1 = clock_type::now();
+  const double heap_ns = NsPerOp(t0, t1, kIters);
+
+  // Pool round-trip (same payload), thread-cache fast path once warm.
+  auto& pool = Pool<PayloadNode>::Global();
+  { pool.Delete(pool.New(MakeMsg(0))); }  // warm the cache
+  t0 = clock_type::now();
+  for (int i = 0; i < kIters; ++i) {
+    auto* n = pool.New(MakeMsg(i));
+    pool.Delete(n);
+  }
+  t1 = clock_type::now();
+  const double pool_ns = NsPerOp(t0, t1, kIters);
+
+  // Pooled mailbox cycle: push -> drain -> pop (the per-message mailbox
+  // traffic of the dispatch path), steady-state depth 1.
+  Mailbox mb(MailboxOrder::kLocalPriority);
+  t0 = clock_type::now();
+  for (int i = 0; i < kIters; ++i) {
+    mb.Push(MakeMsg(i));
+    mb.DrainInbox();
+    Message m = mb.PopBest();
+    (void)m;
+  }
+  t1 = clock_type::now();
+  const double mailbox_ns = NsPerOp(t0, t1, kIters);
+
+  // Sim event loop cycle: schedule + run one inline closure per iteration
+  // (self-rescheduling chain, spread over bucket widths).
+  EventQueue q;
+  std::int64_t ran = 0;
+  t0 = clock_type::now();
+  for (int i = 0; i < kIters; ++i) {
+    q.Schedule(q.now() + (i % 3) * Micros(100), [&ran] { ++ran; });
+    q.RunNext();
+  }
+  t1 = clock_type::now();
+  const double event_ns = NsPerOp(t0, t1, kIters);
+  CAMEO_CHECK(ran == kIters);
+
+  std::printf("%-28s %10.1f ns/op\n", "heap node round-trip", heap_ns);
+  std::printf("%-28s %10.1f ns/op\n", "pool node round-trip", pool_ns);
+  std::printf("%-28s %10.1f ns/op\n", "mailbox push+drain+pop", mailbox_ns);
+  std::printf("%-28s %10.1f ns/op\n", "event schedule+run", event_ns);
+  const PoolStats ps = pool.stats();
+  std::printf("pool: %llu slabs, %llu acquired, %llu released\n",
+              static_cast<unsigned long long>(ps.slabs),
+              static_cast<unsigned long long>(ps.acquired),
+              static_cast<unsigned long long>(ps.released));
+
+  ctx.Metric("heap_node.ns_per_op", heap_ns);
+  ctx.Metric("pool_node.ns_per_op", pool_ns);
+  ctx.Metric("mailbox_cycle.ns_per_op", mailbox_ns);
+  ctx.Metric("event_cycle.ns_per_op", event_ns);
+  ctx.Metric("pool.slabs", static_cast<double>(ps.slabs));
+}
+
+CAMEO_BENCH_REGISTER("alloc_pool", "pooling",
+                     "zero-allocation hot path microbenchmarks", Run);
+
+}  // namespace
+}  // namespace cameo

@@ -8,12 +8,20 @@
 //  Right: overhead as a fraction of execution time vs batch size. Paper:
 //         6.4% at batch size 1 for a local aggregation, falling with batch.
 //
-// Contended panel (sharded control plane): the same enqueue+dequeue path
-// hammered from 8 worker threads, (a) behind one global mutex -- the
-// pre-refactor ThreadRuntime dispatch path -- and (b) calling the
-// internally-synchronized scheduler directly. All google-benchmark results
-// land in the JSON as gb.<name>.ns_per_op so before/after runs can be
-// diffed mechanically.
+// Batched-drain panel (claim-and-drain contract, this repo's dispatch path):
+// BM_CameoScheduleBatch8 drains up to 8 messages per claim from a standing
+// backlog -- one ready-queue pop, one claim CAS and one release amortize
+// over the batch, and the mailbox node pool removes the per-push heap
+// allocation. Messages arrive in runs of 8 per operator (batching clients),
+// so the between-message priority re-check keeps the drain going; a strictly
+// more urgent operator still cuts it short.
+//
+// Contended panel (sharded control plane): the same dispatch path hammered
+// from 8 worker threads, (a) behind one global mutex -- the pre-refactor
+// ThreadRuntime dispatch path, claim-one contract -- and (b) calling the
+// internally-synchronized scheduler directly with the batched contract. All
+// google-benchmark results land in the JSON as gb.<name>.ns_per_op so
+// before/after runs can be diffed mechanically (bench/compare_baselines.py).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -21,6 +29,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "bench/runner/registry.h"
 #include "core/context_converter.h"
@@ -34,6 +43,8 @@ namespace cameo {
 namespace {
 
 constexpr int kOperators = 325;  // paper: 300-350 no-op tenants
+constexpr std::size_t kDrain = 8;     // messages per claim in batched panels
+constexpr int kBacklog = 2048;        // standing backlog for batched panels
 
 Message MakeMsg(std::int64_t id, std::int64_t op) {
   Message m;
@@ -44,6 +55,13 @@ Message MakeMsg(std::int64_t id, std::int64_t op) {
   m.pc.pri_local = id;
   m.batch = EventBatch::Synthetic(1, id);
   return m;
+}
+
+/// Batching-client arrival pattern: ids land on one operator in runs of
+/// kDrain before moving to the next, so per-mailbox backlogs are contiguous
+/// in priority (the regime where drains actually batch).
+std::int64_t RunOfEightOp(std::int64_t id) {
+  return (id / static_cast<std::int64_t>(kDrain)) % kOperators;
 }
 
 void BM_FifoSchedule(benchmark::State& state) {
@@ -63,7 +81,8 @@ void BM_FifoSchedule(benchmark::State& state) {
 BENCHMARK(BM_FifoSchedule);
 
 void BM_CameoScheduleOnly(benchmark::State& state) {
-  // Priority scheduling only: PCs arrive precomputed (no generation).
+  // Priority scheduling only: PCs arrive precomputed (no generation),
+  // classic claim-one dispatch.
   CameoScheduler sched;
   const WorkerId w{0};
   std::int64_t id = 0;
@@ -78,6 +97,34 @@ void BM_CameoScheduleOnly(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CameoScheduleOnly);
+
+void BM_CameoScheduleBatch8(benchmark::State& state) {
+  // Claim-and-drain contract over a standing backlog: amortized per-message
+  // scheduling cost with pooled mailbox nodes.
+  CameoScheduler sched;
+  const WorkerId w{0};
+  std::int64_t id = 0;
+  for (; id < kBacklog; ++id) {
+    sched.Enqueue(MakeMsg(id, RunOfEightOp(id)), WorkerId{}, id);
+  }
+  std::vector<Message> stash;
+  std::size_t next = 0;
+  for (auto _ : state) {
+    sched.Enqueue(MakeMsg(id, RunOfEightOp(id)), WorkerId{}, id);
+    ++id;
+    if (next == stash.size()) {
+      stash.clear();
+      next = 0;
+      while (sched.DequeueBatch(w, id, kDrain, stash) == 0) {
+      }
+      sched.OnComplete(stash.front().target, w, id);
+    }
+    benchmark::DoNotOptimize(stash[next]);
+    ++next;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CameoScheduleBatch8);
 
 struct ConversionRig {
   ConversionRig()
@@ -102,7 +149,8 @@ struct ConversionRig {
 };
 
 void BM_CameoFull(benchmark::State& state) {
-  // Priority generation (context conversion) + priority scheduling.
+  // Priority generation (context conversion) + priority scheduling,
+  // claim-one dispatch.
   CameoScheduler sched;
   ConversionRig rig;
   const WorkerId w{0};
@@ -146,10 +194,12 @@ BENCHMARK(BM_ContextConvertAlone);
 
 // ---- contended enqueue+dequeue path, 8 worker threads ----
 //
-// Each thread plays a worker: enqueue one message, then dequeue until it
-// wins one (operator exclusivity means another thread may own the target),
-// then complete it. Message conservation keeps the scheduler's backlog
-// bounded across iterations.
+// Each thread plays a worker: enqueue one message, then obtain work (another
+// thread may own the target -- operator exclusivity), then complete it.
+// Message conservation keeps the scheduler's backlog bounded across
+// iterations. The global-lock variant runs the pre-refactor claim-one
+// contract under one mutex; the sharded variant runs the current batched
+// contract directly.
 
 struct ContendedRig {
   CameoScheduler sched;
@@ -164,17 +214,20 @@ void ContendedBody(benchmark::State& state) {
     delete g_contended;
     g_contended = new ContendedRig();
     // Standing backlog so the ready queue never empties: the benchmark
-    // measures the contended enqueue+dequeue path, not empty-queue parking.
-    for (int i = 0; i < 512; ++i) {
+    // measures the contended dispatch path, not empty-queue parking.
+    for (int i = 0; i < kBacklog; ++i) {
       std::int64_t id = g_contended->next_id.fetch_add(1);
-      g_contended->sched.Enqueue(MakeMsg(id, id % kOperators), WorkerId{}, id);
+      g_contended->sched.Enqueue(MakeMsg(id, RunOfEightOp(id)), WorkerId{},
+                                 id);
     }
   }
   const WorkerId w{state.thread_index()};
+  std::vector<Message> stash;
+  std::size_t next = 0;
   for (auto _ : state) {
     ContendedRig& rig = *g_contended;
     std::int64_t id = rig.next_id.fetch_add(1, std::memory_order_relaxed);
-    Message m = MakeMsg(id, id % kOperators);
+    Message m = MakeMsg(id, RunOfEightOp(id));
     if constexpr (kGlobalLock) {
       {
         std::lock_guard lock(g_global_lock);
@@ -194,15 +247,16 @@ void ContendedBody(benchmark::State& state) {
       }
     } else {
       rig.sched.Enqueue(std::move(m), WorkerId{}, id);
-      for (;;) {
-        auto out = rig.sched.Dequeue(w, id);
-        if (out.has_value()) {
-          benchmark::DoNotOptimize(out);
-          rig.sched.OnComplete(out->target, w, id);
-          break;
+      if (next == stash.size()) {
+        stash.clear();
+        next = 0;
+        while (rig.sched.DequeueBatch(w, id, kDrain, stash) == 0) {
+          std::this_thread::yield();  // a real worker parks on a miss
         }
-        std::this_thread::yield();  // a real worker parks on a miss
+        rig.sched.OnComplete(stash.front().target, w, id);
       }
+      benchmark::DoNotOptimize(stash[next]);
+      ++next;
     }
   }
   state.SetItemsProcessed(state.iterations());
@@ -268,25 +322,45 @@ void Run(bench::BenchContext& ctx) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
 
   // Measure the full Cameo per-message cost once more, cheaply, to feed the
-  // right panel (coarse timing is fine: it is a ratio illustration).
+  // right panel (coarse timing is fine: it is a ratio illustration). This
+  // runs the repo's actual dispatch contract -- context conversion per
+  // message, claim-and-drain batches of up to kDrain over a standing
+  // backlog, pooled mailbox nodes.
   using clock = std::chrono::steady_clock;
   CameoScheduler sched;
   ConversionRig rig;
+  const WorkerId w0{0};
   PriorityContext upstream;
   upstream.latency_constraint = Millis(800);
-  const int kIters = ctx.smoke ? 20000 : 200000;
-  auto t0 = clock::now();
-  for (int i = 1; i <= kIters; ++i) {
+  auto make = [&](std::int64_t i) {
     Message m;
     m.pc = rig.converter.BuildCxtAtOperator(upstream, rig.source, rig.agg,
                                             i * 1000, i * 1000 + 50,
                                             MessageId{i});
     m.id = m.pc.id;
-    m.target = OperatorId{i % kOperators};
+    m.target = OperatorId{RunOfEightOp(i)};
     m.batch = EventBatch::Synthetic(1, i);
-    sched.Enqueue(std::move(m), WorkerId{}, i);
-    auto out = sched.Dequeue(WorkerId{0}, i);
-    sched.OnComplete(out->target, WorkerId{0}, i);
+    return m;
+  };
+  std::int64_t id = 0;
+  for (; id < kBacklog; ++id) {
+    sched.Enqueue(make(id), WorkerId{}, id);
+  }
+  const int kIters = ctx.smoke ? 20000 : 200000;
+  std::vector<Message> stash;
+  std::size_t next = 0;
+  auto t0 = clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    sched.Enqueue(make(id), WorkerId{}, id);
+    ++id;
+    if (next == stash.size()) {
+      stash.clear();
+      next = 0;
+      while (sched.DequeueBatch(w0, id, kDrain, stash) == 0) {
+      }
+      sched.OnComplete(stash.front().target, w0, id);
+    }
+    ++next;
   }
   double ns_per_msg =
       std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)

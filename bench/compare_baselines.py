@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff fresh --smoke JSONs against bench/baselines/.
+
+Usage:
+    compare_baselines.py --results <dir> [--baselines <dir>]
+                         [--threshold 0.15] [--list]
+
+For every BENCH_<name>.json in --results that has at least one baseline
+BENCH_<name>.<tag>.json checked in, the newest baseline (highest tag in
+natural order, so pr10 > pr5) is loaded and the *gated* metrics are
+compared:
+
+  - virtual-time metrics (keys ending in `_median_ms` / `_p99_ms`): these
+    are deterministic for a fixed seed, so they are gated at `threshold`
+    exactly -- any drift means the schedule itself changed.
+  - wall-clock metrics (keys ending in `.ns_per_op` / `.ns_per_msg`): only
+    gated when --gate-wall is passed, at 3x `threshold`. Checked-in wall
+    baselines are only meaningful on the box that recorded them (a CI
+    runner of a different CPU class would fail -- or vacuously pass --
+    every run), so the default ctest/CI gate covers virtual-time metrics
+    only; run with --gate-wall on the recording box for perf PRs.
+  - `.min` companions (from --repeat runs) are ignored; the median is the
+    gated statistic.
+
+Success-rate/throughput metrics are deliberately not gated here (higher is
+better and workload-semantics changes move them legitimately); the replay
+golden tests gate semantics.
+
+Exit status: 0 when no gated metric regressed, 1 otherwise, 2 on usage
+errors. Intended to run as the `bench_compare_baselines` ctest (label
+bench-smoke) after the per-figure smoke tests have produced their JSONs.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+SIM_SUFFIXES = ("_median_ms", "_p99_ms")      # deterministic virtual time
+WALL_SUFFIXES = (".ns_per_op", ".ns_per_msg")  # noisy real time
+WALL_SLACK = 3.0
+
+
+def gate_budget(key: str, threshold: float, gate_wall: bool):
+    """The allowed relative increase for `key`, or None when not gated."""
+    if key.endswith(".min"):
+        return None
+    if any(key.endswith(s) for s in SIM_SUFFIXES):
+        return threshold
+    if gate_wall and any(key.endswith(s) for s in WALL_SUFFIXES):
+        return threshold * WALL_SLACK
+    return None
+
+
+def load_metrics(path: Path) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    return {k: v for k, v in doc.get("metrics", {}).items()
+            if isinstance(v, (int, float))}
+
+
+def natural_key(tag: str):
+    """Sort key treating digit runs numerically, so pr10-x > pr5-pooled."""
+    return [(0, int(part)) if part.isdigit() else (1, part)
+            for part in re.split(r"(\d+)", tag)]
+
+
+def newest_baseline(baseline_dir: Path, bench: str):
+    pattern = re.compile(rf"^BENCH_{re.escape(bench)}\.(?P<tag>.+)\.json$")
+    candidates = []
+    for p in baseline_dir.glob(f"BENCH_{bench}.*.json"):
+        m = pattern.match(p.name)
+        if m:
+            candidates.append((m.group("tag"), p))
+    if not candidates:
+        return None, None
+    tag, path = max(candidates, key=lambda c: natural_key(c[0]))
+    return tag, path
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--results", required=True,
+                    help="directory holding fresh BENCH_<name>.json files")
+    ap.add_argument("--baselines", default=str(Path(__file__).parent / "baselines"),
+                    help="directory holding BENCH_<name>.<tag>.json baselines")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="relative regression budget (default 0.15 = 15%%)")
+    ap.add_argument("--list", action="store_true",
+                    help="print every gated comparison, not just regressions")
+    ap.add_argument("--gate-wall", action="store_true",
+                    help="also gate wall-clock ns/op metrics (same-box only)")
+    args = ap.parse_args()
+
+    results_dir = Path(args.results)
+    baseline_dir = Path(args.baselines)
+    if not results_dir.is_dir():
+        print(f"error: results dir {results_dir} does not exist", file=sys.stderr)
+        return 2
+    if not baseline_dir.is_dir():
+        print(f"error: baselines dir {baseline_dir} does not exist", file=sys.stderr)
+        return 2
+
+    regressions = []
+    compared_any = False
+    for result_path in sorted(results_dir.glob("BENCH_*.json")):
+        bench = result_path.stem[len("BENCH_"):]
+        tag, baseline_path = newest_baseline(baseline_dir, bench)
+        if baseline_path is None:
+            continue
+        fresh = load_metrics(result_path)
+        base = load_metrics(baseline_path)
+        def budget_of(k):
+            return gate_budget(k, args.threshold, args.gate_wall)
+
+        shared = [(k, budget_of(k)) for k in fresh
+                  if k in base and budget_of(k) is not None]
+        # A gated metric that existed in the baseline but vanished from the
+        # fresh run is a gate hole, not a pass: fail it like a regression.
+        missing = [k for k in base
+                   if k not in fresh and budget_of(k) is not None]
+        if not shared and not missing:
+            continue
+        compared_any = True
+        for key in missing:
+            print(f"  REGRESSION {key}: present in baseline '{tag}' but "
+                  f"missing from fresh results")
+            regressions.append((bench, key, base[key], float("nan"), 1.0))
+        print(f"== {bench}: vs baseline '{tag}' "
+              f"({len(shared)} gated metrics, budget +{args.threshold:.0%}, "
+              f"wall-clock x{WALL_SLACK:.0f})")
+        for key, budget in shared:
+            b, f = base[key], fresh[key]
+            if b <= 0:
+                continue
+            ratio = (f - b) / b
+            verdict = "REGRESSION" if ratio > budget else "ok"
+            if verdict == "REGRESSION" or args.list:
+                print(f"  {verdict:10s} {key}: baseline {b:.3f} -> {f:.3f} "
+                      f"({ratio:+.1%}, budget +{budget:.0%})")
+            if verdict == "REGRESSION":
+                regressions.append((bench, key, b, f, ratio))
+
+    if not compared_any:
+        print("error: no result/baseline pairs with gated metrics found",
+              file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"\n{len(regressions)} gated metric(s) regressed past "
+              f"+{args.threshold:.0%}:")
+        for bench, key, b, f, ratio in regressions:
+            print(f"  {bench}:{key} {b:.3f} -> {f:.3f} ({ratio:+.1%})")
+        return 1
+    print("\nall gated metrics within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

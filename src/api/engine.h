@@ -37,6 +37,10 @@ struct EngineOptions {
   // ---- shared by both backends ----
   int workers = 4;
   SchedulerKind scheduler = SchedulerKind::kCameo;
+  /// Scheduling knobs shared by every backend: re-scheduling quantum,
+  /// starvation guard, and the claim-and-drain `batch_size` (how many
+  /// messages one worker activation drains from a claimed operator; the
+  /// Fig. 13 drain knob).
   SchedulerConfig sched;
   /// Cameo policy: "LLF", "EDF", "SJF", or "TokenFair" (ValidPolicyNames).
   std::string policy = "LLF";

@@ -34,6 +34,7 @@ RunResult RunMultiTenant(const MultiTenantOptions& opt) {
   eo.workers = opt.workers;
   eo.scheduler = opt.scheduler;
   eo.sched.quantum = opt.quantum;
+  eo.sched.batch_size = opt.sched_batch;
   eo.policy = opt.policy;
   eo.use_query_semantics = opt.use_query_semantics;
   eo.seed = opt.seed;

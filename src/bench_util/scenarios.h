@@ -36,6 +36,10 @@ struct MultiTenantOptions {
   SchedulerKind scheduler = SchedulerKind::kCameo;
   std::string policy = "LLF";
   Duration quantum = kMillisecond;
+  /// Claim-and-drain batch size (SchedulerConfig::batch_size): how many
+  /// messages one worker activation drains from a claimed operator. 1 =
+  /// classic per-message dispatch; Fig. 13 sweeps this knob.
+  int sched_batch = 1;
   bool use_query_semantics = true;
   Duration perturbation = 0;
   Duration event_time_delay = Millis(50);

@@ -1,3 +1,45 @@
 #include "dataflow/event_batch.h"
 
-namespace cameo {}  // namespace cameo
+#include "common/pool.h"
+
+namespace cameo {
+
+namespace {
+
+/// A retired batch's three column buffers, parked with their capacity. The
+/// triple is stashed as one object so a recycled batch reassembles columns
+/// whose capacities grew together.
+struct ColumnSet {
+  std::vector<std::int64_t> keys;
+  std::vector<double> values;
+  std::vector<LogicalTime> times;
+};
+
+using ColumnStash = RecycleStash<ColumnSet>;
+
+}  // namespace
+
+void EventBatch::Recycle() {
+  if (keys.capacity() == 0 && values.capacity() == 0 &&
+      times.capacity() == 0) {
+    return;  // synthetic / moved-from: nothing worth pooling
+  }
+  ColumnSet set;
+  keys.clear();
+  values.clear();
+  times.clear();
+  set.keys = std::move(keys);
+  set.values = std::move(values);
+  set.times = std::move(times);
+  ColumnStash::Global().Put(std::move(set));
+}
+
+void EventBatch::AdoptPooledColumns() {
+  std::optional<ColumnSet> set = ColumnStash::Global().Take();
+  if (!set.has_value()) return;  // cold stash: vectors grow normally
+  keys = std::move(set->keys);
+  values = std::move(set->values);
+  times = std::move(set->times);
+}
+
+}  // namespace cameo

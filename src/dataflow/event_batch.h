@@ -6,6 +6,11 @@
 // channel to. Synthetic workloads that only exercise the scheduler may carry
 // `synthetic_count` tuples without materialized columns; operators that
 // compute real results fill the columns.
+//
+// Column buffers are pooled (common/pool.h): the first Append of a fresh
+// batch adopts recycled column capacity from the calling thread's cache, and
+// a completed dispatch hands its batch's buffers back with Recycle(). Once
+// the pool is warm, the columnar path performs no heap allocation per batch.
 #pragma once
 
 #include <cstdint>
@@ -35,10 +40,18 @@ struct EventBatch {
   bool columnar() const { return !keys.empty(); }
 
   void Append(std::int64_t key, double value, LogicalTime time) {
+    if (keys.empty() && keys.capacity() == 0) AdoptPooledColumns();
     keys.push_back(key);
     values.push_back(value);
     times.push_back(time);
   }
+
+  /// Returns the column buffers to the thread-local column pool and leaves
+  /// the batch empty. Call when the batch's last reader is done with it (the
+  /// worker loops do after an invocation completes); never while any alias
+  /// of the buffers is live. Capacity-less batches are a no-op, so calling
+  /// this on synthetic batches is free.
+  void Recycle();
 
   /// Creates a column-less batch of `count` tuples at `progress`.
   static EventBatch Synthetic(std::int64_t count, LogicalTime progress) {
@@ -47,6 +60,10 @@ struct EventBatch {
     b.progress = progress;
     return b;
   }
+
+ private:
+  /// Swaps in recycled column capacity, if the pool has any.
+  void AdoptPooledColumns();
 };
 
 }  // namespace cameo

@@ -288,14 +288,18 @@ void ThreadRuntime::WorkerLoop(int index) {
   WorkerId w{index};
   Rng rng(config_.seed + static_cast<std::uint64_t>(index) * 7919);
   std::vector<std::tuple<int, EventBatch, SimTime>> outs;
+  // Activation batch (claim-and-drain contract): all messages target the
+  // same operator and the claim is held until the OnComplete below. Both
+  // scratch vectors retain capacity, keeping the loop allocation-free.
+  std::vector<Message> batch;
 
   while (true) {
     if (stop_.load(std::memory_order_seq_cst) ||
         index >= target_workers_.load(std::memory_order_seq_cst)) {
       return;
     }
-    std::optional<Message> msg = scheduler_->Dequeue(w, Now());
-    if (!msg) {
+    batch.clear();
+    if (scheduler_->DequeueBatch(w, Now(), batch) == 0) {
       std::unique_lock lock(wake_mu_);
       if (stop_.load(std::memory_order_seq_cst) ||
           index >= target_workers_.load(std::memory_order_seq_cst)) {
@@ -305,44 +309,50 @@ void ThreadRuntime::WorkerLoop(int index) {
       continue;
     }
 
-    // Invocation runs with no locks held: the scheduler's operator
+    // Invocations run with no locks held: the scheduler's operator
     // exclusivity guarantees this worker is the sole owner of the operator's
-    // state, profiler entry and send-path converter use.
-    Operator& op = graph_.Get(msg->target);
-    outs.clear();
-    CollectingEmitter emitter(outs);
-    SimTime exec_start = Now();
-    InvokeContext ctx{exec_start, &emitter, &rng};
-    op.Invoke(*msg, ctx);
-    if (config_.emulate_cost) {
-      SpinFor(op.cost_model().Sample(msg->batch.size(), rng));
-    }
-    SimTime exec_end = Now();
-
-    profiler_.Record(msg->target, exec_end - exec_start);
-    RouteOutputs(*msg, op, outs, w);
-    if (msg->sender.valid()) {
-      ReplyContext rc =
-          converter(msg->target)
-              .PrepareReply(profiler_.Estimate(msg->target),
-                            exec_start - msg->enqueue_time, op.is_sink());
-      converter(msg->sender).ProcessCtxFromReply(msg->target, rc);
-    }
-    if (op.is_sink()) {
-      const JobSpec& spec = graph_.job(op.job());
-      if (spec.output_slide > 0) {
-        latency_.OnSinkOutput(index, op.job(), msg->progress(), exec_end);
-      } else {
-        latency_.OnSinkOutput(index, op.job(), msg->event_time, exec_end);
+    // state, profiler entry and send-path converter use, for the whole
+    // activation.
+    const OperatorId target = batch.front().target;
+    Operator& op = graph_.Get(target);
+    for (Message& msg : batch) {
+      outs.clear();
+      CollectingEmitter emitter(outs);
+      SimTime exec_start = Now();
+      InvokeContext ctx{exec_start, &emitter, &rng};
+      op.Invoke(msg, ctx);
+      if (config_.emulate_cost) {
+        SpinFor(op.cost_model().Sample(msg.batch.size(), rng));
       }
-      latency_.OnSinkTuples(index, op.job(), msg->batch.size(), exec_end);
+      SimTime exec_end = Now();
+
+      profiler_.Record(target, exec_end - exec_start);
+      RouteOutputs(msg, op, outs, w);
+      if (msg.sender.valid()) {
+        ReplyContext rc =
+            converter(target).PrepareReply(profiler_.Estimate(target),
+                                           exec_start - msg.enqueue_time,
+                                           op.is_sink());
+        converter(msg.sender).ProcessCtxFromReply(target, rc);
+      }
+      if (op.is_sink()) {
+        const JobSpec& spec = graph_.job(op.job());
+        if (spec.output_slide > 0) {
+          latency_.OnSinkOutput(index, op.job(), msg.progress(), exec_end);
+        } else {
+          latency_.OnSinkOutput(index, op.job(), msg.event_time, exec_end);
+        }
+        latency_.OnSinkTuples(index, op.job(), msg.batch.size(), exec_end);
+      }
+      // Last reader of this message's columns: park them for reuse.
+      msg.batch.Recycle();
     }
-    scheduler_->OnComplete(msg->target, w, Now());
+    scheduler_->OnComplete(target, w, Now());
     // Only after OnComplete and output routing: the counters hit zero iff
     // the dataflow (respectively the job) is quiescent.
     JobState* js = job_states_.Find(op.job());
     CAMEO_EXPECTS(js != nullptr);
-    FinishOne(*js);
+    for (std::size_t i = 0; i < batch.size(); ++i) FinishOne(*js);
   }
 }
 

@@ -56,10 +56,19 @@ void CameoScheduler::PurgeReady(const std::vector<OperatorId>& ops) {
   ready_.EraseOps(std::unordered_set<OperatorId>(ops.begin(), ops.end()));
 }
 
-std::optional<Message> CameoScheduler::Dispatch(Mailbox& mb, WorkerId w) {
-  pending_.fetch_sub(1, std::memory_order_relaxed);
-  shards_.dispatched.Inc(shard_of(w));
-  return mb.PopBest();
+std::size_t CameoScheduler::Dispatch(Mailbox& mb, WorkerId w, std::size_t max,
+                                     std::vector<Message>& out) {
+  // The ready-queue head is re-fetched before *every* message after the
+  // first, so an urgent arrival mid-batch bounds its wait at one message,
+  // not batch_size. CleanTopKey is one small-lock peek; like the quantum
+  // yield check the result is advisory (the head can move the instant the
+  // lock drops), but the drain never runs past a head it has seen.
+  return DrainClaimed(mb, w, max, out, [this](Mailbox& m) {
+    auto top = ready_.CleanTopKey([this](OperatorId id, std::uint64_t epoch) {
+      return StillQueued(id, epoch);
+    });
+    return !top.has_value() || !(*top < KeyFor(m.PeekBest()));
+  });
 }
 
 void CameoScheduler::Enqueue(Message m, WorkerId producer, SimTime now) {
@@ -108,7 +117,9 @@ void CameoScheduler::Enqueue(Message m, WorkerId producer, SimTime now) {
   }
 }
 
-std::optional<Message> CameoScheduler::Dequeue(WorkerId w, SimTime now) {
+std::size_t CameoScheduler::DequeueBatch(WorkerId w, SimTime now,
+                                         std::size_t max_messages,
+                                         std::vector<Message>& out) {
   WorkerSlot& sl = slot(w);
 
   // Continuation: keep draining the current operator within the quantum, or
@@ -137,7 +148,7 @@ std::optional<Message> CameoScheduler::Dequeue(WorkerId w, SimTime now) {
           }
           if (cont) {
             shards_.continuations.Inc(shard_of(w));
-            return Dispatch(*mb, w);
+            return Dispatch(*mb, w, max_messages, out);
           }
           Release(sl.current, *mb, w);  // yield: back into the ready queue
         }
@@ -166,9 +177,9 @@ std::optional<Message> CameoScheduler::Dequeue(WorkerId w, SimTime now) {
     sl.current = e->op;
     sl.has_current = true;
     sl.quantum_start = now;
-    return Dispatch(*mb, w);
+    return Dispatch(*mb, w, max_messages, out);
   }
-  return std::nullopt;
+  return 0;
 }
 
 void CameoScheduler::OnComplete(OperatorId op, WorkerId w, SimTime /*now*/) {

@@ -32,7 +32,9 @@ class CameoScheduler final : public Scheduler {
   explicit CameoScheduler(SchedulerConfig config = {});
 
   void Enqueue(Message m, WorkerId producer, SimTime now) override;
-  std::optional<Message> Dequeue(WorkerId w, SimTime now) override;
+  std::size_t DequeueBatch(WorkerId w, SimTime now, std::size_t max_messages,
+                           std::vector<Message>& out) override;
+  using Scheduler::DequeueBatch;
   void OnComplete(OperatorId op, WorkerId w, SimTime now) override;
 
   std::string name() const override { return "Cameo"; }
@@ -53,7 +55,11 @@ class CameoScheduler final : public Scheduler {
   /// Re-queues, idles, or (for a retiring operator) retires a claimed
   /// mailbox (release protocol).
   void Release(OperatorId op, Mailbox& mb, WorkerId w);
-  std::optional<Message> Dispatch(Mailbox& mb, WorkerId w);
+  /// Drains up to `max` messages from the claimed mailbox, stopping early
+  /// when a strictly more urgent operator is ready (priority re-check
+  /// between messages preserves Cameo dispatch order under batching).
+  std::size_t Dispatch(Mailbox& mb, WorkerId w, std::size_t max,
+                       std::vector<Message>& out);
 
   CameoReadyQueue ready_;
 };

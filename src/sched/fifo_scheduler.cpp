@@ -24,10 +24,11 @@ void FifoScheduler::PurgeReady(const std::vector<OperatorId>& ops) {
   ready_.EraseOps(std::unordered_set<OperatorId>(ops.begin(), ops.end()));
 }
 
-std::optional<Message> FifoScheduler::Dispatch(Mailbox& mb, WorkerId w) {
-  pending_.fetch_sub(1, std::memory_order_relaxed);
-  shards_.dispatched.Inc(shard_of(w));
-  return mb.PopBest();
+std::size_t FifoScheduler::Dispatch(Mailbox& mb, WorkerId w, std::size_t max,
+                                    std::vector<Message>& out) {
+  // FIFO has no cross-operator urgency to re-check: the batch is simply the
+  // next `max` messages of the claimed operator.
+  return DrainClaimed(mb, w, max, out, [](Mailbox&) { return true; });
 }
 
 void FifoScheduler::Enqueue(Message m, WorkerId producer, SimTime now) {
@@ -56,7 +57,9 @@ void FifoScheduler::Enqueue(Message m, WorkerId producer, SimTime now) {
   }
 }
 
-std::optional<Message> FifoScheduler::Dequeue(WorkerId w, SimTime now) {
+std::size_t FifoScheduler::DequeueBatch(WorkerId w, SimTime now,
+                                        std::size_t max_messages,
+                                        std::vector<Message>& out) {
   WorkerSlot& sl = slot(w);
 
   if (sl.has_current) {
@@ -77,7 +80,7 @@ std::optional<Message> FifoScheduler::Dequeue(WorkerId w, SimTime now) {
           }
           if (cont) {
             shards_.continuations.Inc(shard_of(w));
-            return Dispatch(*mb, w);
+            return Dispatch(*mb, w, max_messages, out);
           }
           Release(sl.current, *mb, w);  // quantum expired: rotate to the tail
         }
@@ -103,9 +106,9 @@ std::optional<Message> FifoScheduler::Dequeue(WorkerId w, SimTime now) {
     sl.current = e->op;
     sl.has_current = true;
     sl.quantum_start = now;
-    return Dispatch(*mb, w);
+    return Dispatch(*mb, w, max_messages, out);
   }
-  return std::nullopt;
+  return 0;
 }
 
 void FifoScheduler::OnComplete(OperatorId op, WorkerId w, SimTime /*now*/) {

@@ -20,7 +20,9 @@ class FifoScheduler final : public Scheduler {
   explicit FifoScheduler(SchedulerConfig config = {});
 
   void Enqueue(Message m, WorkerId producer, SimTime now) override;
-  std::optional<Message> Dequeue(WorkerId w, SimTime now) override;
+  std::size_t DequeueBatch(WorkerId w, SimTime now, std::size_t max_messages,
+                           std::vector<Message>& out) override;
+  using Scheduler::DequeueBatch;
   void OnComplete(OperatorId op, WorkerId w, SimTime now) override;
 
   std::string name() const override { return "FIFO"; }
@@ -30,7 +32,8 @@ class FifoScheduler final : public Scheduler {
 
  private:
   void Release(OperatorId op, Mailbox& mb, WorkerId w);
-  std::optional<Message> Dispatch(Mailbox& mb, WorkerId w);
+  std::size_t Dispatch(Mailbox& mb, WorkerId w, std::size_t max,
+                       std::vector<Message>& out);
 
   FifoReadyQueue ready_;
 };

@@ -25,7 +25,7 @@ Mailbox::~Mailbox() {
   Node* n = inbox_.load(std::memory_order_acquire);
   while (n != nullptr) {
     Node* next = n->next;
-    delete n;
+    NodePool::Global().Delete(n);
     n = next;
   }
 }
@@ -38,7 +38,7 @@ bool Mailbox::Push(Message m) {
   // Size first: the release protocol's post-kIdle re-check must observe this
   // increment whenever our later state read sees kActive (SC total order).
   size_.fetch_add(1, std::memory_order_seq_cst);
-  Node* n = new Node{std::move(m), nullptr};
+  Node* n = NodePool::Global().New(std::move(m));
   Node* head = inbox_.load(std::memory_order_relaxed);
   do {
     n->next = head;
@@ -66,7 +66,7 @@ void Mailbox::DrainInbox() {
       std::push_heap(heap_.begin(), heap_.end(), LocalOrderGreater{});
     }
     Node* next = fifo->next;
-    delete fifo;
+    NodePool::Global().Delete(fifo);
     fifo = next;
   }
 }
@@ -170,8 +170,7 @@ bool Mailbox::TryReclaimRetired() {
 std::int64_t Mailbox::PurgeBacklog() {
   CAMEO_EXPECTS(state() == State::kActive);
   DrainInbox();
-  auto dropped =
-      static_cast<std::int64_t>(buffer_.size() + heap_.size());
+  auto dropped = static_cast<std::int64_t>(buffered());
   buffer_.clear();
   heap_.clear();
   if (dropped > 0) size_.fetch_sub(dropped, std::memory_order_seq_cst);

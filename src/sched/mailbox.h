@@ -41,7 +41,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -49,6 +48,8 @@
 
 #include "common/cow_index.h"
 #include "common/ids.h"
+#include "common/pool.h"
+#include "common/ring_queue.h"
 #include "common/time.h"
 #include "dataflow/message.h"
 
@@ -124,6 +125,8 @@ class Mailbox {
   void DrainInbox();
 
   bool buffer_empty() const { return buffer_.empty() && heap_.empty(); }
+  /// Messages currently in the ordered buffer (owner only).
+  std::size_t buffered() const { return buffer_.size() + heap_.size(); }
   /// Head of the ordered buffer (must be non-empty).
   const Message& PeekBest() const;
   /// Pops the head of the ordered buffer and decrements size().
@@ -168,10 +171,18 @@ class Mailbox {
   bool TryLowerRegisteredPri(Priority p);
 
  private:
+  /// Inbox link. Nodes come from the process-wide Pool<Node> (common/pool.h)
+  /// instead of the heap: Push acquires from the pushing thread's cache and
+  /// the draining owner releases into its own, so a steady-state message
+  /// costs zero allocations. Recycling is safe because DrainInbox takes the
+  /// whole chain with one exchange -- the drainer is the exclusive owner of
+  /// every node it frees (see the pool's reclamation contract).
   struct Node {
+    explicit Node(Message m) : msg(std::move(m)) {}
     Message msg;
     Node* next = nullptr;
   };
+  using NodePool = Pool<Node>;
 
   // The state word packs (epoch << 2) | state so claim validation and the
   // state transition are one atomic compare-exchange.
@@ -192,8 +203,10 @@ class Mailbox {
   std::atomic<bool> retiring_{false};
   std::atomic<Priority> registered_pri_{kTimeMax};
 
-  // Owner-only ordered buffer: exactly one is used, per `order_`.
-  std::deque<Message> buffer_;   // kFifo
+  // Owner-only ordered buffer: exactly one is used, per `order_`. The FIFO
+  // buffer is a RingQueue rather than a deque: deque block churn would
+  // re-introduce a heap allocation every few messages.
+  RingQueue<Message> buffer_;    // kFifo
   std::vector<Message> heap_;    // kLocalPriority min-heap on (pri_local, id)
 };
 

@@ -31,10 +31,12 @@ void OrleansScheduler::PurgeReady(const std::vector<OperatorId>& ops) {
   ready_.EraseOps(std::unordered_set<OperatorId>(ops.begin(), ops.end()));
 }
 
-std::optional<Message> OrleansScheduler::Dispatch(Mailbox& mb, WorkerId w) {
-  pending_.fetch_sub(1, std::memory_order_relaxed);
-  shards_.dispatched.Inc(shard_of(w));
-  return mb.PopBest();
+std::size_t OrleansScheduler::Dispatch(Mailbox& mb, WorkerId w,
+                                       std::size_t max,
+                                       std::vector<Message>& out) {
+  // The bag model has no cross-operator urgency: drain the claimed
+  // activation's next `max` messages unconditionally.
+  return DrainClaimed(mb, w, max, out, [](Mailbox&) { return true; });
 }
 
 void OrleansScheduler::Enqueue(Message m, WorkerId producer, SimTime now) {
@@ -67,7 +69,9 @@ void OrleansScheduler::Enqueue(Message m, WorkerId producer, SimTime now) {
   }
 }
 
-std::optional<Message> OrleansScheduler::Dequeue(WorkerId w, SimTime now) {
+std::size_t OrleansScheduler::DequeueBatch(WorkerId w, SimTime now,
+                                           std::size_t max_messages,
+                                           std::vector<Message>& out) {
   ready_.RegisterWorker(w);
   WorkerSlot& sl = slot(w);
 
@@ -85,7 +89,7 @@ std::optional<Message> OrleansScheduler::Dequeue(WorkerId w, SimTime now) {
           bool cont = now - sl.quantum_start < config_.quantum;
           if (cont) {
             shards_.continuations.Inc(shard_of(w));
-            return Dispatch(*mb, w);
+            return Dispatch(*mb, w, max_messages, out);
           }
           // Quantum expired: yield the turn to the global tail.
           Release(sl.current, *mb, w, /*to_global=*/true);
@@ -116,7 +120,7 @@ std::optional<Message> OrleansScheduler::Dequeue(WorkerId w, SimTime now) {
     sl.current = *next;
     sl.has_current = true;
     sl.quantum_start = now;
-    return Dispatch(mb, w);
+    return Dispatch(mb, w, max_messages, out);
   }
 
   // Nothing anywhere else: resume the current operator if it still has work
@@ -127,18 +131,18 @@ std::optional<Message> OrleansScheduler::Dequeue(WorkerId w, SimTime now) {
       if (mb->retiring()) {
         FinishRetire(*mb, w);
         sl.has_current = false;
-        return std::nullopt;
+        return 0;
       }
       mb->DrainInbox();
       if (!mb->buffer_empty()) {
         sl.quantum_start = now;
         shards_.continuations.Inc(shard_of(w));
-        return Dispatch(*mb, w);
+        return Dispatch(*mb, w, max_messages, out);
       }
       Release(sl.current, *mb, w, /*to_global=*/false);
     }
   }
-  return std::nullopt;
+  return 0;
 }
 
 void OrleansScheduler::OnComplete(OperatorId op, WorkerId w, SimTime /*now*/) {

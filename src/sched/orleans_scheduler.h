@@ -28,7 +28,9 @@ class OrleansScheduler final : public Scheduler {
   explicit OrleansScheduler(SchedulerConfig config = {});
 
   void Enqueue(Message m, WorkerId producer, SimTime now) override;
-  std::optional<Message> Dequeue(WorkerId w, SimTime now) override;
+  std::size_t DequeueBatch(WorkerId w, SimTime now, std::size_t max_messages,
+                           std::vector<Message>& out) override;
+  using Scheduler::DequeueBatch;
   void OnComplete(OperatorId op, WorkerId w, SimTime now) override;
 
   std::string name() const override { return "Orleans"; }
@@ -46,7 +48,8 @@ class OrleansScheduler final : public Scheduler {
   /// Releases a claimed mailbox; remaining work goes to worker `w`'s bag
   /// (bag locality) or, when `to_global` is set, to the global tail.
   void Release(OperatorId op, Mailbox& mb, WorkerId w, bool to_global);
-  std::optional<Message> Dispatch(Mailbox& mb, WorkerId w);
+  std::size_t Dispatch(Mailbox& mb, WorkerId w, std::size_t max,
+                       std::vector<Message>& out);
 
   OrleansReadyState ready_;
 };

@@ -23,7 +23,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -31,6 +30,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/ring_queue.h"
 #include "dataflow/context.h"
 
 namespace cameo {
@@ -148,16 +148,14 @@ class FifoReadyQueue {
 
   void EraseOps(const std::unordered_set<OperatorId>& ops) {
     std::lock_guard lock(mu_);
-    queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
-                                [&](const ReadyEntry& e) {
-                                  return ops.count(e.op) > 0;
-                                }),
-                 queue_.end());
+    queue_.erase_if(
+        [&](const ReadyEntry& e) { return ops.count(e.op) > 0; });
   }
 
  private:
   mutable std::mutex mu_;
-  std::deque<ReadyEntry> queue_;
+  // RingQueue, not deque: steady-state registration churn must not allocate.
+  RingQueue<ReadyEntry> queue_;
 };
 
 /// Orleans ConcurrentBag model: per-worker LIFO bags, a global FIFO queue,
@@ -219,15 +217,11 @@ class OrleansReadyState {
 
   void EraseOps(const std::unordered_set<OperatorId>& ops) {
     std::lock_guard lock(mu_);
-    auto drop = [&](auto& seq) {
-      seq.erase(std::remove_if(seq.begin(), seq.end(),
-                               [&](const ReadyEntry& e) {
-                                 return ops.count(e.op) > 0;
-                               }),
-                seq.end());
-    };
-    for (auto& [w, bag] : bags_) drop(bag);
-    drop(global_);
+    auto in_ops = [&](const ReadyEntry& e) { return ops.count(e.op) > 0; };
+    for (auto& [w, bag] : bags_) {
+      bag.erase(std::remove_if(bag.begin(), bag.end(), in_ops), bag.end());
+    }
+    global_.erase_if(in_ops);
   }
 
   /// Worker shrink: moves the bags of workers with index >= `workers` to the
@@ -244,7 +238,7 @@ class OrleansReadyState {
  private:
   mutable std::mutex mu_;
   std::unordered_map<WorkerId, std::vector<ReadyEntry>> bags_;
-  std::deque<ReadyEntry> global_;
+  RingQueue<ReadyEntry> global_;
   std::vector<WorkerId> worker_order_;
   std::size_t steal_cursor_ = 0;
 };
@@ -275,10 +269,7 @@ class SlotReadyQueues {
   void EraseOps(const std::unordered_set<OperatorId>& ops) {
     std::lock_guard lock(mu_);
     for (auto& [w, q] : queues_) {
-      q.erase(std::remove_if(
-                  q.begin(), q.end(),
-                  [&](const ReadyEntry& e) { return ops.count(e.op) > 0; }),
-              q.end());
+      q.erase_if([&](const ReadyEntry& e) { return ops.count(e.op) > 0; });
     }
   }
 
@@ -297,7 +288,7 @@ class SlotReadyQueues {
 
  private:
   mutable std::mutex mu_;
-  std::unordered_map<WorkerId, std::deque<ReadyEntry>> queues_;
+  std::unordered_map<WorkerId, RingQueue<ReadyEntry>> queues_;
 };
 
 }  // namespace cameo

@@ -7,6 +7,15 @@
 
 namespace cameo {
 
+std::optional<Message> Scheduler::Dequeue(WorkerId w, SimTime now) {
+  // Scratch survives across calls so the single-message path stays
+  // allocation-free too.
+  static thread_local std::vector<Message> scratch;
+  scratch.clear();
+  if (DequeueBatch(w, now, 1, scratch) == 0) return std::nullopt;
+  return std::move(scratch.front());
+}
+
 std::int64_t Scheduler::RetireOperators(const std::vector<OperatorId>& ops) {
   std::int64_t purged = 0;
   for (OperatorId op : ops) {

@@ -54,6 +54,14 @@ struct SchedulerConfig {
   /// exceeds enqueue_time + starvation_limit, so long-waiting work is
   /// eventually ordered FIFO. kTimeMax disables the guard (paper default).
   Duration starvation_limit = kTimeMax;
+  /// Claim-and-drain batching (paper §6 / Fig. 13 knob): the maximum number
+  /// of messages a worker drains from one claimed mailbox per activation.
+  /// One claim + one release amortize over the whole batch. 1 reproduces the
+  /// classic claim-one dispatch exactly (fixed-seed sim replays are
+  /// bit-identical). Cameo re-checks the ready queue's head between the
+  /// batch's messages and cuts the drain short when a strictly more urgent
+  /// operator is waiting, so priority semantics survive batching.
+  int batch_size = 1;
 };
 
 /// Merged snapshot of the per-worker stat shards. Exact once workers are
@@ -85,13 +93,31 @@ class Scheduler {
   /// Orleans bag model uses it for thread-local affinity. Thread-safe.
   virtual void Enqueue(Message m, WorkerId producer, SimTime now) = 0;
 
-  /// Picks the next message for worker `w`; nullopt when nothing is runnable
-  /// for this worker. Marks the target operator active. Thread-safe; at most
-  /// one concurrent call per worker id.
-  virtual std::optional<Message> Dequeue(WorkerId w, SimTime now) = 0;
+  /// Claims the next runnable operator for worker `w` and drains up to
+  /// `max_messages` of its pending messages into `out` (appended, in the
+  /// mailbox's dispatch order). Every message in the batch targets the same
+  /// operator, which stays claimed (kActive): after invoking the batch the
+  /// worker must call OnComplete exactly once with that operator. Returns
+  /// the number of messages appended; 0 when nothing is runnable. Policy
+  /// invariants are re-checked between messages (see
+  /// SchedulerConfig::batch_size). Thread-safe; at most one concurrent call
+  /// per worker id.
+  virtual std::size_t DequeueBatch(WorkerId w, SimTime now,
+                                   std::size_t max_messages,
+                                   std::vector<Message>& out) = 0;
 
-  /// Reports that worker `w` finished an invocation of `op`. Must be called
-  /// by the worker the message was dequeued on.
+  /// DequeueBatch with the configured batch size.
+  std::size_t DequeueBatch(WorkerId w, SimTime now, std::vector<Message>& out) {
+    return DequeueBatch(w, now, static_cast<std::size_t>(config_.batch_size),
+                        out);
+  }
+
+  /// Single-message convenience wrapper over DequeueBatch (tests and
+  /// quantum-granularity callers); nullopt when nothing is runnable.
+  std::optional<Message> Dequeue(WorkerId w, SimTime now);
+
+  /// Reports that worker `w` finished an invocation (single message or a
+  /// drained batch) of `op`. Must be called by the worker that dequeued it.
   virtual void OnComplete(OperatorId op, WorkerId w, SimTime now) = 0;
 
   /// Retires a removed query's operators: marks their mailboxes retiring
@@ -143,7 +169,13 @@ class Scheduler {
   };
 
   Scheduler(SchedulerConfig config, MailboxOrder order)
-      : config_(config), table_(order), slots_(kMaxWorkers) {}
+      : config_(config), table_(order), slots_(kMaxWorkers) {
+    // Fail at construction, not deep inside the first dispatch: 0 would trip
+    // DrainClaimed's precondition and a negative value would wrap into an
+    // unbounded drain.
+    CAMEO_CHECK(config_.batch_size >= 1 &&
+                "SchedulerConfig::batch_size must be >= 1");
+  }
 
   WorkerSlot& slot(WorkerId w) {
     CAMEO_EXPECTS(w.valid() && w.value < kMaxWorkers);
@@ -194,6 +226,30 @@ class Scheduler {
   /// it back out with accounting.
   void DiscardIntoRetired(Mailbox& mb, WorkerId w) {
     if (mb.size() > 0 && mb.TryReclaimRetired()) FinishRetire(mb, w);
+  }
+
+  /// The claim-and-drain core: pops up to `max` messages from a mailbox the
+  /// caller has claimed (and already DrainInbox-ed) into `out`, batching the
+  /// pending/dispatched accounting into one update. `keep_going(mb)` is the
+  /// policy re-check, consulted before every message after the first --
+  /// returning false cuts the batch short (the first message is
+  /// unconditional: a claim always dispatches at least one). Returns the
+  /// number of messages popped.
+  template <typename KeepGoingFn>
+  std::size_t DrainClaimed(Mailbox& mb, WorkerId w, std::size_t max,
+                           std::vector<Message>& out,
+                           KeepGoingFn&& keep_going) {
+    CAMEO_EXPECTS(max >= 1 && !mb.buffer_empty());
+    std::size_t n = 0;
+    while (n < max && !mb.buffer_empty()) {
+      if (n > 0 && !keep_going(mb)) break;
+      out.push_back(mb.PopBest());
+      ++n;
+    }
+    pending_.fetch_sub(static_cast<std::int64_t>(n),
+                       std::memory_order_relaxed);
+    shards_.dispatched.Inc(shard_of(w), n);
+    return n;
   }
 
   SchedulerConfig config_;

@@ -65,10 +65,11 @@ void SlotScheduler::Release(OperatorId op, Mailbox& mb, WorkerId w) {
   if (mb.retiring() && mb.TryClaim()) FinishRetire(mb, w);
 }
 
-std::optional<Message> SlotScheduler::Dispatch(Mailbox& mb, WorkerId w) {
-  pending_.fetch_sub(1, std::memory_order_relaxed);
-  shards_.dispatched.Inc(shard_of(w));
-  return mb.PopBest();
+std::size_t SlotScheduler::Dispatch(Mailbox& mb, WorkerId w, std::size_t max,
+                                    std::vector<Message>& out) {
+  // Within a slot operators run FIFO; the batch is simply the claimed
+  // operator's next `max` messages.
+  return DrainClaimed(mb, w, max, out, [](Mailbox&) { return true; });
 }
 
 void SlotScheduler::Enqueue(Message m, WorkerId producer, SimTime now) {
@@ -97,7 +98,9 @@ void SlotScheduler::Enqueue(Message m, WorkerId producer, SimTime now) {
   }
 }
 
-std::optional<Message> SlotScheduler::Dequeue(WorkerId w, SimTime now) {
+std::size_t SlotScheduler::DequeueBatch(WorkerId w, SimTime now,
+                                        std::size_t max_messages,
+                                        std::vector<Message>& out) {
   WorkerSlot& sl = slot(w);
 
   if (sl.has_current) {
@@ -118,7 +121,7 @@ std::optional<Message> SlotScheduler::Dequeue(WorkerId w, SimTime now) {
           }
           if (cont) {
             shards_.continuations.Inc(shard_of(w));
-            return Dispatch(*mb, w);
+            return Dispatch(*mb, w, max_messages, out);
           }
           Release(sl.current, *mb, w);  // rotate within the slot
         }
@@ -144,9 +147,9 @@ std::optional<Message> SlotScheduler::Dequeue(WorkerId w, SimTime now) {
     sl.current = e->op;
     sl.has_current = true;
     sl.quantum_start = now;
-    return Dispatch(*mb, w);
+    return Dispatch(*mb, w, max_messages, out);
   }
-  return std::nullopt;
+  return 0;
 }
 
 void SlotScheduler::OnComplete(OperatorId op, WorkerId w, SimTime /*now*/) {

@@ -27,7 +27,9 @@ class SlotScheduler final : public Scheduler {
   void Assign(OperatorId op, WorkerId worker);
 
   void Enqueue(Message m, WorkerId producer, SimTime now) override;
-  std::optional<Message> Dequeue(WorkerId w, SimTime now) override;
+  std::size_t DequeueBatch(WorkerId w, SimTime now, std::size_t max_messages,
+                           std::vector<Message>& out) override;
+  using Scheduler::DequeueBatch;
   void OnComplete(OperatorId op, WorkerId w, SimTime now) override;
 
   std::string name() const override { return "Slot"; }
@@ -46,7 +48,8 @@ class SlotScheduler final : public Scheduler {
 
  private:
   void Release(OperatorId op, Mailbox& mb, WorkerId w);
-  std::optional<Message> Dispatch(Mailbox& mb, WorkerId w);
+  std::size_t Dispatch(Mailbox& mb, WorkerId w, std::size_t max,
+                       std::vector<Message>& out);
 
   std::mutex assign_mu_;
   int num_workers_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/pool.h"
 #include "dataflow/critical_path.h"
 #include "workload/churn.h"
 
@@ -296,32 +297,74 @@ void Cluster::TryDispatch(WorkerId w) {
   WorkerState& ws = workers_[static_cast<std::size_t>(w.value)];
   ws.kicked = false;
   if (ws.busy) return;
-  auto msg = scheduler_->Dequeue(w, events_.now());
-  if (!msg) return;
+  batch_scratch_.clear();
+  exec_scratch_.clear();
+  if (scheduler_->DequeueBatch(w, events_.now(), batch_scratch_) == 0) return;
 
-  const Operator& op = graph_.Get(msg->target);
-  Duration exec = op.cost_model().Sample(msg->batch.size(), rng_);
-  if (config_.straggler_prob > 0 && rng_.Chance(config_.straggler_prob)) {
-    exec = static_cast<Duration>(static_cast<double>(exec) *
-                                 config_.straggler_factor);
+  // The whole activation (claim-and-drain batch, one operator) executes as
+  // one busy period: per-message costs are sampled up front in dispatch
+  // order, the operator switch cost is charged once.
+  const OperatorId target = batch_scratch_.front().target;
+  const Operator& op = graph_.Get(target);
+  Duration total = 0;
+  for (Message& m : batch_scratch_) {
+    Duration exec = op.cost_model().Sample(m.batch.size(), rng_);
+    if (config_.straggler_prob > 0 && rng_.Chance(config_.straggler_prob)) {
+      exec = static_cast<Duration>(static_cast<double>(exec) *
+                                   config_.straggler_factor);
+    }
+    exec_scratch_.push_back(exec);
+    total += exec;
   }
-  Duration total = exec;
-  if (!(ws.last_op == msg->target)) total += config_.switch_cost;
+  if (!(ws.last_op == target)) total += config_.switch_cost;
   ws.busy = true;
-  ws.last_op = msg->target;
+  ws.last_op = target;
   utilization_.AddBusy(w, total);
-  timeline_.Record({events_.now(), msg->target, op.stage(), op.job(),
-                    msg->progress()});
+  for (const Message& m : batch_scratch_) {
+    timeline_.Record(
+        {events_.now(), target, op.stage(), op.job(), m.progress()});
+  }
   const SimTime dispatch_time = events_.now();
-  events_.Schedule(
-      events_.now() + total,
-      [this, w, m = std::move(*msg), dispatch_time, exec]() mutable {
-        Complete(w, std::move(m), dispatch_time, exec);
-      });
+  if (batch_scratch_.size() == 1) {
+    // Single-message fast path: the Message rides inline in the event
+    // closure (fits EventQueue's inline buffer -- no allocation) and the
+    // schedule is bit-identical to the pre-batching dispatcher.
+    auto done = [this, w, m = std::move(batch_scratch_.front()),
+                 dispatch_time, exec = exec_scratch_.front()]() mutable {
+      const OperatorId t = m.target;
+      CompleteMessage(w, std::move(m), dispatch_time, exec);
+      FinishActivation(w, t);
+    };
+    static_assert(sizeof(done) <= EventQueue::kActionCapacity,
+                  "completion closure outgrew the inline event buffer; the "
+                  "common sim path would heap-allocate every event");
+    events_.Schedule(events_.now() + total, std::move(done));
+    return;
+  }
+  // Batched path: the messages move into a pooled DispatchBatch whose
+  // vectors are recycled activation to activation.
+  DispatchBatch b =
+      RecycleStash<DispatchBatch>::Global().Take().value_or(DispatchBatch{});
+  b.msgs.clear();
+  b.execs.clear();
+  std::swap(b.msgs, batch_scratch_);
+  std::swap(b.execs, exec_scratch_);
+  events_.Schedule(events_.now() + total,
+                   [this, w, b = std::move(b), dispatch_time]() mutable {
+                     const OperatorId t = b.msgs.front().target;
+                     for (std::size_t i = 0; i < b.msgs.size(); ++i) {
+                       CompleteMessage(w, std::move(b.msgs[i]), dispatch_time,
+                                       b.execs[i]);
+                     }
+                     b.msgs.clear();
+                     b.execs.clear();
+                     RecycleStash<DispatchBatch>::Global().Put(std::move(b));
+                     FinishActivation(w, t);
+                   });
 }
 
-void Cluster::Complete(WorkerId w, Message m, SimTime dispatch_time,
-                       Duration exec_cost) {
+void Cluster::CompleteMessage(WorkerId w, Message m, SimTime dispatch_time,
+                              Duration exec_cost) {
   Operator& op = graph_.Get(m.target);
   profiler_.Record(m.target, exec_cost);
   if (op.is_source()) {
@@ -343,10 +386,14 @@ void Cluster::Complete(WorkerId w, Message m, SimTime dispatch_time,
       md.sender = m.target;
       md.event_time = out.event_time;
       md.batch = std::move(d.batch);
+      auto deliver = [this, md = std::move(md), w]() mutable {
+        Deliver(std::move(md), w);
+      };
+      static_assert(sizeof(deliver) <= EventQueue::kActionCapacity,
+                    "delivery closure outgrew the inline event buffer; the "
+                    "common sim path would heap-allocate every delivery");
       events_.Schedule(events_.now() + config_.network_delay,
-                       [this, md = std::move(md), w]() mutable {
-                         Deliver(std::move(md), w);
-                       });
+                       std::move(deliver));
     }
   }
 
@@ -370,8 +417,12 @@ void Cluster::Complete(WorkerId w, Message m, SimTime dispatch_time,
     }
     latency_.OnSinkTuples(op.job(), m.batch.size(), events_.now());
   }
+  // Last reader of this message's columns: park them for reuse.
+  m.batch.Recycle();
+}
 
-  scheduler_->OnComplete(m.target, w, events_.now());
+void Cluster::FinishActivation(WorkerId w, OperatorId op) {
+  scheduler_->OnComplete(op, w, events_.now());
   WorkerState& ws = workers_[static_cast<std::size_t>(w.value)];
   ws.busy = false;
   TryDispatch(w);

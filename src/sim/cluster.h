@@ -166,6 +166,13 @@ class Cluster {
     Duration event_time_delay = 0;
     std::optional<JobId> job;  // set once the arrival executes
   };
+  /// A multi-message activation in flight between dispatch and completion.
+  /// Instances are recycled through a RecycleStash so their vectors' capacity
+  /// survives across activations.
+  struct DispatchBatch {
+    std::vector<Message> msgs;
+    std::vector<Duration> execs;
+  };
 
   void SetupConverters();
   void SeedEstimates();
@@ -177,8 +184,15 @@ class Cluster {
   void PumpSource(std::size_t idx);
   void Deliver(Message m, WorkerId producer);
   void KickIdleWorker();
+  /// Claims an operator via the batched dispatch contract and schedules one
+  /// busy period covering the whole drained batch.
   void TryDispatch(WorkerId w);
-  void Complete(WorkerId w, Message m, SimTime dispatch_time, Duration cost);
+  /// The per-message half of a completed activation: invoke, route outputs,
+  /// ack upstream, record metrics, recycle the batch's columns.
+  void CompleteMessage(WorkerId w, Message m, SimTime dispatch_time,
+                       Duration cost);
+  /// The per-activation half: releases the operator claim and redispatches.
+  void FinishActivation(WorkerId w, OperatorId op);
   MessageId NextMessageId() { return MessageId{next_message_id_++}; }
 
   ClusterConfig config_;
@@ -202,6 +216,10 @@ class Cluster {
   std::vector<std::unique_ptr<ScheduledQuery>> scheduled_;
   std::int64_t next_message_id_ = 0;
   std::uint64_t messages_delivered_ = 0;
+  // TryDispatch scratch (never live across an event boundary); members so
+  // their capacity is reused by every dispatch.
+  std::vector<Message> batch_scratch_;
+  std::vector<Duration> exec_scratch_;
 };
 
 }  // namespace cameo

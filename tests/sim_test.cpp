@@ -3,6 +3,9 @@
 // accounting, and failure-injection behaviour.
 #include <gtest/gtest.h>
 
+#include <queue>
+#include <random>
+
 #include "sim/cluster.h"
 #include "sim/driver.h"
 #include "sim/event_queue.h"
@@ -54,6 +57,91 @@ TEST(EventQueueTest, RunUntilStopsAtDeadline) {
   EXPECT_EQ(count, 5);
   EXPECT_EQ(q.now(), Seconds(5));
   EXPECT_FALSE(q.empty());
+}
+
+// Regression (calendar-queue rewrite): equal timestamps must run in schedule
+// order even when the batch spans calendar buckets, lives in the overflow
+// level, or is scheduled *while* events at the same timestamp are running.
+TEST(EventQueueTest, EqualTimesDeterministicAcrossLevels) {
+  EventQueue q;
+  std::vector<int> order;
+  const SimTime t = Seconds(3);  // beyond the wheel horizon at schedule time
+  for (int i = 0; i < 8; ++i) {
+    q.Schedule(t, [&order, i] { order.push_back(i); });
+    q.Schedule(Millis(i), [] {});  // interleave earlier wheel traffic
+  }
+  // An event at the same timestamp scheduled mid-run must run after every
+  // already-scheduled peer (larger sequence number), not starve or jump.
+  q.Schedule(Millis(100), [&] {
+    q.Schedule(t, [&order] { order.push_back(100); });
+  });
+  while (!q.empty()) q.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 100}));
+  EXPECT_EQ(q.now(), t);
+}
+
+// The calendar queue must replay the exact (time, seq) total order of a
+// reference heap under randomized schedule/run interleavings, including
+// events that schedule more events and long empty-queue jumps.
+TEST(EventQueueTest, MatchesReferenceModelUnderRandomInterleaving) {
+  struct RefEvent {
+    SimTime time;
+    std::uint64_t seq;
+    int id;
+    bool operator>(const RefEvent& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+  std::mt19937_64 rng(12345);
+  EventQueue q;
+  std::priority_queue<RefEvent, std::vector<RefEvent>, std::greater<>> ref;
+  std::uint64_t ref_seq = 0;
+  std::vector<int> got;
+  std::vector<int> want;
+  int next_id = 0;
+
+  auto schedule_one = [&](SimTime at) {
+    const int id = next_id++;
+    q.Schedule(at, [&got, id] { got.push_back(id); });
+    ref.push(RefEvent{at, ref_seq++, id});
+  };
+  auto random_delay = [&]() -> SimTime {
+    switch (rng() % 4) {
+      case 0:
+        return static_cast<SimTime>(rng() % Micros(50));     // same buckets
+      case 1:
+        return static_cast<SimTime>(rng() % Millis(5));      // near wheel
+      case 2:
+        return static_cast<SimTime>(rng() % Seconds(2));     // overflow
+      default:
+        return 0;                                            // immediate
+    }
+  };
+
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t burst = rng() % 4;
+    for (std::size_t i = 0; i < burst; ++i) {
+      schedule_one(q.now() + random_delay());
+    }
+    const std::size_t runs = rng() % 3;
+    for (std::size_t i = 0; i < runs && !q.empty(); ++i) {
+      ASSERT_FALSE(ref.empty());
+      ASSERT_EQ(q.NextTime(), ref.top().time);
+      want.push_back(ref.top().id);
+      ref.pop();
+      q.RunNext();
+      ASSERT_EQ(got.size(), want.size());
+      ASSERT_EQ(got.back(), want.back());
+    }
+  }
+  while (!q.empty()) {
+    want.push_back(ref.top().id);
+    ref.pop();
+    q.RunNext();
+  }
+  EXPECT_TRUE(ref.empty());
+  EXPECT_EQ(got, want);
 }
 
 // ---------------- Cluster behaviour ----------------
