@@ -1,0 +1,191 @@
+// Aggregation-kernel microbench: row-wise vs columnar window folding.
+//
+// The row-wise leg reproduces the seed WindowAggOp inner loop: per row, per
+// window end, one std::map probe plus a single-tuple fold (FoldOne). The
+// columnar leg is the PR's kernel layer: WindowPlan assigns a whole batch's
+// rows to window buckets in one pass, then each bucket folds against its
+// accumulator with one map probe and one FoldRows call. Both legs consume
+// identical pre-generated batches and must produce bit-identical window
+// results (CAMEO_CHECK'd per config).
+//
+// The sum kernel sweeps batch sizes (the ns/row gap is the figure: the
+// per-row probe amortizes away as batches grow); the rest of the roster runs
+// at one representative batch size. Simple chrono loops rather than
+// google-benchmark: scenarios share one process-wide google-benchmark
+// registry, and fig12 owns it.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/runner/registry.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "ops/agg_kernels.h"
+
+namespace cameo {
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+constexpr LogicalTime kSlide = 64;
+
+struct Config {
+  const char* name;
+  AggKind kind;
+  bool per_key;
+  LogicalTime size;  // window size; kSlide = tumbling
+  int batch_size;
+};
+
+std::vector<EventBatch> MakeBatches(int batch_size, std::int64_t total_rows,
+                                    std::uint64_t seed) {
+  std::vector<EventBatch> batches;
+  Rng rng(seed);
+  LogicalTime t = 1;
+  std::int64_t made = 0;
+  while (made < total_rows) {
+    EventBatch b;
+    for (int i = 0; i < batch_size && made < total_rows; ++i, ++made) {
+      t += rng.UniformInt(0, 1);  // ~2 rows per tick -> ~128 rows per slide
+      b.Append(rng.UniformInt(0, 63), rng.Uniform(0.0, 100.0), t);
+    }
+    b.progress = t;
+    batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+double NsPerRow(clock_type::time_point t0, clock_type::time_point t1,
+                std::int64_t rows) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+             .count() /
+         static_cast<double>(rows);
+}
+
+/// The seed operator's shape: per (row, window) one map probe + one fold.
+double RunRowWise(const AggKernel& kernel, const std::vector<EventBatch>& in,
+                  LogicalTime W, std::int64_t rows,
+                  std::map<LogicalTime, AggWindowState>& windows) {
+  const auto t0 = clock_type::now();
+  for (const EventBatch& b : in) {
+    for (std::size_t i = 0; i < b.keys.size(); ++i) {
+      const LogicalTime t = b.times[i];
+      for (LogicalTime end = ((t + kSlide - 1) / kSlide) * kSlide;
+           end < t + W; end += kSlide) {
+        kernel.FoldOne(windows[end], b.keys[i], b.values[i], t);
+      }
+    }
+  }
+  return NsPerRow(t0, clock_type::now(), rows);
+}
+
+/// The kernel layer: one assignment pass, then whole-bucket folds.
+double RunColumnar(const AggKernel& kernel, const std::vector<EventBatch>& in,
+                   LogicalTime W, std::int64_t rows, WindowPlan& plan,
+                   std::map<LogicalTime, AggWindowState>& windows) {
+  const auto t0 = clock_type::now();
+  for (const EventBatch& b : in) {
+    plan.Build(b.times, W, kSlide);
+    const bool contiguous = plan.contiguous();
+    const std::uint32_t* row_ids = plan.rows();
+    for (const WindowPlan::Bucket& bk : plan.buckets()) {
+      for (std::uint32_t j = 0; j < bk.windows; ++j) {
+        const LogicalTime end =
+            bk.first_end + static_cast<LogicalTime>(j) * kSlide;
+        if (contiguous) {
+          kernel.FoldRows(windows[end], b, bk.begin, bk.count);
+        } else {
+          kernel.FoldRows(windows[end], b, row_ids + bk.begin, bk.count);
+        }
+      }
+    }
+  }
+  return NsPerRow(t0, clock_type::now(), rows);
+}
+
+void CheckEquivalent(const AggKernel& kernel,
+                     const std::map<LogicalTime, AggWindowState>& a,
+                     const std::map<LogicalTime, AggWindowState>& b) {
+  CAMEO_CHECK(a.size() == b.size());
+  auto ia = a.begin();
+  auto ib = b.begin();
+  for (; ia != a.end(); ++ia, ++ib) {
+    CAMEO_CHECK(ia->first == ib->first);
+    EventBatch ea, eb;
+    kernel.Emit(ia->second, ia->first, ea);
+    kernel.Emit(ib->second, ib->first, eb);
+    CAMEO_CHECK(ea.keys == eb.keys);
+    CAMEO_CHECK(ea.values == eb.values);  // bit-identical, not approximate
+  }
+}
+
+void Run(bench::BenchContext& ctx) {
+  const std::int64_t total_rows = ctx.smoke ? (1 << 16) : (1 << 20);
+  const Config configs[] = {
+      // The headline sweep: tumbling sum across batch sizes.
+      {"sum", AggKind::kSum, false, kSlide, 16},
+      {"sum", AggKind::kSum, false, kSlide, 64},
+      {"sum", AggKind::kSum, false, kSlide, 256},
+      {"sum", AggKind::kSum, false, kSlide, 1024},
+      {"sum", AggKind::kSum, false, kSlide, 4096},
+      // Sliding windows multiply the per-row window fan-out (W/S = 4).
+      {"sum_slide4", AggKind::kSum, false, 4 * kSlide, 16},
+      {"sum_slide4", AggKind::kSum, false, 4 * kSlide, 64},
+      {"sum_slide4", AggKind::kSum, false, 4 * kSlide, 256},
+      {"sum_slide4", AggKind::kSum, false, 4 * kSlide, 1024},
+      {"sum_slide4", AggKind::kSum, false, 4 * kSlide, 4096},
+      // The rest of the roster at one representative batch size.
+      {"per_key_sum", AggKind::kSum, true, kSlide, 1024},
+      {"max", AggKind::kMax, false, kSlide, 1024},
+      {"top3", AggKind::kTopK, false, kSlide, 1024},
+      {"p95", AggKind::kPercentile, false, kSlide, 1024},
+      {"ohlc", AggKind::kOhlc, false, kSlide, 1024},
+  };
+
+  std::printf("=== agg kernels: row-wise vs columnar (%lld rows/config) ===\n",
+              static_cast<long long>(total_rows));
+  std::printf("%-14s %6s %12s %12s %8s\n", "kernel", "batch", "row ns/row",
+              "col ns/row", "speedup");
+
+  WindowPlan plan;
+  for (const Config& c : configs) {
+    const AggKernel kernel(c.kind, c.per_key);
+    const std::vector<EventBatch> batches =
+        MakeBatches(c.batch_size, total_rows, /*seed=*/42);
+
+    // Warm-up pass (touches the allocator and page cache), then the
+    // measured passes over fresh window maps.
+    {
+      std::map<LogicalTime, AggWindowState> w;
+      RunColumnar(kernel, batches, c.size, total_rows, plan, w);
+    }
+    std::map<LogicalTime, AggWindowState> row_windows;
+    std::map<LogicalTime, AggWindowState> col_windows;
+    const double row_ns =
+        RunRowWise(kernel, batches, c.size, total_rows, row_windows);
+    const double col_ns =
+        RunColumnar(kernel, batches, c.size, total_rows, plan, col_windows);
+    CheckEquivalent(kernel, row_windows, col_windows);
+
+    const double speedup = row_ns / col_ns;
+    std::printf("%-14s %6d %12.2f %12.2f %7.2fx\n", c.name, c.batch_size,
+                row_ns, col_ns, speedup);
+    char metric[96];
+    std::snprintf(metric, sizeof(metric), "rowwise_%s_b%d.ns_per_op", c.name,
+                  c.batch_size);
+    ctx.Metric(metric, row_ns);
+    std::snprintf(metric, sizeof(metric), "columnar_%s_b%d.ns_per_op", c.name,
+                  c.batch_size);
+    ctx.Metric(metric, col_ns);
+    std::snprintf(metric, sizeof(metric), "%s_b%d.speedup", c.name,
+                  c.batch_size);
+    ctx.Metric(metric, speedup);
+  }
+}
+
+CAMEO_BENCH_REGISTER("fig_agg_kernels", "kernels",
+                     "row-wise vs columnar window aggregation ns/row", Run);
+
+}  // namespace
+}  // namespace cameo

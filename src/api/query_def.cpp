@@ -13,9 +13,11 @@ namespace cameo {
 
 namespace {
 
-/// Upstream operator count that can deliver to replica `idx` of a stage.
-int ExpectedChannels(const DataflowGraph& g, const StageInfo& stage, int idx) {
-  int channels = 0;
+/// Upstream operator ids that can deliver to replica `idx` of a stage,
+/// mirroring DataflowGraph::Route's partition semantics.
+std::vector<std::int64_t> ChannelIds(const DataflowGraph& g,
+                                     const StageInfo& stage, int idx) {
+  std::vector<std::int64_t> ids;
   for (std::size_t e = 0; e < stage.upstream.size(); ++e) {
     const StageInfo& up = g.stage(stage.upstream[e]);
     // Find the partition used on the edge up -> stage.
@@ -28,22 +30,26 @@ int ExpectedChannels(const DataflowGraph& g, const StageInfo& stage, int idx) {
     }
     switch (part) {
       case Partition::kOneToOne:
-        channels += 1;
+        // Route maps upstream replica i to downstream replica i (equal
+        // parallelism is enforced at Connect time).
+        ids.push_back(up.operators[static_cast<std::size_t>(idx)].value);
         break;
       case Partition::kShard: {
         for (int i = 0; i < up.parallelism; ++i) {
-          if (i % stage.parallelism == idx) ++channels;
+          if (i % stage.parallelism == idx) {
+            ids.push_back(up.operators[static_cast<std::size_t>(i)].value);
+          }
         }
         break;
       }
       case Partition::kKeyHash:
       case Partition::kRoundRobin:
       case Partition::kBroadcast:
-        channels += up.parallelism;
+        for (OperatorId op : up.operators) ids.push_back(op.value);
         break;
     }
   }
-  return channels;
+  return ids;
 }
 
 bool IsSource(const StageDef& s) {
@@ -58,13 +64,13 @@ void FinalizeChannels(DataflowGraph& g, JobId job) {
     const StageInfo& stage = g.stage(sid);
     if (stage.upstream.empty()) continue;
     for (int i = 0; i < stage.parallelism; ++i) {
-      int channels = ExpectedChannels(g, stage, i);
-      if (channels < 1) continue;
+      std::vector<std::int64_t> ids = ChannelIds(g, stage, i);
+      if (ids.empty()) continue;
       Operator& op = g.Get(stage.operators[static_cast<std::size_t>(i)]);
       if (auto* agg = dynamic_cast<WindowAggOp*>(&op)) {
-        agg->SetExpectedChannels(channels);
+        agg->SetChannels(std::move(ids));
       } else if (auto* join = dynamic_cast<WindowedJoinOp*>(&op)) {
-        join->SetExpectedChannels(std::max(2, channels));
+        join->SetChannels(std::move(ids));
       }
     }
   }
@@ -228,6 +234,42 @@ QueryDef& QueryDef::WindowAgg(int replicas, WindowSpec window, CostModel cost,
   return Append(std::move(s));
 }
 
+QueryDef& QueryDef::SessionAgg(int replicas, LogicalTime gap, CostModel cost,
+                               AggKind agg, bool per_key, std::string stage) {
+  CAMEO_EXPECTS(gap > 0);
+  return WindowAgg(replicas, WindowSpec::Session(gap), cost, agg, per_key,
+                   std::move(stage));
+}
+
+QueryDef& QueryDef::TopK(int replicas, WindowSpec window, CostModel cost,
+                         int k, std::string stage) {
+  CAMEO_EXPECTS(k >= 1);
+  AggParams params;
+  params.top_k = k;
+  QueryDef& self =
+      WindowAgg(replicas, window, cost, AggKind::kTopK, false,
+                std::move(stage));
+  stages_.back().agg_params = params;
+  return self;
+}
+
+QueryDef& QueryDef::Percentile(int replicas, WindowSpec window, CostModel cost,
+                               double q, std::string stage) {
+  CAMEO_EXPECTS(q >= 0 && q <= 100);
+  AggParams params;
+  params.quantile = q;
+  QueryDef& self = WindowAgg(replicas, window, cost, AggKind::kPercentile,
+                             false, std::move(stage));
+  stages_.back().agg_params = params;
+  return self;
+}
+
+QueryDef& QueryDef::Ohlc(int replicas, WindowSpec window, CostModel cost,
+                         std::string stage) {
+  return WindowAgg(replicas, window, cost, AggKind::kOhlc, false,
+                   std::move(stage));
+}
+
 QueryDef& QueryDef::WindowedJoin(int replicas, LogicalTime window,
                                  CostModel cost, std::string stage) {
   CAMEO_EXPECTS(window > 0);
@@ -313,7 +355,8 @@ JobHandles QueryDef::Build(DataflowGraph& g) const {
                                                 s.filter_selectivity);
             case StageDef::Kind::kWindowAgg:
               return std::make_unique<WindowAggOp>(qualified, s.window, s.cost,
-                                                   s.agg, s.per_key);
+                                                   s.agg, s.per_key,
+                                                   s.agg_params);
             case StageDef::Kind::kWindowedJoin:
               return std::make_unique<WindowedJoinOp>(qualified, s.window.size,
                                                       s.cost);

@@ -99,6 +99,7 @@ struct StageDef {
   WindowSpec window;            // kWindowAgg / kWindowedJoin (size only)
   AggKind agg = AggKind::kSum;  // kWindowAgg
   bool per_key = false;         // kWindowAgg
+  AggParams agg_params;         // kWindowAgg (TopK / Percentile shapes)
   MapOp::Fn map_fn;             // kMap
   FilterOp::Predicate filter_fn;         // kFilter
   double filter_selectivity = 1.0;       // kFilter
@@ -142,6 +143,20 @@ class QueryDef {
   QueryDef& WindowAgg(int replicas, WindowSpec window, CostModel cost,
                       AggKind agg = AggKind::kSum, bool per_key = false,
                       std::string stage = "agg");
+  /// Session-window aggregation: tuples within `gap` of each other coalesce
+  /// into one data-driven window (sugar for WindowSpec::Session(gap)).
+  QueryDef& SessionAgg(int replicas, LogicalTime gap, CostModel cost,
+                       AggKind agg = AggKind::kSum, bool per_key = false,
+                       std::string stage = "session");
+  /// Top `k` keys by per-key sum over each window.
+  QueryDef& TopK(int replicas, WindowSpec window, CostModel cost, int k,
+                 std::string stage = "topk");
+  /// Percentile-of-values sketch (LogHistogram); `q` in [0, 100].
+  QueryDef& Percentile(int replicas, WindowSpec window, CostModel cost,
+                       double q, std::string stage = "pct");
+  /// Open/high/low/close of each window (four tuples keyed 0..3).
+  QueryDef& Ohlc(int replicas, WindowSpec window, CostModel cost,
+                 std::string stage = "ohlc");
   QueryDef& WindowedJoin(int replicas, LogicalTime window, CostModel cost,
                          std::string stage = "join");
   QueryDef& Sink(CostModel cost = {Micros(50), 0, 0.0},
@@ -193,10 +208,11 @@ class QueryDef {
 /// Entry point of the fluent API: `Query("LS0").Source(...)...`.
 QueryDef Query(std::string name);
 
-/// Wires SetExpectedChannels on every windowed operator of `job` from the
-/// topology (how many upstream operators can deliver to each replica).
-/// QueryDef::Build and the workload builders call this; call it again after
-/// manual graph surgery.
+/// Wires SetChannels on every windowed operator of `job` from the topology:
+/// the exact upstream operator ids that can deliver to each replica, so
+/// progress from anything else (including the invalid-sender sentinel) earns
+/// no watermark credit. QueryDef::Build and the workload builders call this;
+/// call it again after manual graph surgery.
 void FinalizeChannels(DataflowGraph& g, JobId job);
 
 }  // namespace cameo

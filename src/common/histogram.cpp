@@ -82,15 +82,27 @@ LogHistogram::LogHistogram(double min_value, double base, std::size_t buckets)
   CAMEO_EXPECTS(buckets > 0);
 }
 
-void LogHistogram::Add(double v) {
-  ++count_;
+void LogHistogram::Add(double v) { AddN(v, 1); }
+
+void LogHistogram::AddN(double v, std::uint64_t n) {
+  count_ += n;
   if (v < min_value_) {
-    ++underflow_;
+    underflow_ += n;
     return;
   }
   auto idx = static_cast<std::size_t>(std::log(v / min_value_) / log_base_);
   if (idx >= counts_.size()) idx = counts_.size() - 1;
-  ++counts_[idx];
+  counts_[idx] += n;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  CAMEO_EXPECTS(counts_.size() == other.counts_.size());
+  CAMEO_EXPECTS(min_value_ == other.min_value_ && log_base_ == other.log_base_);
+  count_ += other.count_;
+  underflow_ += other.underflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
 }
 
 double LogHistogram::Percentile(double q) const {

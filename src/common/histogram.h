@@ -47,6 +47,10 @@ class LogHistogram {
                         std::size_t buckets = 128);
 
   void Add(double v);
+  /// Adds `n` identical samples in O(1) (bulk synthetic folds).
+  void AddN(double v, std::uint64_t n);
+  /// Merges another histogram of the same shape (min_value/base/buckets).
+  void Merge(const LogHistogram& other);
   std::uint64_t count() const { return count_; }
   /// Percentile estimate (upper bound of the containing bucket); q in [0,100].
   double Percentile(double q) const;

@@ -25,8 +25,11 @@ struct EventBatch {
   std::vector<double> values;
   std::vector<LogicalTime> times;  // per-tuple logical time (event time)
 
-  /// Tuple count for column-less synthetic batches. Ignored when columns are
-  /// populated.
+  /// Tuple count carried without materialized columns. Usually the whole
+  /// batch (synthetic workloads that only exercise the scheduler), but a
+  /// batch may be *mixed*: a windowed join emits its keyed matches in the
+  /// columns plus its volume-joined matches here, and the batch's size is
+  /// the sum of both.
   std::int64_t synthetic_count = 0;
 
   /// Stream progress carried by this batch (paper: p_M). All future batches
@@ -34,8 +37,7 @@ struct EventBatch {
   LogicalTime progress = 0;
 
   std::int64_t size() const {
-    return keys.empty() ? synthetic_count
-                        : static_cast<std::int64_t>(keys.size());
+    return static_cast<std::int64_t>(keys.size()) + synthetic_count;
   }
   bool columnar() const { return !keys.empty(); }
 

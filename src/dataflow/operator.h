@@ -28,18 +28,26 @@ namespace cameo {
 
 /// Window shape of an operator in logical-time ticks. `slide == 0` marks a
 /// regular (non-windowed) operator that triggers on every invocation; for
-/// tumbling windows slide == size; for sliding windows slide < size.
+/// tumbling windows slide == size; for sliding windows slide < size. A
+/// session window (`gap > 0`) is data-driven: tuples within `gap` of each
+/// other coalesce into one window that closes when the watermark passes the
+/// last tuple's time + gap. Sessions carry size == slide == gap so
+/// window-agnostic consumers (TRANSFORM, latency attribution) treat them as
+/// gap-sized tumbling windows, which is the tightest static approximation.
 struct WindowSpec {
   LogicalTime size = 0;
   LogicalTime slide = 0;
+  LogicalTime gap = 0;  // > 0 marks a data-driven session window
 
   bool windowed() const { return slide > 0; }
+  bool session() const { return gap > 0; }
 
   static WindowSpec Regular() { return {}; }
-  static WindowSpec Tumbling(LogicalTime size) { return {size, size}; }
+  static WindowSpec Tumbling(LogicalTime size) { return {size, size, 0}; }
   static WindowSpec Sliding(LogicalTime size, LogicalTime slide) {
-    return {size, slide};
+    return {size, slide, 0};
   }
+  static WindowSpec Session(LogicalTime gap) { return {gap, gap, gap}; }
 };
 
 /// Ground-truth execution cost of one invocation, used by the simulator (and

@@ -54,6 +54,13 @@ class FilterOp final : public Operator {
     }
     EventBatch out;
     out.progress = m.batch.progress;
+    // Mixed batches (columns + synthetic count, e.g. from a windowed join)
+    // keep their synthetic face, scaled by the expected selectivity.
+    if (m.batch.synthetic_count > 0) {
+      out.synthetic_count = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(
+                 static_cast<double>(m.batch.synthetic_count) * selectivity_));
+    }
     for (std::size_t i = 0; i < m.batch.keys.size(); ++i) {
       if (pred_(m.batch.keys[i], m.batch.values[i])) {
         out.Append(m.batch.keys[i], m.batch.values[i], m.batch.times[i]);

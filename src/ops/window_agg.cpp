@@ -7,8 +7,9 @@
 namespace cameo {
 
 WindowAggOp::WindowAggOp(std::string name, WindowSpec window, CostModel cost,
-                         AggKind kind, bool per_key)
-    : Operator(std::move(name), window, cost), kind_(kind), per_key_(per_key) {
+                         AggKind kind, bool per_key, AggParams params)
+    : Operator(std::move(name), window, cost),
+      kernel_(kind, per_key, params) {
   CAMEO_EXPECTS(window.windowed());
   CAMEO_EXPECTS(window.size >= window.slide);
 }
@@ -18,89 +19,126 @@ void WindowAggOp::SetExpectedChannels(int n) {
   expected_channels_ = n;
 }
 
-void WindowAggOp::FoldTuple(WindowState& w, std::int64_t key, double value) {
-  ++w.count;
-  w.sum += value;
-  if (!w.max_valid || value > w.max) {
-    w.max = value;
-    w.max_valid = true;
+void WindowAggOp::SetChannels(std::vector<std::int64_t> channel_ids) {
+  CAMEO_EXPECTS(!channel_ids.empty());
+  std::sort(channel_ids.begin(), channel_ids.end());
+  channel_ids.erase(std::unique(channel_ids.begin(), channel_ids.end()),
+                    channel_ids.end());
+  channel_ids_ = std::move(channel_ids);
+  expected_channels_ = static_cast<int>(channel_ids_.size());
+}
+
+bool WindowAggOp::ChannelAllowed(std::int64_t sender) const {
+  if (channel_ids_.empty()) return true;  // topology not wired: trust senders
+  return std::binary_search(channel_ids_.begin(), channel_ids_.end(), sender);
+}
+
+WindowAggOp::Session* WindowAggOp::SessionAt(LogicalTime t,
+                                             std::int64_t weight) {
+  const LogicalTime gap = window().gap;
+  // A session containing t would close at >= t + gap; if the watermark has
+  // already passed that, the session fired -- folding would resurrect it.
+  if (t + gap <= watermark_) {
+    late_dropped_ += weight;
+    return nullptr;
   }
-  if (per_key_) {
-    switch (kind_) {
-      case AggKind::kSum:
-        w.per_key[key] += value;
-        break;
-      case AggKind::kCount:
-        w.per_key[key] += 1;
-        break;
-      case AggKind::kMax: {
-        auto [it, inserted] = w.per_key.emplace(key, value);
-        if (!inserted) it->second = std::max(it->second, value);
-        break;
+  // Sessions are disjoint and pairwise more than `gap` apart, so both their
+  // `first` and `last` are strictly increasing: scan to the first session
+  // that t can attach to (within gap of its end), then swallow every
+  // following session t bridges into it.
+  std::size_t lo = 0;
+  while (lo < sessions_.size() && sessions_[lo].last + gap < t) ++lo;
+  if (lo == sessions_.size() || t + gap < sessions_[lo].first) {
+    Session s;
+    s.first = s.last = t;
+    return &*sessions_.insert(sessions_.begin() +
+                                  static_cast<std::ptrdiff_t>(lo),
+                              std::move(s));
+  }
+  Session& dst = sessions_[lo];
+  dst.first = std::min(dst.first, t);
+  dst.last = std::max(dst.last, t);
+  std::size_t hi = lo + 1;
+  while (hi < sessions_.size() && sessions_[hi].first <= dst.last + gap) {
+    kernel_.Merge(dst.state, sessions_[hi].state);
+    dst.last = std::max(dst.last, sessions_[hi].last);
+    ++hi;
+  }
+  sessions_.erase(sessions_.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+                  sessions_.begin() + static_cast<std::ptrdiff_t>(hi));
+  return &sessions_[lo];
+}
+
+void WindowAggOp::FoldColumns(const Message& m) {
+  if (window().session()) {
+    for (std::size_t i = 0; i < m.batch.keys.size(); ++i) {
+      if (Session* s = SessionAt(m.batch.times[i], 1)) {
+        s->state.last_event = std::max(s->state.last_event, m.event_time);
+        kernel_.FoldOne(s->state, m.batch.keys[i], m.batch.values[i],
+                        m.batch.times[i]);
+      }
+    }
+    return;
+  }
+  const LogicalTime S = window().slide;
+  plan_.Build(m.batch.times, window().size, S);
+  const bool contiguous = plan_.contiguous();
+  const std::uint32_t* rows = plan_.rows();
+  for (const WindowPlan::Bucket& bucket : plan_.buckets()) {
+    for (std::uint32_t j = 0; j < bucket.windows; ++j) {
+      const LogicalTime b = bucket.first_end + static_cast<LogicalTime>(j) * S;
+      if (b <= watermark_) {
+        // The window ending at b already fired; folding into windows_[b]
+        // would re-create it and duplicate its emission on the next
+        // watermark advance.
+        late_dropped_ += bucket.count;
+        continue;
+      }
+      AggWindowState& w = windows_[b];
+      w.last_event = std::max(w.last_event, m.event_time);
+      if (contiguous) {
+        kernel_.FoldRows(w, m.batch, bucket.begin, bucket.count);
+      } else {
+        kernel_.FoldRows(w, m.batch, rows + bucket.begin, bucket.count);
       }
     }
   }
 }
 
-double WindowAggOp::Finish(const WindowState& w) const {
-  switch (kind_) {
-    case AggKind::kSum:
-      return w.sum;
-    case AggKind::kCount:
-      return static_cast<double>(w.count);
-    case AggKind::kMax:
-      return w.max_valid ? w.max : 0;
-  }
-  return 0;
-}
-
-void WindowAggOp::FoldBatchInto(LogicalTime window_end, const Message& m) {
-  WindowState& w = windows_[window_end];
-  w.last_event = std::max(w.last_event, m.event_time);
-  // Synthetic tuples all carry unit value and key 0; fold them in O(1) so a
-  // batch of 80K tuples (Fig. 13 scales) costs the same as a batch of 1.
+void WindowAggOp::FoldSynthetic(const Message& m) {
   const std::int64_t n = m.batch.synthetic_count;
-  w.count += n;
-  w.sum += static_cast<double>(n);
-  if (!w.max_valid) {
-    w.max = 1.0;
-    w.max_valid = true;
-  }
-  if (per_key_) {
-    if (kind_ == AggKind::kMax) {
-      double& v = w.per_key[0];
-      v = std::max(v, 1.0);
-    } else {
-      // Sum and Count of unit-valued tuples both add n.
-      w.per_key[0] += static_cast<double>(n);
+  const LogicalTime p = m.batch.progress;
+  if (window().session()) {
+    if (Session* s = SessionAt(p, n)) {
+      s->state.last_event = std::max(s->state.last_event, m.event_time);
+      kernel_.FoldSynthetic(s->state, n, p);
     }
+    return;
+  }
+  const LogicalTime S = window().slide;
+  for (LogicalTime b = ((p + S - 1) / S) * S; b < p + window().size; b += S) {
+    if (b <= watermark_) {
+      late_dropped_ += n;
+      continue;
+    }
+    AggWindowState& w = windows_[b];
+    w.last_event = std::max(w.last_event, m.event_time);
+    kernel_.FoldSynthetic(w, n, p);
   }
 }
 
 void WindowAggOp::Invoke(const Message& m, InvokeContext& ctx) {
-  const LogicalTime S = window().slide;
-  const LogicalTime W = window().size;
+  // Fold both faces of the batch: joins upstream can emit mixed batches
+  // that carry real columns *and* a synthetic tuple count.
+  if (m.batch.columnar()) FoldColumns(m);
+  if (m.batch.synthetic_count > 0) FoldSynthetic(m);
 
-  if (m.batch.columnar()) {
-    for (std::size_t i = 0; i < m.batch.keys.size(); ++i) {
-      LogicalTime p = m.batch.times[i];
-      // Every multiple-of-S window end in [p, p + W).
-      for (LogicalTime b = ((p + S - 1) / S) * S; b < p + W; b += S) {
-        WindowState& w = windows_[b];
-        w.last_event = std::max(w.last_event, m.event_time);
-        FoldTuple(w, m.batch.keys[i], m.batch.values[i]);
-      }
-    }
-  } else if (m.batch.synthetic_count > 0) {
-    LogicalTime p = m.batch.progress;
-    for (LogicalTime b = ((p + S - 1) / S) * S; b < p + W; b += S) {
-      FoldBatchInto(b, m);
-    }
-  }
-
-  // Advance this channel's progress and recompute the watermark.
-  std::int64_t channel = m.sender.valid() ? m.sender.value : -1;
-  LogicalTime& cp = channel_progress_[channel];
+  // Advance this channel's progress and recompute the watermark. Progress
+  // from an invalid sender or from an operator outside the wired channel
+  // set earns no credit: counting it would let the watermark advance before
+  // every real upstream channel reported (premature, wrong emissions).
+  if (!m.sender.valid() || !ChannelAllowed(m.sender.value)) return;
+  LogicalTime& cp = channel_progress_[m.sender.value];
   cp = std::max(cp, m.progress());
   if (static_cast<int>(channel_progress_.size()) < expected_channels_) return;
   LogicalTime wm = kTimeMax;
@@ -114,22 +152,30 @@ void WindowAggOp::Invoke(const Message& m, InvokeContext& ctx) {
     EmitWindow(it->first, it->second, ctx);
     windows_.erase(it);
   }
+  // Sessions close once the watermark passes last + gap; they are sorted by
+  // `first` with strictly increasing ends, so closing from the front emits
+  // in window-end order, like the map above.
+  if (window().session()) {
+    std::size_t closed = 0;
+    while (closed < sessions_.size() &&
+           sessions_[closed].last + window().gap <= watermark_) {
+      EmitWindow(sessions_[closed].last + window().gap,
+                 sessions_[closed].state, ctx);
+      ++closed;
+    }
+    sessions_.erase(sessions_.begin(),
+                    sessions_.begin() + static_cast<std::ptrdiff_t>(closed));
+  }
 }
 
-void WindowAggOp::EmitWindow(LogicalTime window_end, const WindowState& w,
+void WindowAggOp::EmitWindow(LogicalTime window_end, const AggWindowState& w,
                              InvokeContext& ctx) {
   EventBatch out;
   out.progress = window_end;
   // Tuples are stamped with the window's inclusive end so a larger
-  // downstream window buckets this partial aggregate correctly.
-  const LogicalTime stamp = window_end;
-  if (per_key_ && !w.per_key.empty()) {
-    for (const auto& [key, value] : w.per_key) {
-      out.Append(key, value, stamp);
-    }
-  } else {
-    out.Append(0, Finish(w), stamp);
-  }
+  // downstream window buckets this partial aggregate correctly. An empty
+  // accumulator yields a progress-only batch (no fabricated values).
+  kernel_.Emit(w, window_end, out);
   SimTime event_time = w.last_event == kTimeMin ? ctx.now : w.last_event;
   ctx.emitter->Emit(0, std::move(out), event_time);
 }

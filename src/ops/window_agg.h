@@ -9,63 +9,97 @@
 // every multiple-of-S window end in [p, p + W), the earliest being
 // ceil(p / S) * S -- exactly what TRANSFORM computes. The batch whose
 // progress lands on a boundary completes that window *and* contributes to
-// it, so output is not delayed by an extra batch gap.
+// it, so output is not delayed by an extra batch gap. Session windows
+// (WindowSpec::Session(gap)) are data-driven instead: tuples within `gap`
+// of each other coalesce, and the session ending at last + gap triggers
+// when the watermark passes it.
 //
 // Triggering: the operator tracks per-channel stream progress (channels
-// deliver in order) and triggers all windows whose end B is <= the watermark,
-// the minimum progress across its expected upstream channels.
+// deliver in order) and triggers all windows whose end B is <= the
+// watermark, the minimum progress across its expected upstream channels.
+// Only channels wired by the topology count: progress from an invalid
+// sender (external ingestion) or from an operator outside the declared
+// channel set (SetChannels) is ignored, so the watermark can never advance
+// before every real upstream channel has reported.
 //
-// Aggregations: Sum, Count, Max, optionally grouped per key. Synthetic
-// (column-less) batches contribute their tuple count to Count/Sum with unit
-// values, so scheduler-focused workloads flow through the same operator.
+// Late-data policy: a tuple whose window end B is already <= the watermark
+// would re-create a window that has fired (and re-emit it on the next
+// advance, duplicating window outputs downstream). Such folds are dropped
+// and counted in `late_dropped()` -- one count per dropped (tuple, window)
+// assignment.
+//
+// Aggregation executes on the columnar kernel layer (ops/agg_kernels.h):
+// one WindowPlan assignment pass per batch, then whole-bucket folds.
+// Roster: Sum, Count, Max (optionally grouped per key), TopK, Percentile
+// sketch, and OHLC. Synthetic (column-less) batches contribute their tuple
+// count with unit values, so scheduler-focused workloads flow through the
+// same operator.
 #pragma once
 
 #include <map>
 #include <unordered_map>
+#include <vector>
 
 #include "dataflow/operator.h"
+#include "ops/agg_kernels.h"
 
 namespace cameo {
-
-enum class AggKind { kSum, kCount, kMax };
 
 class WindowAggOp final : public Operator {
  public:
   WindowAggOp(std::string name, WindowSpec window, CostModel cost,
-              AggKind kind, bool per_key = false);
+              AggKind kind, bool per_key = false, AggParams params = {});
 
   /// Number of upstream channels that must report progress before the
   /// watermark advances. Wired by the scenario/cluster builder from the
   /// topology; defaults to 1.
   void SetExpectedChannels(int n);
 
+  /// Declares the exact upstream operator ids that feed this replica
+  /// (wired by FinalizeChannels from the topology). Progress from senders
+  /// outside the set is ignored for watermark accounting; also sets the
+  /// expected channel count to the set's size.
+  void SetChannels(std::vector<std::int64_t> channel_ids);
+
   void Invoke(const Message& m, InvokeContext& ctx) override;
 
   LogicalTime watermark() const { return watermark_; }
-  std::size_t open_windows() const { return windows_.size(); }
+  std::size_t open_windows() const {
+    return windows_.size() + sessions_.size();
+  }
+  /// Dropped (tuple, window) assignments whose window had already fired.
+  std::int64_t late_dropped() const { return late_dropped_; }
+  const AggKernel& kernel() const { return kernel_; }
 
  private:
-  struct WindowState {
-    double sum = 0;
-    std::int64_t count = 0;
-    double max = 0;
-    bool max_valid = false;
-    SimTime last_event = kTimeMin;
-    std::unordered_map<std::int64_t, double> per_key;
+  struct Session {
+    LogicalTime first = 0;  // earliest tuple time in the session
+    LogicalTime last = 0;   // latest tuple time; closes at last + gap
+    AggWindowState state;
   };
 
-  void FoldTuple(WindowState& w, std::int64_t key, double value);
-  void FoldBatchInto(LogicalTime window_end, const Message& m);
-  void EmitWindow(LogicalTime window_end, const WindowState& w,
+  bool ChannelAllowed(std::int64_t sender) const;
+  void FoldColumns(const Message& m);
+  void FoldSynthetic(const Message& m);
+  /// Returns the (possibly freshly merged) open session covering logical
+  /// time `t`, or nullptr when t's session has already closed -- in which
+  /// case the `weight` tuples are counted as late-dropped.
+  Session* SessionAt(LogicalTime t, std::int64_t weight);
+  void EmitWindow(LogicalTime window_end, const AggWindowState& w,
                   InvokeContext& ctx);
-  double Finish(const WindowState& w) const;
 
-  AggKind kind_;
-  bool per_key_;
+  AggKernel kernel_;
+  WindowPlan plan_;
   int expected_channels_ = 1;
   LogicalTime watermark_ = -1;
-  std::map<LogicalTime, WindowState> windows_;  // keyed by window end B
+  std::int64_t late_dropped_ = 0;
+  std::map<LogicalTime, AggWindowState> windows_;  // keyed by window end B
+  /// Open session windows, sorted by `first`; pairwise more than `gap`
+  /// apart (overlapping sessions merge on fold).
+  std::vector<Session> sessions_;
   std::unordered_map<std::int64_t, LogicalTime> channel_progress_;
+  /// Sorted wired-channel ids; empty = accept any valid sender.
+  std::vector<std::int64_t> channel_ids_;
 };
 
 }  // namespace cameo

@@ -20,33 +20,55 @@ void WindowedJoinOp::SetExpectedChannels(int n) {
   expected_channels_ = n;
 }
 
+void WindowedJoinOp::SetChannels(std::vector<std::int64_t> channel_ids) {
+  CAMEO_EXPECTS(!channel_ids.empty());
+  std::sort(channel_ids.begin(), channel_ids.end());
+  channel_ids.erase(std::unique(channel_ids.begin(), channel_ids.end()),
+                    channel_ids.end());
+  channel_ids_ = std::move(channel_ids);
+  // A join waits on both sides even when the topology wires fewer ids.
+  expected_channels_ = std::max(2, static_cast<int>(channel_ids_.size()));
+}
+
+bool WindowedJoinOp::ChannelAllowed(std::int64_t sender) const {
+  if (channel_ids_.empty()) return true;  // topology not wired: trust senders
+  return std::binary_search(channel_ids_.begin(), channel_ids_.end(), sender);
+}
+
 void WindowedJoinOp::Invoke(const Message& m, InvokeContext& ctx) {
   const LogicalTime S = window().slide;
   const bool is_left = left_inputs_.count(m.sender.value) > 0;
 
-  auto fold = [&](LogicalTime b, const EventBatch& batch, std::size_t i) {
-    WindowState& w = windows_[b];
-    w.last_event = std::max(w.last_event, m.event_time);
-    Side& side = is_left ? w.left : w.right;
-    side.keys.push_back(batch.keys[i]);
-    side.values.push_back(batch.values[i]);
-  };
-
   if (m.batch.columnar()) {
     for (std::size_t i = 0; i < m.batch.keys.size(); ++i) {
       LogicalTime b = ((m.batch.times[i] + S - 1) / S) * S;  // inclusive end
-      fold(b, m.batch, i);
+      if (b <= watermark_) {
+        // Window already fired; folding would re-create (and re-emit) it.
+        ++late_dropped_;
+        continue;
+      }
+      WindowState& w = windows_[b];
+      w.last_event = std::max(w.last_event, m.event_time);
+      Side& side = is_left ? w.left : w.right;
+      side.keys.push_back(m.batch.keys[i]);
+      side.values.push_back(m.batch.values[i]);
     }
-  } else if (m.batch.synthetic_count > 0) {
+  }
+  if (m.batch.synthetic_count > 0) {
     LogicalTime b = ((m.batch.progress + S - 1) / S) * S;
-    WindowState& w = windows_[b];
-    w.last_event = std::max(w.last_event, m.event_time);
-    Side& side = is_left ? w.left : w.right;
-    side.synthetic += m.batch.synthetic_count;
+    if (b <= watermark_) {
+      late_dropped_ += m.batch.synthetic_count;
+    } else {
+      WindowState& w = windows_[b];
+      w.last_event = std::max(w.last_event, m.event_time);
+      Side& side = is_left ? w.left : w.right;
+      side.synthetic += m.batch.synthetic_count;
+    }
   }
 
-  std::int64_t channel = m.sender.valid() ? m.sender.value : -1;
-  LogicalTime& cp = channel_progress_[channel];
+  // Watermark credit only for wired, valid channels (see window_agg.cpp).
+  if (!m.sender.valid() || !ChannelAllowed(m.sender.value)) return;
+  LogicalTime& cp = channel_progress_[m.sender.value];
   cp = std::max(cp, m.progress());
   if (static_cast<int>(channel_progress_.size()) < expected_channels_) return;
   LogicalTime wm = kTimeMax;
@@ -84,11 +106,12 @@ void WindowedJoinOp::EmitWindow(LogicalTime window_end, const WindowState& w,
       }
     }
   }
+  // Volume matches ride along even when the window also produced keyed
+  // output: a mixed window emits columns + synthetic count (the batch size
+  // is their sum), otherwise mixed windows undercount.
   std::int64_t synthetic_matches = std::min(w.left.synthetic,
                                             w.right.synthetic);
-  if (out.keys.empty() && synthetic_matches > 0) {
-    out.synthetic_count = synthetic_matches;
-  }
+  if (synthetic_matches > 0) out.synthetic_count = synthetic_matches;
   // Emit even when empty so downstream progress advances past this window.
   SimTime event_time = w.last_event == kTimeMin ? ctx.now : w.last_event;
   ctx.emitter->Emit(0, std::move(out), event_time);

@@ -10,7 +10,15 @@
 //
 // Synthetic batches join by volume: each side accumulates a tuple count and
 // the emitted match count is min(left, right) per window, preserving the
-// downstream cost profile without materialized columns.
+// downstream cost profile without materialized columns. A window holding
+// both real and synthetic tuples emits a *mixed* batch: keyed matches in
+// the columns plus the synthetic match count (EventBatch::size() is the
+// sum) -- dropping either face would undercount the window.
+//
+// Late-data and channel policy match WindowAggOp (see ops/window_agg.h):
+// folds into a window whose end is already <= the watermark are dropped and
+// counted in late_dropped(); progress from invalid senders or operators
+// outside the wired channel set (SetChannels) earns no watermark credit.
 #pragma once
 
 #include <map>
@@ -30,10 +38,17 @@ class WindowedJoinOp final : public Operator {
   /// is treated as the right side. Wired by the scenario builder.
   void SetLeftInputs(const std::vector<OperatorId>& left);
   void SetExpectedChannels(int n);
+  /// Declares the exact upstream operator ids (both sides) that feed this
+  /// replica; progress from senders outside the set is ignored. Also sets
+  /// the expected channel count to max(2, set size).
+  void SetChannels(std::vector<std::int64_t> channel_ids);
 
   void Invoke(const Message& m, InvokeContext& ctx) override;
 
   std::size_t open_windows() const { return windows_.size(); }
+  LogicalTime watermark() const { return watermark_; }
+  /// Dropped tuples whose tumbling window had already fired.
+  std::int64_t late_dropped() const { return late_dropped_; }
 
  private:
   struct Side {
@@ -46,14 +61,17 @@ class WindowedJoinOp final : public Operator {
     SimTime last_event = kTimeMin;
   };
 
+  bool ChannelAllowed(std::int64_t sender) const;
   void EmitWindow(LogicalTime window_end, const WindowState& w,
                   InvokeContext& ctx);
 
   std::unordered_set<std::int64_t> left_inputs_;
   int expected_channels_ = 2;
   LogicalTime watermark_ = -1;
+  std::int64_t late_dropped_ = 0;
   std::map<LogicalTime, WindowState> windows_;
   std::unordered_map<std::int64_t, LogicalTime> channel_progress_;
+  std::vector<std::int64_t> channel_ids_;  // sorted; empty = accept any
 };
 
 }  // namespace cameo

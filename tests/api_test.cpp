@@ -82,6 +82,69 @@ TEST(QueryDefTest, CompilesAggregationPipeline) {
   ASSERT_NE(agg, nullptr);
 }
 
+TEST(QueryDefTest, FluentRosterStagesCompileToConfiguredKernels) {
+  QueryDef def = Query("roster")
+                     .Source(2)
+                     .Shuffle()
+                     .TopK(1, WindowSpec::Tumbling(Seconds(1)),
+                           {Micros(300), 1500, 0.05}, /*k=*/5)
+                     .Shuffle()
+                     .Percentile(1, WindowSpec::Tumbling(Seconds(1)),
+                                 {Micros(300), 1500, 0.05}, /*q=*/99.0)
+                     .Shuffle()
+                     .Ohlc(1, WindowSpec::Tumbling(Seconds(1)),
+                           {Micros(300), 1500, 0.05})
+                     .Shuffle()
+                     .SessionAgg(1, Seconds(2), {Micros(300), 1500, 0.05})
+                     .OneToOne()
+                     .Sink();
+  ASSERT_EQ(def.stages().size(), 6u);
+  EXPECT_EQ(def.stages()[1].agg, AggKind::kTopK);
+  EXPECT_EQ(def.stages()[1].agg_params.top_k, 5);
+  EXPECT_EQ(def.stages()[2].agg, AggKind::kPercentile);
+  EXPECT_DOUBLE_EQ(def.stages()[2].agg_params.quantile, 99.0);
+  EXPECT_EQ(def.stages()[3].agg, AggKind::kOhlc);
+  EXPECT_TRUE(def.stages()[4].window.session());
+  EXPECT_EQ(def.stages()[4].window.gap, Seconds(2));
+
+  DataflowGraph g;
+  JobHandles h = def.Build(g);
+  auto* topk = dynamic_cast<WindowAggOp*>(
+      &g.Get(g.stage(h.stages[1]).operators[0]));
+  ASSERT_NE(topk, nullptr);
+  EXPECT_EQ(topk->kernel().kind(), AggKind::kTopK);
+  EXPECT_EQ(topk->kernel().params().top_k, 5);
+  auto* pct = dynamic_cast<WindowAggOp*>(
+      &g.Get(g.stage(h.stages[2]).operators[0]));
+  ASSERT_NE(pct, nullptr);
+  EXPECT_DOUBLE_EQ(pct->kernel().params().quantile, 99.0);
+  auto* session = dynamic_cast<WindowAggOp*>(
+      &g.Get(g.stage(h.stages[4]).operators[0]));
+  ASSERT_NE(session, nullptr);
+  EXPECT_TRUE(session->window().session());
+}
+
+TEST(QueryDefTest, RosterQueryRunsEndToEndInSim) {
+  // The whole roster executes against the sim backend: the session stage at
+  // the tail still delivers sink output (sessions close via watermarks).
+  QueryDef def = Query("r")
+                     .Constraint(Seconds(10))
+                     .Source(2, {Micros(100), 0, 0.0})
+                     .Shuffle()
+                     .TopK(1, WindowSpec::Tumbling(Seconds(1)),
+                           {Micros(200), 0, 0.0}, 3)
+                     .OneToOne()
+                     .Sink()
+                     .IngestConstant(2.0, 100);
+  EngineOptions opt;
+  opt.workers = 1;
+  SimEngine engine(opt);
+  QueryHandle q = engine.Submit(def);
+  engine.RunFor(Seconds(10));
+  EXPECT_GT(engine.Latency(q).count(), 0u)
+      << "windows fired through the TopK stage";
+}
+
 TEST(QueryDefTest, CompilesJoinWithTwoSourceGroups) {
   QuerySpec spec = MakeIpqSpec(4);
   spec.sources = 2;

@@ -2,6 +2,11 @@
 // windowed join, stateless operators, source and sink.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "ops/agg_kernels.h"
 #include "ops/sink.h"
 #include "ops/source.h"
 #include "ops/stateless.h"
@@ -279,8 +284,10 @@ TEST_F(OpsTest, SlidingWindowCountOverlapProperty) {
   const int kTuples = 50;
   Rng rng(3);
   for (int i = 0; i < kTuples; ++i) {
+    // Random arrival order: progress must stay a lower bound on future tuple
+    // times or the early tuples would (correctly) be dropped as late.
     LogicalTime t = 1 + rng.UniformInt(0, 58);
-    agg.Invoke(ColumnarMsg(0, t, {{1, 1.0, t}}), ctx);
+    agg.Invoke(ColumnarMsg(0, 0, {{1, 1.0, t}}), ctx);
   }
   agg.Invoke(ColumnarMsg(0, 200, {{1, 1.0, 150}}), ctx);  // flush everything
   double total = 0;
@@ -353,6 +360,398 @@ TEST_F(OpsTest, JoinEmitsEmptyWindowToAdvanceProgress) {
   ASSERT_EQ(emitter_.outs.size(), 1u) << "no matches, but progress must flow";
   EXPECT_EQ(emitter_.outs[0].batch.progress, 10);
   EXPECT_EQ(emitter_.outs[0].batch.size(), 0);
+}
+
+TEST_F(OpsTest, JoinMixedWindowEmitsKeyedAndSyntheticMatches) {
+  // A window holding real tuples AND synthetic volume on both sides must
+  // emit both faces; the seed dropped the synthetic matches whenever keyed
+  // output existed, undercounting mixed windows.
+  WindowedJoinOp join("j", 10, {});
+  join.SetLeftInputs({OperatorId{100}});
+  join.SetExpectedChannels(2);
+  auto ctx = Ctx();
+  join.Invoke(ColumnarMsg(100, 5, {{1, 2.0, 3}}), ctx);
+  join.Invoke(ColumnarMsg(200, 5, {{1, 10.0, 4}}), ctx);
+  join.Invoke(SyntheticMsg(100, 10, 300), ctx);
+  join.Invoke(SyntheticMsg(200, 10, 100), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  const EventBatch& out = emitter_.outs[0].batch;
+  ASSERT_EQ(out.keys.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.values[0], 20.0);
+  EXPECT_EQ(out.synthetic_count, 100) << "min of the sides' volumes";
+  EXPECT_EQ(out.size(), 101) << "mixed batch size = columns + synthetic";
+}
+
+// ---------------- Late-data policy ----------------
+
+TEST_F(OpsTest, LateTuplesDoNotResurrectFiredWindows) {
+  // Regression: the seed folded late tuples into windows_[b] with b <= the
+  // watermark, re-creating the fired window and emitting it a second time on
+  // the next watermark advance (duplicate downstream emissions).
+  WindowAggOp agg("a", WindowSpec::Tumbling(10), {}, AggKind::kSum);
+  auto ctx = Ctx();
+  agg.Invoke(ColumnarMsg(0, 10, {{1, 3.0, 5}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  EXPECT_DOUBLE_EQ(emitter_.outs[0].batch.values[0], 3.0);
+
+  // A tuple for the already-fired window (t = 7 <= watermark 10) arrives.
+  agg.Invoke(ColumnarMsg(0, 20, {{1, 99.0, 7}}), ctx);
+  agg.Invoke(ColumnarMsg(0, 30, {{1, 4.0, 25}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 2u)
+      << "the fired window must not re-emit; only window 30 follows";
+  // Window 10 fired exactly once: the late 99.0 appears nowhere.
+  for (std::size_t i = 1; i < emitter_.outs.size(); ++i) {
+    EXPECT_NE(emitter_.outs[i].batch.progress, 10);
+    for (double v : emitter_.outs[i].batch.values) EXPECT_NE(v, 99.0);
+  }
+  EXPECT_EQ(agg.late_dropped(), 1);
+  EXPECT_EQ(agg.open_windows(), 0u);
+}
+
+TEST_F(OpsTest, LateDroppedCountsPerWindowAssignment) {
+  // Sliding W=20 S=10: a tuple at t=5 belongs to windows 10 and 20. If both
+  // have fired, the drop counts both lost assignments.
+  WindowAggOp agg("a", WindowSpec::Sliding(20, 10), {}, AggKind::kSum);
+  auto ctx = Ctx();
+  agg.Invoke(ColumnarMsg(0, 20, {{1, 1.0, 15}}), ctx);  // fires 20 (and 10)
+  agg.Invoke(ColumnarMsg(0, 40, {{1, 1.0, 5}}), ctx);   // late for both
+  EXPECT_EQ(agg.late_dropped(), 2);
+}
+
+TEST_F(OpsTest, LateSyntheticBatchIsDroppedAndCounted) {
+  WindowAggOp agg("a", WindowSpec::Tumbling(10), {}, AggKind::kCount);
+  auto ctx = Ctx();
+  agg.Invoke(SyntheticMsg(0, 10, 100), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  // Synthetic progress 10 would land in the fired window ending 10.
+  agg.Invoke(SyntheticMsg(0, 10, 50), ctx);
+  EXPECT_EQ(agg.late_dropped(), 50);
+  EXPECT_EQ(agg.open_windows(), 0u) << "fired window must stay closed";
+}
+
+TEST_F(OpsTest, LateOnlyInputEmitsNothingNotAFabricatedValue) {
+  // After dropping a late-only batch, a further watermark advance must not
+  // emit anything for the closed window -- in particular no max() == 0.
+  WindowAggOp agg("a", WindowSpec::Tumbling(10), {}, AggKind::kMax);
+  auto ctx = Ctx();
+  agg.Invoke(ColumnarMsg(0, 10, {{1, 7.0, 5}}), ctx);
+  agg.Invoke(ColumnarMsg(0, 20, {{1, 9.0, 3}}), ctx);  // late-only fold
+  agg.Invoke(ColumnarMsg(0, 30, {{1, 1.0, 30}}), ctx);
+  // Outputs: window 10 (7.0) and window 30 (1.0). The late tuple's window
+  // never re-materializes, so no batch (and no fabricated value) for it.
+  ASSERT_EQ(emitter_.outs.size(), 2u);
+  EXPECT_EQ(emitter_.outs[1].batch.progress, 30);
+  EXPECT_DOUBLE_EQ(emitter_.outs[1].batch.values[0], 1.0);
+  EXPECT_EQ(agg.late_dropped(), 1);
+}
+
+TEST_F(OpsTest, JoinLateTuplesDoNotResurrectFiredWindows) {
+  WindowedJoinOp join("j", 10, {});
+  join.SetLeftInputs({OperatorId{100}});
+  join.SetExpectedChannels(2);
+  auto ctx = Ctx();
+  join.Invoke(ColumnarMsg(100, 10, {{1, 2.0, 5}}), ctx);
+  join.Invoke(ColumnarMsg(200, 10, {{1, 10.0, 6}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u) << "window 10 fired";
+  // Late tuple for window 10 on the right side: dropped, not re-joined.
+  join.Invoke(ColumnarMsg(200, 20, {{1, 5.0, 7}}), ctx);
+  join.Invoke(ColumnarMsg(100, 20, {{9, 1.0, 15}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 2u);
+  EXPECT_EQ(emitter_.outs[1].batch.progress, 20);
+  EXPECT_EQ(emitter_.outs[1].batch.keys.size(), 0u);
+  EXPECT_EQ(join.late_dropped(), 1);
+  EXPECT_EQ(join.open_windows(), 0u);
+}
+
+// ---------------- Channel validation ----------------
+
+TEST_F(OpsTest, InvalidSenderEarnsNoWatermarkCredit) {
+  // Regression: the seed mapped an invalid sender to channel -1 and counted
+  // it toward expected_channels_, so one real channel plus one invalid
+  // message advanced a 2-channel watermark prematurely.
+  WindowAggOp agg("a", WindowSpec::Tumbling(10), {}, AggKind::kSum);
+  agg.SetExpectedChannels(2);
+  auto ctx = Ctx();
+  agg.Invoke(ColumnarMsg(100, 10, {{1, 1.0, 5}}), ctx);
+  agg.Invoke(ColumnarMsg(-1, 50, {{1, 2.0, 6}}), ctx);
+  EXPECT_TRUE(emitter_.outs.empty())
+      << "only one real channel reported; the invalid sender must not count";
+  // The second real channel completes the set; the invalid sender's data
+  // still contributed to the fold.
+  agg.Invoke(ColumnarMsg(101, 10, {{1, 4.0, 7}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  EXPECT_DOUBLE_EQ(emitter_.outs[0].batch.values[0], 7.0);
+}
+
+TEST_F(OpsTest, WiredChannelsExcludeUnknownSenders) {
+  WindowAggOp agg("a", WindowSpec::Tumbling(10), {}, AggKind::kSum);
+  agg.SetChannels({100, 101});
+  auto ctx = Ctx();
+  agg.Invoke(ColumnarMsg(100, 10, {{1, 1.0, 5}}), ctx);
+  // Operator 999 is not wired to this replica: its progress is ignored.
+  agg.Invoke(ColumnarMsg(999, 99, {{1, 2.0, 6}}), ctx);
+  EXPECT_TRUE(emitter_.outs.empty());
+  agg.Invoke(ColumnarMsg(101, 10, {{1, 4.0, 8}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  EXPECT_DOUBLE_EQ(emitter_.outs[0].batch.values[0], 7.0)
+      << "unknown sender's data folds; only its progress is ignored";
+}
+
+TEST_F(OpsTest, JoinInvalidSenderEarnsNoWatermarkCredit) {
+  WindowedJoinOp join("j", 10, {});
+  join.SetLeftInputs({OperatorId{100}});
+  join.SetExpectedChannels(2);
+  auto ctx = Ctx();
+  join.Invoke(ColumnarMsg(100, 10, {{1, 2.0, 5}}), ctx);
+  join.Invoke(ColumnarMsg(-1, 50, {{1, 3.0, 6}}), ctx);
+  EXPECT_TRUE(emitter_.outs.empty()) << "right side has not reported";
+  join.Invoke(ColumnarMsg(200, 10, {{1, 10.0, 7}}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  // The invalid sender's tuple folded into the right side: 2 * 3 and 2 * 10.
+  EXPECT_EQ(emitter_.outs[0].batch.keys.size(), 2u);
+}
+
+// ---------------- Empty-window emission policy ----------------
+
+TEST_F(OpsTest, EmptyAccumulatorEmitsNoTuples) {
+  // Kernel-level: an empty window state appends nothing -- the seed
+  // fabricated max() == 0 and fell back to the global accumulator when a
+  // per-key map was empty.
+  AggWindowState empty;
+  EventBatch out;
+  AggKernel(AggKind::kMax, false).Emit(empty, 10, out);
+  EXPECT_EQ(out.size(), 0) << "no fabricated max() == 0";
+
+  AggWindowState counted;
+  counted.count = 5;  // per-key kind with data but an empty key map
+  AggKernel(AggKind::kSum, true).Emit(counted, 10, out);
+  EXPECT_EQ(out.size(), 0) << "no fallback to the global accumulator";
+}
+
+// ---------------- Session windows ----------------
+
+TEST_F(OpsTest, SessionWindowGroupsTuplesWithinGap) {
+  WindowAggOp agg("a", WindowSpec::Session(10), {}, AggKind::kSum);
+  auto ctx = Ctx();
+  agg.Invoke(ColumnarMsg(0, 0, {{1, 1.0, 5}, {1, 2.0, 8}, {1, 4.0, 30}}), ctx);
+  EXPECT_EQ(agg.open_windows(), 2u) << "5,8 coalesce; 30 is its own session";
+  agg.Invoke(ColumnarMsg(0, 100, {}), ctx);  // progress-only flush
+  ASSERT_EQ(emitter_.outs.size(), 2u);
+  EXPECT_EQ(emitter_.outs[0].batch.progress, 18) << "closes at last + gap";
+  EXPECT_DOUBLE_EQ(emitter_.outs[0].batch.values[0], 3.0);
+  EXPECT_EQ(emitter_.outs[1].batch.progress, 40);
+  EXPECT_DOUBLE_EQ(emitter_.outs[1].batch.values[0], 4.0);
+}
+
+TEST_F(OpsTest, SessionWindowsMergeWhenBridged) {
+  WindowAggOp agg("a", WindowSpec::Session(10), {}, AggKind::kCount);
+  auto ctx = Ctx();
+  agg.Invoke(ColumnarMsg(0, 0, {{1, 1.0, 12}, {1, 1.0, 30}}), ctx);
+  EXPECT_EQ(agg.open_windows(), 2u);
+  // t = 21 is within gap of both sessions: they merge into [12, 30].
+  agg.Invoke(ColumnarMsg(0, 0, {{1, 1.0, 21}}), ctx);
+  EXPECT_EQ(agg.open_windows(), 1u);
+  agg.Invoke(ColumnarMsg(0, 100, {}), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  EXPECT_EQ(emitter_.outs[0].batch.progress, 40);
+  EXPECT_DOUBLE_EQ(emitter_.outs[0].batch.values[0], 3.0);
+}
+
+TEST_F(OpsTest, SessionWindowDropsTuplesForClosedSessions) {
+  WindowAggOp agg("a", WindowSpec::Session(10), {}, AggKind::kSum);
+  auto ctx = Ctx();
+  agg.Invoke(ColumnarMsg(0, 0, {{1, 1.0, 5}}), ctx);
+  agg.Invoke(ColumnarMsg(0, 20, {}), ctx);  // closes [5] at 15
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  // t = 9 would have belonged to the closed session (closes at 19 <= 20).
+  agg.Invoke(ColumnarMsg(0, 20, {{1, 9.0, 9}}), ctx);
+  EXPECT_EQ(agg.late_dropped(), 1);
+  EXPECT_EQ(agg.open_windows(), 0u);
+}
+
+// ---------------- Kernel roster: TopK / Percentile / OHLC ----------------
+
+TEST_F(OpsTest, TopKEmitsHighestKeysByPerKeySum) {
+  AggParams params;
+  params.top_k = 2;
+  WindowAggOp agg("a", WindowSpec::Tumbling(10), {}, AggKind::kTopK, false,
+                  params);
+  auto ctx = Ctx();
+  agg.Invoke(ColumnarMsg(
+                 0, 10,
+                 {{1, 5.0, 3}, {2, 1.0, 4}, {1, 4.0, 5}, {3, 6.0, 6}}),
+             ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  const EventBatch& out = emitter_.outs[0].batch;
+  ASSERT_EQ(out.keys.size(), 2u);
+  EXPECT_EQ(out.keys[0], 1) << "key 1 sums to 9";
+  EXPECT_DOUBLE_EQ(out.values[0], 9.0);
+  EXPECT_EQ(out.keys[1], 3) << "key 3 sums to 6";
+  EXPECT_DOUBLE_EQ(out.values[1], 6.0);
+}
+
+TEST_F(OpsTest, PercentileSketchApproximatesQuantile) {
+  AggParams params;
+  params.quantile = 50.0;
+  WindowAggOp agg("a", WindowSpec::Tumbling(100), {}, AggKind::kPercentile,
+                  false, params);
+  auto ctx = Ctx();
+  std::vector<std::tuple<std::int64_t, double, LogicalTime>> tuples;
+  for (int i = 1; i <= 99; ++i) {
+    tuples.emplace_back(0, static_cast<double>(i), 50);
+  }
+  agg.Invoke(ColumnarMsg(0, 100, std::move(tuples)), ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  ASSERT_EQ(emitter_.outs[0].batch.values.size(), 1u);
+  // LogHistogram reports the containing bucket's upper bound (~5% grid).
+  EXPECT_NEAR(emitter_.outs[0].batch.values[0], 50.0, 5.0);
+}
+
+TEST_F(OpsTest, OhlcEmitsOpenHighLowCloseByLogicalTime) {
+  WindowAggOp agg("a", WindowSpec::Tumbling(10), {}, AggKind::kOhlc);
+  auto ctx = Ctx();
+  // Deliberately out of time order within the batch: open/close follow
+  // logical time, not fold order.
+  agg.Invoke(ColumnarMsg(
+                 0, 10,
+                 {{0, 5.0, 4}, {0, 9.0, 2}, {0, 1.0, 7}, {0, 6.0, 9}}),
+             ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  const EventBatch& out = emitter_.outs[0].batch;
+  ASSERT_EQ(out.keys.size(), 4u);
+  EXPECT_DOUBLE_EQ(out.values[0], 9.0) << "open: earliest time (t=2)";
+  EXPECT_DOUBLE_EQ(out.values[1], 9.0) << "high";
+  EXPECT_DOUBLE_EQ(out.values[2], 1.0) << "low";
+  EXPECT_DOUBLE_EQ(out.values[3], 6.0) << "close: latest time (t=9)";
+}
+
+// ---------------- Columnar kernels vs row-wise reference ----------------
+
+class KernelEquivalence
+    : public ::testing::TestWithParam<std::tuple<AggKind, bool, LogicalTime>> {
+};
+
+TEST_P(KernelEquivalence, ColumnarFoldMatchesRowWiseBitExactly) {
+  // Property: for randomized batches, WindowPlan + FoldRows produces
+  // bit-identical window results to the row-wise FoldOne reference (same
+  // update order, so even float accumulation matches exactly).
+  const auto [kind, per_key, size] = GetParam();
+  const LogicalTime S = 10;
+  const AggKernel kernel(kind, per_key);
+  Rng rng(7 + static_cast<std::uint64_t>(size));
+
+  for (int trial = 0; trial < 20; ++trial) {
+    EventBatch batch;
+    LogicalTime t = 1 + rng.UniformInt(0, 40);
+    const int rows = 1 + static_cast<int>(rng.UniformInt(0, 300));
+    for (int i = 0; i < rows; ++i) {
+      t += rng.UniformInt(0, 3);
+      batch.Append(rng.UniformInt(0, 7), rng.Uniform(0.0, 100.0), t);
+    }
+
+    std::map<LogicalTime, AggWindowState> row_wise;
+    for (std::size_t i = 0; i < batch.keys.size(); ++i) {
+      const LogicalTime p = batch.times[i];
+      for (LogicalTime b = ((p + S - 1) / S) * S; b < p + size; b += S) {
+        kernel.FoldOne(row_wise[b], batch.keys[i], batch.values[i], p);
+      }
+    }
+
+    std::map<LogicalTime, AggWindowState> columnar;
+    WindowPlan plan;
+    plan.Build(batch.times, size, S);
+    ASSERT_TRUE(plan.contiguous()) << "time-sorted batches take the fast path";
+    for (const WindowPlan::Bucket& bk : plan.buckets()) {
+      for (std::uint32_t j = 0; j < bk.windows; ++j) {
+        const LogicalTime b = bk.first_end + static_cast<LogicalTime>(j) * S;
+        kernel.FoldRows(columnar[b], batch, bk.begin, bk.count);
+      }
+    }
+
+    ASSERT_EQ(row_wise.size(), columnar.size());
+    auto it = columnar.begin();
+    for (const auto& [end, state] : row_wise) {
+      ASSERT_EQ(end, it->first);
+      EventBatch a, b;
+      kernel.Emit(state, end, a);
+      kernel.Emit(it->second, end, b);
+      EXPECT_EQ(a.keys, b.keys);
+      EXPECT_EQ(a.values, b.values) << "bit-exact, not approximate";
+      ++it;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, KernelEquivalence,
+    ::testing::Values(
+        std::make_tuple(AggKind::kSum, false, LogicalTime{10}),
+        std::make_tuple(AggKind::kSum, false, LogicalTime{30}),
+        std::make_tuple(AggKind::kSum, true, LogicalTime{30}),
+        std::make_tuple(AggKind::kCount, true, LogicalTime{10}),
+        std::make_tuple(AggKind::kMax, false, LogicalTime{30}),
+        std::make_tuple(AggKind::kMax, true, LogicalTime{10}),
+        std::make_tuple(AggKind::kTopK, false, LogicalTime{30}),
+        std::make_tuple(AggKind::kPercentile, false, LogicalTime{10}),
+        std::make_tuple(AggKind::kOhlc, false, LogicalTime{30})));
+
+TEST(AggKernelTest, ScatteredPlanMatchesRowWiseOnInterleavedTimes) {
+  // Interleaved time clusters make assignment return to an earlier bucket,
+  // so the plan falls back to the scatter pass (contiguous() is false).
+  // Tumbling windows keep each window single-bucket, so even the scattered
+  // fold order matches the row-wise reference bit-exactly.
+  const LogicalTime S = 10;
+  const AggKernel kernel(AggKind::kSum, /*per_key=*/true);
+  Rng rng(11);
+  EventBatch batch;
+  for (int i = 0; i < 200; ++i) {
+    const LogicalTime t = (i % 2 == 0 ? 0 : 100) + rng.UniformInt(1, 9);
+    batch.Append(rng.UniformInt(0, 7), rng.Uniform(0.0, 100.0), t);
+  }
+
+  std::map<LogicalTime, AggWindowState> row_wise;
+  for (std::size_t i = 0; i < batch.keys.size(); ++i) {
+    const LogicalTime p = batch.times[i];
+    kernel.FoldOne(row_wise[((p + S - 1) / S) * S], batch.keys[i],
+                   batch.values[i], p);
+  }
+
+  std::map<LogicalTime, AggWindowState> columnar;
+  WindowPlan plan;
+  plan.Build(batch.times, S, S);
+  EXPECT_FALSE(plan.contiguous());
+  for (const WindowPlan::Bucket& bk : plan.buckets()) {
+    kernel.FoldRows(columnar[bk.first_end], batch, plan.rows() + bk.begin,
+                    bk.count);
+  }
+
+  ASSERT_EQ(row_wise.size(), columnar.size());
+  auto it = columnar.begin();
+  for (const auto& [end, state] : row_wise) {
+    ASSERT_EQ(end, it->first);
+    EventBatch a, b;
+    kernel.Emit(state, end, a);
+    kernel.Emit(it->second, end, b);
+    EXPECT_EQ(a.keys, b.keys);
+    EXPECT_EQ(a.values, b.values);
+    ++it;
+  }
+}
+
+// ---------------- Mixed batches through stateless ops ----------------
+
+TEST_F(OpsTest, FilterCarriesSyntheticFaceOfMixedBatches) {
+  FilterOp filter("f", {}, [](std::int64_t k, double) { return k == 2; },
+                  0.5);
+  auto ctx = Ctx();
+  Message m = ColumnarMsg(0, 10, {{1, 1.0, 1}, {2, 2.0, 2}});
+  m.batch.synthetic_count = 100;
+  filter.Invoke(m, ctx);
+  ASSERT_EQ(emitter_.outs.size(), 1u);
+  const EventBatch& out = emitter_.outs[0].batch;
+  ASSERT_EQ(out.keys.size(), 1u);
+  EXPECT_EQ(out.synthetic_count, 50) << "scaled by selectivity";
+  EXPECT_EQ(out.size(), 51);
 }
 
 }  // namespace
