@@ -38,14 +38,25 @@ import sys
 from pathlib import Path
 
 SIM_SUFFIXES = ("_median_ms", "_p99_ms")      # deterministic virtual time
-WALL_SUFFIXES = (".ns_per_op", ".ns_per_msg")  # noisy real time
+WALL_SUFFIXES = (".ns_per_op", ".ns_per_msg", ".ns_per_row")  # noisy real time
+# Counting-allocator metrics: deterministic and expected to be exactly zero
+# (the zero-allocation steady-state claim), so they gate absolutely -- any
+# fresh allocation over the baseline count is a regression, even from a
+# zero baseline (which the relative gate below would have to skip).
+ALLOC_SUFFIXES = ("_allocs_per_msg",)
 WALL_SLACK = 3.0
+
+
+def is_alloc_metric(key: str) -> bool:
+    return any(key.endswith(s) for s in ALLOC_SUFFIXES)
 
 
 def gate_budget(key: str, threshold: float, gate_wall: bool):
     """The allowed relative increase for `key`, or None when not gated."""
     if key.endswith(".min"):
         return None
+    if is_alloc_metric(key):
+        return 0.0  # absolute gate, handled separately from the ratio path
     if any(key.endswith(s) for s in SIM_SUFFIXES):
         return threshold
     if gate_wall and any(key.endswith(s) for s in WALL_SUFFIXES):
@@ -132,6 +143,15 @@ def main() -> int:
               f"wall-clock x{WALL_SLACK:.0f})")
         for key, budget in shared:
             b, f = base[key], fresh[key]
+            if is_alloc_metric(key):
+                regressed = f > b + 1e-9
+                verdict = "REGRESSION" if regressed else "ok"
+                if regressed or args.list:
+                    print(f"  {verdict:10s} {key}: baseline {b:.3f} -> {f:.3f} "
+                          f"(absolute zero-tolerance gate)")
+                if regressed:
+                    regressions.append((bench, key, b, f, f - b))
+                continue
             if b <= 0:
                 continue
             ratio = (f - b) / b

@@ -69,6 +69,8 @@ void FinalizeChannels(DataflowGraph& g, JobId job) {
       Operator& op = g.Get(stage.operators[static_cast<std::size_t>(i)]);
       if (auto* agg = dynamic_cast<WindowAggOp*>(&op)) {
         agg->SetChannels(std::move(ids));
+      } else if (auto* counter = dynamic_cast<KeyedCounterOp*>(&op)) {
+        counter->SetChannels(std::move(ids));
       } else if (auto* join = dynamic_cast<WindowedJoinOp*>(&op)) {
         join->SetChannels(std::move(ids));
       }
@@ -151,6 +153,14 @@ QueryDef& QueryDef::Shuffle() {
 
 QueryDef& QueryDef::KeyBy() {
   next_input_ = Partition::kKeyHash;
+  next_split_ = 1;
+  return *this;
+}
+
+QueryDef& QueryDef::KeyBy(int splits) {
+  CAMEO_EXPECTS(splits >= 1);
+  next_input_ = Partition::kKeyHash;
+  next_split_ = splits;
   return *this;
 }
 
@@ -172,7 +182,9 @@ QueryDef& QueryDef::OneToOne() {
 QueryDef& QueryDef::Append(StageDef stage) {
   CAMEO_EXPECTS(stage.parallelism >= 1);
   stage.input = next_input_;
+  stage.input_split = next_split_;
   next_input_ = Partition::kShard;
+  next_split_ = 1;
   stages_.push_back(std::move(stage));
   return *this;
 }
@@ -270,6 +282,21 @@ QueryDef& QueryDef::Ohlc(int replicas, WindowSpec window, CostModel cost,
                    std::move(stage));
 }
 
+QueryDef& QueryDef::KeyedCounter(int replicas, WindowSpec window,
+                                 CostModel cost, KeyedCounterOptions opts,
+                                 std::string stage) {
+  CAMEO_EXPECTS(window.slide > 0 && window.size >= window.slide);
+  CAMEO_EXPECTS(!window.session());
+  StageDef s;
+  s.kind = StageDef::Kind::kKeyedCounter;
+  s.name = std::move(stage);
+  s.parallelism = replicas;
+  s.cost = cost;
+  s.window = window;
+  s.counter = opts;
+  return Append(std::move(s));
+}
+
 QueryDef& QueryDef::WindowedJoin(int replicas, LogicalTime window,
                                  CostModel cost, std::string stage) {
   CAMEO_EXPECTS(window > 0);
@@ -307,6 +334,13 @@ QueryDef& QueryDef::IngestConstant(double msgs_per_sec,
   return Ingest(std::move(spec));
 }
 
+QueryDef& QueryDef::Keys(KeySamplerFactory sampler) {
+  CAMEO_EXPECTS(ingest_.has_value());
+  CAMEO_EXPECTS(sampler != nullptr);
+  ingest_->key_sampler = std::move(sampler);
+  return *this;
+}
+
 const IngestSpec& QueryDef::ingest() const {
   CAMEO_EXPECTS(ingest_.has_value());
   return *ingest_;
@@ -327,6 +361,7 @@ JobHandles QueryDef::Build(DataflowGraph& g) const {
   // windowed stage) marks a per-message pipeline.
   for (const StageDef& s : stages_) {
     if ((s.kind == StageDef::Kind::kWindowAgg ||
+         s.kind == StageDef::Kind::kKeyedCounter ||
          s.kind == StageDef::Kind::kWindowedJoin) &&
         s.window.windowed()) {
       job.output_window = s.window.size;
@@ -357,6 +392,9 @@ JobHandles QueryDef::Build(DataflowGraph& g) const {
               return std::make_unique<WindowAggOp>(qualified, s.window, s.cost,
                                                    s.agg, s.per_key,
                                                    s.agg_params);
+            case StageDef::Kind::kKeyedCounter:
+              return std::make_unique<KeyedCounterOp>(qualified, s.window,
+                                                      s.cost, s.counter);
             case StageDef::Kind::kWindowedJoin:
               return std::make_unique<WindowedJoinOp>(qualified, s.window.size,
                                                       s.cost);
@@ -378,7 +416,9 @@ JobHandles QueryDef::Build(DataflowGraph& g) const {
       frontier.push_back(i);
       continue;
     }
-    for (std::size_t u : frontier) g.Connect(sids[u], sids[i], stages_[i].input);
+    for (std::size_t u : frontier) {
+      g.Connect(sids[u], sids[i], stages_[i].input, stages_[i].input_split);
+    }
     frontier.assign(1, i);
   }
 

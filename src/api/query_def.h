@@ -36,7 +36,9 @@
 #include "dataflow/graph.h"
 #include "ops/stateless.h"
 #include "ops/window_agg.h"
+#include "state/keyed_counter.h"
 #include "workload/generators.h"
+#include "workload/keyed.h"
 
 namespace cameo {
 
@@ -69,6 +71,10 @@ struct IngestSpec {
   Duration event_time_delay = 0;
   /// kCustom: used verbatim (all shape fields above are ignored).
   ArrivalProcessFactory custom;
+  /// Optional keyed ingestion: when set, each source message carries real
+  /// keyed columns drawn from this sampler (workload/keyed.h) instead of a
+  /// synthetic tuple count. Orthogonal to the arrival shape above.
+  KeySamplerFactory key_sampler;
 };
 
 /// Lowers an IngestSpec to the per-replica arrival-process factory the
@@ -85,6 +91,7 @@ struct StageDef {
     kMap,          // stateless per-tuple transform
     kFilter,       // stateless predicate
     kWindowAgg,    // windowed aggregation
+    kKeyedCounter, // per-key counter over a slate store
     kWindowedJoin, // two-input windowed join
     kSink,         // terminal
   };
@@ -96,10 +103,14 @@ struct StageDef {
   CostModel cost;
   /// How the upstream stage(s) partition into this one (ignored on sources).
   Partition input = Partition::kShard;
+  /// Hot-key split factor of the input edge (kKeyHash only; see
+  /// StageInfo::split).
+  int input_split = 1;
   WindowSpec window;            // kWindowAgg / kWindowedJoin (size only)
   AggKind agg = AggKind::kSum;  // kWindowAgg
   bool per_key = false;         // kWindowAgg
   AggParams agg_params;         // kWindowAgg (TopK / Percentile shapes)
+  KeyedCounterOptions counter;  // kKeyedCounter (TTL, mini-batching)
   MapOp::Fn map_fn;             // kMap
   FilterOp::Predicate filter_fn;         // kFilter
   double filter_selectivity = 1.0;       // kFilter
@@ -125,6 +136,10 @@ class QueryDef {
 
   QueryDef& Shuffle();     // kShard (stable sender->receiver channels)
   QueryDef& KeyBy();       // kKeyHash
+  /// kKeyHash with two-phase hot-key splitting: keys a batch shows to be hot
+  /// spread over up to `splits` sub-routes; follow the keyed stage with a
+  /// per-key merge stage (e.g. per-key kSum WindowAgg) to recombine.
+  QueryDef& KeyBy(int splits);
   QueryDef& RoundRobin();  // kRoundRobin
   QueryDef& Broadcast();   // kBroadcast
   QueryDef& OneToOne();    // kOneToOne
@@ -157,6 +172,13 @@ class QueryDef {
   /// Open/high/low/close of each window (four tuples keyed 0..3).
   QueryDef& Ohlc(int replicas, WindowSpec window, CostModel cost,
                  std::string stage = "ohlc");
+  /// Per-key row counter over a SlateStore (state/keyed_counter.h); emits
+  /// (key, count) per window like a per-key kCount WindowAgg, but keeps one
+  /// slate per key across windows with optional TTL expiry. Usually fed via
+  /// KeyBy().
+  QueryDef& KeyedCounter(int replicas, WindowSpec window, CostModel cost,
+                         KeyedCounterOptions opts = {},
+                         std::string stage = "counter");
   QueryDef& WindowedJoin(int replicas, LogicalTime window, CostModel cost,
                          std::string stage = "join");
   QueryDef& Sink(CostModel cost = {Micros(50), 0, 0.0},
@@ -168,6 +190,10 @@ class QueryDef {
   /// Aligned constant-rate batching clients (the paper's workload model).
   QueryDef& IngestConstant(double msgs_per_sec, std::int64_t tuples_per_msg,
                            Duration event_time_delay = 0);
+  /// Attaches a key sampler (workload/keyed.h) to the query's ingestion
+  /// (must follow Ingest*): source messages carry real keyed columns drawn
+  /// from the sampler instead of synthetic tuple counts.
+  QueryDef& Keys(KeySamplerFactory sampler);
 
   // ---- compilation ----
 
@@ -201,6 +227,7 @@ class QueryDef {
   TimeDomain domain_ = TimeDomain::kEventTime;
   double token_rate_per_sec_ = 0;
   Partition next_input_ = Partition::kShard;
+  int next_split_ = 1;
   std::vector<StageDef> stages_;
   std::optional<IngestSpec> ingest_;
 };

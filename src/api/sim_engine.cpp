@@ -98,10 +98,11 @@ void SimEngine::Materialize() {
     if (!a.def.has_ingest()) continue;
     const IngestSpec& spec = a.def.ingest();
     ArrivalProcessFactory factory = MakeArrivalFactory(spec);
-    cluster_->AddIngestion(a.handles.source, factory, spec.event_time_delay);
+    cluster_->AddIngestion(a.handles.source, factory, spec.event_time_delay,
+                           spec.key_sampler);
     if (a.handles.source_right.valid()) {
       cluster_->AddIngestion(a.handles.source_right, factory,
-                             spec.event_time_delay);
+                             spec.event_time_delay, spec.key_sampler);
     }
   }
   pending_.clear();

@@ -70,6 +70,13 @@ void ThreadEngine::AttachStage(const IngestSpec& spec, TimeDomain domain,
     p->rng = Rng(options_.seed ^
                  (0x9e3779b97f4a7c15ULL *
                   static_cast<std::uint64_t>(p->op.value + 1)));
+    if (spec.key_sampler) {
+      p->sampler = spec.key_sampler(r);
+      CAMEO_CHECK(p->sampler != nullptr);
+      p->key_rng = Rng(options_.seed * 0x9e3779b97f4a7c15ULL +
+                       0xd1b54a32d192ed03ULL *
+                           static_cast<std::uint64_t>(p->op.value + 1));
+    }
     producers_.push_back(std::move(p));
   }
 }
@@ -111,7 +118,16 @@ void ThreadEngine::RunFor(Duration d) {
           logical = a->logical >= 0 ? a->logical
                                     : a->time - p->event_time_delay;
         }
-        if (!runtime_->Ingest(p->op, a->tuples, logical)) {
+        bool accepted;
+        if (p->sampler != nullptr) {
+          EventBatch batch;
+          batch.progress = logical.value_or(a->time);
+          p->sampler->Fill(batch, a->tuples, batch.progress, p->key_rng);
+          accepted = runtime_->IngestBatch(p->op, std::move(batch));
+        } else {
+          accepted = runtime_->Ingest(p->op, a->tuples, logical);
+        }
+        if (!accepted) {
           p->done = true;  // query removed: producer retires
           return;
         }

@@ -70,12 +70,16 @@ class ThreadEngine final : public Engine {
     Duration event_time_delay = 0;
     std::unique_ptr<ArrivalProcess> process;
     Rng rng;
+    /// Keyed ingestion (optional): materializes batch columns; feeds
+    /// IngestBatch instead of the synthetic Ingest path.
+    std::unique_ptr<KeySampler> sampler;
+    Rng key_rng;
     /// First arrival beyond the current RunFor window, buffered for the
     /// next one.
     std::optional<Arrival> pending;
     bool done = false;
 
-    Producer() : rng(1) {}
+    Producer() : rng(1), key_rng(1) {}
   };
 
   void EnsureStarted();

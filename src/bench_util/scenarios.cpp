@@ -6,9 +6,12 @@
 #include "bench_util/scenarios.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "api/sim_engine.h"
 #include "common/check.h"
+#include "state/keyed_counter.h"
+#include "workload/keyed.h"
 
 namespace cameo {
 
@@ -254,6 +257,87 @@ ChurnScenarioResult RunChurnScenario(const ChurnScenarioOptions& opt) {
   engine.RunFor(opt.duration);
   out.run = engine.Summarize(opt.duration);
   out.messages_purged = engine.cluster().messages_purged();
+  return out;
+}
+
+KeyedScenarioResult RunKeyedScenario(const KeyedScenarioOptions& opt) {
+  EngineOptions eo;
+  eo.workers = opt.workers;
+  eo.scheduler = opt.scheduler;
+  eo.seed = opt.seed;
+  SimEngine engine(eo);
+
+  KeySamplerFactory sampler;
+  switch (opt.dist) {
+    case KeyDistribution::kUniform:
+      sampler = [n = opt.num_keys](int) {
+        return std::make_unique<UniformKeys>(n);
+      };
+      break;
+    case KeyDistribution::kZipf:
+      sampler = [n = opt.num_keys, s = opt.zipf_s](int) {
+        return std::make_unique<ZipfKeys>(n, s);
+      };
+      break;
+    case KeyDistribution::kGrid: {
+      // The walker population is split across the source replicas (each
+      // replica walks its own cohort on the shared grid).
+      const int per_replica = std::max(1, opt.grid_entities / opt.sources);
+      sampler = [w = opt.grid_width, h = opt.grid_height,
+                 e = per_replica](int) {
+        return std::make_unique<GridKeys>(w, h, e);
+      };
+      break;
+    }
+  }
+
+  IngestSpec ingest;
+  ingest.msgs_per_sec = opt.msgs_per_sec;
+  ingest.tuples_per_msg = opt.tuples_per_msg;
+  ingest.end = opt.duration;
+  ingest.event_time_delay = Millis(50);
+  ingest.key_sampler = std::move(sampler);
+
+  KeyedCounterOptions copts;
+  copts.ttl = opt.ttl;
+  copts.mini_batch = opt.mini_batch;
+
+  QueryDef def =
+      Query("KEYED")
+          .Constraint(opt.constraint)
+          .EventTime()
+          .Source(opt.sources)
+          .KeyBy(opt.splits)
+          .KeyedCounter(opt.counters, WindowSpec::Tumbling(opt.window),
+                        {Micros(100), opt.counter_per_tuple, 0.05}, copts)
+          .KeyBy()
+          .WindowAgg(opt.merge_replicas, WindowSpec::Tumbling(opt.window),
+                     {Micros(60), 40, 0.05}, AggKind::kSum, /*per_key=*/true,
+                     "merge")
+          .Shuffle()
+          .Sink()
+          .Ingest(std::move(ingest));
+  QueryHandle q = engine.Submit(def);
+
+  engine.RunFor(opt.duration);
+  KeyedScenarioResult out;
+  out.run = engine.Summarize(opt.duration);
+  DataflowGraph& g = engine.graph();
+  for (StageId sid : q.handles.stages) {
+    for (OperatorId id : g.stage(sid).operators) {
+      auto* op = dynamic_cast<KeyedCounterOp*>(&g.Get(id));
+      if (op == nullptr) continue;
+      out.rows_seen += op->rows_seen();
+      out.count_emitted += op->count_emitted();
+      out.late_dropped += op->late_dropped();
+      out.keys_live += static_cast<std::int64_t>(op->live_keys());
+      out.keys_inserted += op->inserted();
+      out.keys_expired += op->expired();
+      out.overflow_folds += op->overflow_folds();
+      out.slate_rehashes += static_cast<std::int64_t>(op->store().rehashes());
+      out.pending_timers += static_cast<std::int64_t>(op->pending_timers());
+    }
+  }
   return out;
 }
 

@@ -182,4 +182,62 @@ struct ChurnScenarioResult {
 /// load; jobs are "BA<i>" (background) and "T<i>" (churned tenants).
 ChurnScenarioResult RunChurnScenario(const ChurnScenarioOptions& opt);
 
+/// Key distribution of a keyed scenario's ingestion (workload/keyed.h).
+enum class KeyDistribution { kUniform, kZipf, kGrid };
+
+struct KeyedScenarioOptions {
+  KeyDistribution dist = KeyDistribution::kUniform;
+  /// Key universe of kUniform / kZipf.
+  std::int64_t num_keys = 100'000;
+  double zipf_s = 1.0;  // kZipf exponent
+  // kGrid (CheetahGIS-style): cell grid dimensions and walker count.
+  int grid_width = 256;
+  int grid_height = 256;
+  int grid_entities = 20'000;
+
+  int sources = 4;
+  int counters = 4;
+  /// Hot-key split factor of the KeyBy edge into the counters (two-phase
+  /// aggregation; 1 = unmitigated).
+  int splits = 1;
+  /// Per-key mini-batching inside the counter (hot-key mitigation #1).
+  bool mini_batch = true;
+  int merge_replicas = 2;
+
+  double msgs_per_sec = 20;
+  std::int64_t tuples_per_msg = 2000;
+  LogicalTime window = Seconds(1);  // tumbling
+  /// Idle-key TTL (slates of keys silent this long expire); 0 = keep forever.
+  LogicalTime ttl = 0;
+  /// Per-tuple cost of the counter stage (ns); the knob that turns key skew
+  /// into shard overload.
+  Duration counter_per_tuple = 500;
+
+  int workers = 4;
+  SimTime duration = Seconds(30);
+  Duration constraint = Millis(800);
+  SchedulerKind scheduler = SchedulerKind::kCameo;
+  std::uint64_t seed = 1;
+};
+
+struct KeyedScenarioResult {
+  RunResult run;
+  // Aggregated over the counter stage's replicas (deterministic per seed).
+  std::int64_t rows_seen = 0;       // rows observed by the counters
+  double count_emitted = 0;         // sum of emitted per-key counts
+  std::int64_t late_dropped = 0;
+  std::int64_t keys_live = 0;
+  std::int64_t keys_inserted = 0;
+  std::int64_t keys_expired = 0;
+  std::int64_t overflow_folds = 0;
+  std::int64_t slate_rehashes = 0;
+  std::int64_t pending_timers = 0;
+};
+
+/// One keyed per-user-counter query (job "KEYED"): sources with sampled key
+/// columns -> KeyBy(splits) -> KeyedCounterOp shards -> KeyBy per-key kSum
+/// merge -> sink. The merge stage recombines split sub-key partials by
+/// original key, so split and unsplit runs produce the same per-key totals.
+KeyedScenarioResult RunKeyedScenario(const KeyedScenarioOptions& opt);
+
 }  // namespace cameo

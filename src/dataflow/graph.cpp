@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "state/slate_store.h"
+
 namespace cameo {
 
 DataflowGraph::DataflowGraph() : s_(std::make_unique<State>()) {
@@ -59,7 +61,10 @@ StageId DataflowGraph::AddStage(JobId job, const std::string& name,
   return sid;
 }
 
-int DataflowGraph::Connect(StageId from, StageId to, Partition partition) {
+int DataflowGraph::Connect(StageId from, StageId to, Partition partition,
+                           int split) {
+  CAMEO_EXPECTS(split >= 1);
+  CAMEO_EXPECTS(split == 1 || partition == Partition::kKeyHash);
   int port = -1;
   Mutate([&](Topology& t) {
     CAMEO_EXPECTS(from.valid() &&
@@ -74,6 +79,7 @@ int DataflowGraph::Connect(StageId from, StageId to, Partition partition) {
     }
     src.downstream.push_back(to);
     src.partition.push_back(partition);
+    src.split.push_back(split);
     dst.upstream.push_back(from);
     port = static_cast<int>(src.downstream.size()) - 1;
   });
@@ -231,24 +237,80 @@ std::vector<DataflowGraph::Delivery> DataflowGraph::Route(OperatorId sender,
       break;
     }
     case Partition::kKeyHash: {
-      if (replicas == 1 || !batch.columnar()) {
-        // Synthetic batches carry no keys; spread whole batches round-robin
-        // (deterministic, preserves per-channel ordering guarantees because
-        // each channel still delivers in send order).
-        std::int64_t edge = src.id.value * 1'000'000 + port + 500'000;
-        out.push_back({dst.operators[NextReplica(edge, replicas)],
-                       std::move(batch)});
+      if (replicas == 1) {
+        out.push_back({dst.operators[0], std::move(batch)});
         break;
       }
+      if (!batch.columnar()) {
+        // Keyless batch: its payload is progress plus an optional synthetic
+        // tuple count. Synthetic tuples fold as key 0, so the count goes to
+        // key 0's replica; progress goes to *every* replica -- a keyed
+        // shard that receives nothing never advances its watermark, which
+        // would stall every windowed consumer downstream of it.
+        const std::size_t owner =
+            static_cast<std::size_t>(KeyMix(0)) % replicas;
+        for (std::size_t r = 0; r < replicas; ++r) {
+          if (r == owner) {
+            out.push_back({dst.operators[r], std::move(batch)});
+          } else {
+            out.push_back({dst.operators[r],
+                           EventBatch::Synthetic(0, batch.progress)});
+          }
+        }
+        break;
+      }
+      const int split_r = src.split[static_cast<std::size_t>(port)];
       std::vector<EventBatch> split(replicas);
-      for (std::size_t i = 0; i < batch.keys.size(); ++i) {
-        auto h = static_cast<std::size_t>(
-                     std::hash<std::int64_t>{}(batch.keys[i])) %
-                 replicas;
-        split[h].Append(batch.keys[i], batch.values[i], batch.times[i]);
+      if (split_r <= 1) {
+        for (std::size_t i = 0; i < batch.keys.size(); ++i) {
+          const auto h =
+              static_cast<std::size_t>(KeyMix(batch.keys[i])) % replicas;
+          split[h].Append(batch.keys[i], batch.values[i], batch.times[i]);
+        }
+      } else {
+        // Two-phase hot-key splitting. A frequency pass over the batch finds
+        // keys hot enough to matter: >= max(2, rows / (4 * replicas))
+        // occurrences, a quarter of a replica's fair share. Under a Zipf
+        // long tail the top handful of keys each sit below half a fair
+        // share yet *together* saturate whichever shards they hash to, so
+        // the threshold is deliberately eager -- splitting a lukewarm key
+        // costs one extra merge row per window, while missing one strands
+        // the shard. Each of a hot key's rows is salted with its
+        // occurrence index mod split_r, spreading that key over up to
+        // split_r replicas. Keys keep their original value -- only the
+        // routing target changes -- so a downstream per-key merge stage
+        // recombines the partial aggregates without any key rewriting.
+        // Cold keys take the sub == 0 route, identical to the unsplit path.
+        // All decisions are per-batch and data-deterministic: replays and
+        // the row-wise reference fold see the same routing.
+        SlateStore<std::uint32_t> freq;  // slab storage from the pool
+        for (std::int64_t key : batch.keys) freq.Probe(key) += 1;
+        const std::uint32_t threshold = static_cast<std::uint32_t>(
+            std::max<std::size_t>(2, batch.keys.size() / (4 * replicas)));
+        for (std::size_t i = 0; i < batch.keys.size(); ++i) {
+          const std::int64_t key = batch.keys[i];
+          std::uint32_t& state = *freq.Find(key);
+          std::size_t sub = 0;
+          if (state >= threshold) {
+            // Reuse the counter as the occurrence cursor: values stay
+            // >= threshold, and successive rows get successive salts.
+            sub = (state - threshold) % static_cast<std::uint32_t>(split_r);
+            ++state;
+          }
+          std::uint64_t h = KeyMix(key);
+          if (sub != 0) h = KeyMix(static_cast<std::int64_t>(h ^ sub));
+          split[static_cast<std::size_t>(h) % replicas].Append(
+              key, batch.values[i], batch.times[i]);
+        }
       }
       for (std::size_t r = 0; r < replicas; ++r) {
-        if (split[r].keys.empty()) continue;
+        if (split[r].keys.empty()) {
+          // No rows for this shard, but progress must still flow (see the
+          // keyless branch above).
+          out.push_back({dst.operators[r],
+                         EventBatch::Synthetic(0, batch.progress)});
+          continue;
+        }
         split[r].progress = batch.progress;
         out.push_back({dst.operators[r], std::move(split[r])});
       }

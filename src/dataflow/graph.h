@@ -39,7 +39,9 @@ namespace cameo {
 
 /// How batches emitted by one stage are distributed to the next.
 enum class Partition {
-  kKeyHash,     // split columnar batch by hash(key) % parallelism
+  kKeyHash,     // split columnar batch by KeyMix(key) % parallelism; every
+                // replica receives at least a progress-only batch so keyed
+                // shards' watermarks advance even when they own no rows
   kRoundRobin,  // whole batch to replicas in rotation
   kBroadcast,   // whole batch replicated to every replica
   kOneToOne,    // replica i -> replica i (parallelisms must match)
@@ -78,6 +80,11 @@ struct StageInfo {
   /// Outgoing edges in port order.
   std::vector<StageId> downstream;
   std::vector<Partition> partition;
+  /// Per-edge hot-key split factor (kKeyHash only; 1 = no splitting). Keys a
+  /// batch shows to be hot are salted across this many sub-keys, spreading
+  /// one key's traffic over up to `split` replicas (two-phase aggregation:
+  /// a downstream merge stage recombines the partials by original key).
+  std::vector<int> split;
   std::vector<StageId> upstream;
 };
 
@@ -115,7 +122,8 @@ class DataflowGraph {
                    const OperatorFactory& factory);
 
   /// Connects `from` -> `to`; returns the output port index on `from`.
-  int Connect(StageId from, StageId to, Partition partition);
+  /// `split` is the kKeyHash hot-key split factor (see StageInfo::split).
+  int Connect(StageId from, StageId to, Partition partition, int split = 1);
 
   /// Splices a whole query subgraph into the (possibly running) topology:
   /// `build` composes AddJob/AddStage/Connect and returns the new query's
@@ -159,7 +167,9 @@ class DataflowGraph {
 
   /// Routes a batch emitted by `sender` on `port` to downstream operators.
   /// Mutates round-robin state; a kKeyHash edge splits columnar batches by
-  /// key and spreads synthetic batches round-robin.
+  /// mixed key hash (delivering progress-only batches to replicas that own
+  /// none of the rows) and assigns keyless batches to key 0's owner, with
+  /// progress broadcast to the rest.
   std::vector<Delivery> Route(OperatorId sender, int port, EventBatch batch);
 
   /// Sink stages (no downstream edges) of a job.

@@ -38,6 +38,7 @@
 #include "common/histogram.h"
 #include "common/time.h"
 #include "dataflow/event_batch.h"
+#include "state/slate_store.h"
 
 namespace cameo {
 
@@ -54,63 +55,13 @@ struct AggParams {
   std::size_t sketch_buckets = 512;
 };
 
-/// Open-addressing int64 -> double accumulator map (power-of-two capacity,
-/// linear probing, no deletion). Replaces the per-key std::unordered_map of
-/// the seed operator: probes are one hash + a short linear scan over a flat
-/// array, and emission order is deterministic (sorted by key) instead of
-/// hash-table order.
-class FlatKeyMap {
- public:
-  /// Returns the accumulator for `key`, inserting `init` if absent.
-  double& Probe(std::int64_t key, double init = 0.0) {
-    if (slots_.empty() || size_ * 4 >= slots_.size() * 3) Grow();
-    std::size_t mask = slots_.size() - 1;
-    std::size_t i = Hash(key) & mask;
-    while (slots_[i].used) {
-      if (slots_[i].key == key) return slots_[i].value;
-      i = (i + 1) & mask;
-    }
-    slots_[i] = {key, init, true};
-    ++size_;
-    return slots_[i].value;
-  }
-
-  bool empty() const { return size_ == 0; }
-  std::size_t size() const { return size_; }
-
-  /// Appends all (key, value) pairs to `out`, sorted by key.
-  void AppendSorted(std::vector<std::pair<std::int64_t, double>>& out) const {
-    std::size_t first = out.size();
-    for (const Slot& s : slots_) {
-      if (s.used) out.emplace_back(s.key, s.value);
-    }
-    std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end());
-  }
-
- private:
-  struct Slot {
-    std::int64_t key = 0;
-    double value = 0;
-    bool used = false;
-  };
-
-  static std::size_t Hash(std::int64_t key) {
-    auto x = static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ull;
-    return static_cast<std::size_t>(x ^ (x >> 32));
-  }
-
-  void Grow() {
-    std::vector<Slot> old = std::move(slots_);
-    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
-    size_ = 0;
-    for (const Slot& s : old) {
-      if (s.used) Probe(s.key, s.value);
-    }
-  }
-
-  std::vector<Slot> slots_;
-  std::size_t size_ = 0;
-};
+/// Per-key accumulator map of the windowed kernels. Since PR 7 this is the
+/// keyed-state subsystem's SlateStore (state/slate_store.h): the same
+/// open-addressing probe loop the original FlatKeyMap had, now over pooled
+/// slabs with erase/tombstone support and the shared KeyMix hash. Window
+/// accumulators get slab recycling for free -- a closed window's map hands
+/// its slabs to the next window's through the global pool.
+using FlatKeyMap = SlateStore<double>;
 
 /// One pass of window assignment over a batch's time column: rows grouped by
 /// their *first* window end, ceil(t/S)*S (inclusive-right window model, see

@@ -114,7 +114,8 @@ ContextConverter& Cluster::converter(OperatorId op) {
 
 void Cluster::AddIngestion(StageId source_stage,
                            const ArrivalProcessFactory& factory,
-                           Duration event_time_delay) {
+                           Duration event_time_delay,
+                           const KeySamplerFactory& key_sampler) {
   const StageInfo& stage = graph_.stage(source_stage);
   const JobSpec& spec = graph_.job(stage.job);
   for (int r = 0; r < stage.parallelism; ++r) {
@@ -123,6 +124,14 @@ void Cluster::AddIngestion(StageId source_stage,
     s.process = factory(r);
     CAMEO_CHECK(s.process != nullptr);
     s.event_time_delay = event_time_delay;
+    if (key_sampler) {
+      s.sampler = key_sampler(r);
+      CAMEO_CHECK(s.sampler != nullptr);
+      // Distinct deterministic stream per source; decoupled from rng_ so
+      // keyed ingestion cannot shift any existing scenario's replay.
+      s.key_rng = Rng(config_.seed * 0x9E3779B97F4A7C15ULL +
+                      (sources_.size() + 1) * 0xD1B54A32D192ED03ULL);
+    }
     if (spec.token_rate_per_sec > 0) {
       auto budget = static_cast<std::int64_t>(spec.token_rate_per_sec);
       token_buckets_.emplace(s.op, TokenBucket(std::max<std::int64_t>(
@@ -267,7 +276,13 @@ void Cluster::PumpSource(std::size_t idx) {
                                               NextMessageId());
     m.id = m.pc.id;
     m.target = src.op;
-    m.batch = EventBatch::Synthetic(a.tuples, p);
+    if (src.sampler) {
+      m.batch = EventBatch{};
+      m.batch.progress = p;
+      src.sampler->Fill(m.batch, a.tuples, p, src.key_rng);
+    } else {
+      m.batch = EventBatch::Synthetic(a.tuples, p);
+    }
     m.event_time = t;
     Deliver(std::move(m), WorkerId{});
     PumpSource(idx);

@@ -41,6 +41,7 @@
 #include "sched/scheduler.h"
 #include "sim/event_queue.h"
 #include "workload/generators.h"
+#include "workload/keyed.h"
 #include "workload/tenants.h"
 
 namespace cameo {
@@ -89,9 +90,15 @@ class Cluster {
   /// Attaches one ArrivalProcess per replica of `source_stage`. For
   /// event-time jobs, each event's logical time is its arrival time minus
   /// `event_time_delay` (the paper's "events affect results within a
-  /// constant delay" assumption).
+  /// constant delay" assumption). When `key_sampler` is set, each source
+  /// message's batch is materialized as keyed columns drawn from the sampler
+  /// (unit values, all rows at the batch's logical time) instead of a
+  /// synthetic tuple count; the sampler draws from a per-source Rng seeded
+  /// off the config seed, so keyed ingestion never perturbs the cluster's
+  /// main random stream.
   void AddIngestion(StageId source_stage, const ArrivalProcessFactory& factory,
-                    Duration event_time_delay = 0);
+                    Duration event_time_delay = 0,
+                    const KeySamplerFactory& key_sampler = nullptr);
 
   // ---- scripted query churn (virtual time) ----
 
@@ -157,6 +164,10 @@ class Cluster {
     std::unique_ptr<ArrivalProcess> process;
     Duration event_time_delay = 0;
     LogicalTime last_logical = 0;  // logical times start at 1
+    /// Keyed ingestion (optional): materializes batch columns from its own
+    /// deterministic stream so attaching a sampler leaves `rng_` untouched.
+    std::unique_ptr<KeySampler> sampler;
+    Rng key_rng{0};
   };
   struct ScheduledQuery {
     SimTime at = 0;

@@ -1,0 +1,94 @@
+// Keyed source workloads: materialize the key column of ingestion batches so
+// keyed operators (kKeyHash routing, SlateStore consumers) see real key
+// distributions instead of synthetic tuple counts.
+//
+// A KeySampler fills one source batch's columns from its own deterministic
+// Rng (seeded per replica by the execution layer), so keyed scenarios replay
+// bit-identically and attaching a sampler never perturbs the simulator's
+// main random stream -- existing scenario goldens are untouched.
+//
+// Distributions:
+//  - UniformKeys: control group; every key equally likely. At n = 1M this is
+//    the slate-capacity stressor (max live keys, no locality).
+//  - ZipfKeys: rank-frequency skew P(k) ~ 1/(k+1)^s, the paper's Fig. 2(a)
+//    long tail and the fig10 skew axis. s >= ~1 concentrates enough traffic
+//    on rank 0 to overload a single key-hash shard -- the hot-key
+//    mitigation target.
+//  - GridKeys: CheetahGIS-style spatial workload. Entities random-walk on a
+//    W x H grid of cells; a row's key is its entity's current cell id. Keys
+//    are therefore spatially correlated and drift over time (cells heat up
+//    and cool down as entities cluster), a qualitatively different
+//    distribution from both uniform and Zipf.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "dataflow/event_batch.h"
+
+namespace cameo {
+
+/// Materializes the columns of one source batch: `tuples` rows, unit values,
+/// all stamped with the batch's logical time `p`.
+class KeySampler {
+ public:
+  virtual ~KeySampler() = default;
+  virtual void Fill(EventBatch& batch, std::int64_t tuples, LogicalTime p,
+                    Rng& rng) = 0;
+};
+
+using KeySamplerFactory = std::function<std::unique_ptr<KeySampler>(int replica)>;
+
+/// Keys uniform over [0, num_keys).
+class UniformKeys final : public KeySampler {
+ public:
+  explicit UniformKeys(std::int64_t num_keys);
+  void Fill(EventBatch& batch, std::int64_t tuples, LogicalTime p,
+            Rng& rng) override;
+
+ private:
+  std::int64_t num_keys_;
+};
+
+/// Zipf(s) over key ranks {0, ..., num_keys - 1}; rank is the key.
+class ZipfKeys final : public KeySampler {
+ public:
+  ZipfKeys(std::int64_t num_keys, double s);
+  void Fill(EventBatch& batch, std::int64_t tuples, LogicalTime p,
+            Rng& rng) override;
+
+ private:
+  ZipfSampler zipf_;
+};
+
+/// CheetahGIS-style spatial grid: `entities` walkers on a `width` x `height`
+/// cell grid, each stepping at most one cell per batch in a random
+/// direction. A row reports a uniformly chosen entity's cell id
+/// (y * width + x). `hotspot_bias` in [0, 1) pulls steps toward the grid
+/// center, clustering entities (hot cells) the way vehicle traces cluster
+/// downtown.
+class GridKeys final : public KeySampler {
+ public:
+  GridKeys(int width, int height, int entities, double hotspot_bias = 0.25);
+  void Fill(EventBatch& batch, std::int64_t tuples, LogicalTime p,
+            Rng& rng) override;
+
+ private:
+  struct Entity {
+    int x = 0;
+    int y = 0;
+  };
+  void Step(Entity& e, Rng& rng);
+
+  int width_;
+  int height_;
+  double hotspot_bias_;
+  std::vector<Entity> entities_;
+  bool placed_ = false;
+};
+
+}  // namespace cameo

@@ -18,9 +18,11 @@
 #include <vector>
 
 #include "common/pool.h"
+#include "common/rng.h"
 #include "sched/cameo_scheduler.h"
 #include "sched/fifo_scheduler.h"
 #include "sim/event_queue.h"
+#include "state/keyed_counter.h"
 
 // ---------------------------------------------------------------------------
 // Counting global allocator.
@@ -206,6 +208,116 @@ TEST(ZeroAllocTest, ColumnarBatchRecycleSteadyState) {
   if (kCountingReliable) {
     EXPECT_EQ(after - before, 0)
         << "recycled column buffers must satisfy steady-state Appends";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Keyed slate state: a million live keys, zero allocations per message.
+// ---------------------------------------------------------------------------
+
+/// Recycles every emitted batch back into the column stash, mirroring what
+/// the runtime does after a sink consumes a message.
+class DrainEmitter final : public Emitter {
+ public:
+  void Emit(int /*port*/, EventBatch batch, SimTime /*event_time*/) override {
+    ++emitted;
+    batch.Recycle();
+  }
+  std::int64_t emitted = 0;
+};
+
+/// Drives `op` with one columnar batch of `keys` rows (ids `base + i`), all
+/// stamped `p`, then recycles the input batch -- the runtime's steady-state
+/// message lifecycle.
+void DriveKeyedBatch(KeyedCounterOp& op, InvokeContext& ctx, std::int64_t& id,
+                     std::int64_t base, std::int64_t keys, LogicalTime p) {
+  Message m;
+  m.id = MessageId{id++};
+  m.sender = OperatorId{1};
+  m.batch.progress = p;
+  for (std::int64_t i = 0; i < keys; ++i) m.batch.Append(base + i, 1.0, p);
+  op.Invoke(m, ctx);
+  m.batch.Recycle();
+}
+
+TEST(ZeroAllocTest, KeyedCounterMillionKeySteadyState) {
+  KeyedCounterOptions opts;
+  opts.mini_batch = true;
+  KeyedCounterOp op("slates", WindowSpec::Tumbling(256), {0, 0, 0.0}, opts);
+  DrainEmitter emitter;
+  Rng rng(7);
+  InvokeContext ctx{0, &emitter, &rng};
+  std::int64_t id = 0;
+  LogicalTime p = 0;
+
+  // Build the working set: 1M distinct keys, watermark advancing so windows
+  // close as we go. This also wraps the timer wheel's 256-bucket ring several
+  // times (one wheel bucket per batch at this stride), warming every bucket
+  // vector, the slate store's growth path, and the pool's slab caches.
+  constexpr std::int64_t kKeys = 1 << 20;  // 1,048,576 live keys
+  constexpr std::int64_t kBatch = 512;
+  for (std::int64_t base = 0; base < kKeys; base += kBatch) {
+    p += 64;
+    DriveKeyedBatch(op, ctx, id, base, kBatch, p);
+  }
+  ASSERT_EQ(op.live_keys(), static_cast<std::size_t>(kKeys));
+
+  // Steady state: traffic cycles over a resident subset of the million keys,
+  // windows keep closing, emissions keep draining. A few cycles first so the
+  // emission batches and pending-emit buffers reach their high-water marks.
+  std::int64_t next = 0;
+  auto drive = [&](int batches) {
+    for (int i = 0; i < batches; ++i) {
+      p += 64;
+      DriveKeyedBatch(op, ctx, id, next, kBatch, p);
+      next = (next + kBatch) % 4096;
+    }
+  };
+  drive(600);  // > 256 batches: full ring wrap inside the warm phase
+
+  const std::int64_t before = HeapAllocs();
+  drive(512);  // another full wrap, measured
+  const std::int64_t after = HeapAllocs();
+  EXPECT_EQ(op.live_keys(), static_cast<std::size_t>(kKeys));
+  EXPECT_GT(emitter.emitted, 0);
+  if (kCountingReliable) {
+    EXPECT_EQ(after - before, 0)
+        << "steady-state keyed-counter messages must not touch the heap";
+  }
+}
+
+TEST(ZeroAllocTest, KeyedCounterTtlChurnSteadyState) {
+  // Keys arrive, go idle, and expire: inserts balance expiries, so the store
+  // reaches a fixed population where tombstone sweeps (same-capacity
+  // rehashes) recycle slabs through the pool instead of growing. After the
+  // pool has seen one full double-buffered rehash, churn is allocation-free.
+  KeyedCounterOptions opts;
+  opts.ttl = 2048;
+  KeyedCounterOp op("churn", WindowSpec::Tumbling(256), {0, 0, 0.0}, opts);
+  DrainEmitter emitter;
+  Rng rng(11);
+  InvokeContext ctx{0, &emitter, &rng};
+  std::int64_t id = 0;
+  LogicalTime p = 0;
+  std::int64_t base = 0;
+  auto drive = [&](int batches) {
+    for (int i = 0; i < batches; ++i) {
+      p += 64;
+      DriveKeyedBatch(op, ctx, id, base, 256, p);
+      base += 256;  // fresh keys every batch; old ones idle out via TTL
+    }
+  };
+  drive(4000);
+  const std::size_t population = op.live_keys();
+
+  const std::int64_t before = HeapAllocs();
+  drive(2000);
+  const std::int64_t after = HeapAllocs();
+  EXPECT_EQ(op.live_keys(), population) << "TTL churn must hold steady";
+  EXPECT_GT(op.expired(), 0);
+  if (kCountingReliable) {
+    EXPECT_EQ(after - before, 0)
+        << "insert/expire churn must recycle slabs, not allocate";
   }
 }
 

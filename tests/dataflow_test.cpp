@@ -8,6 +8,7 @@
 #include "ops/sink.h"
 #include "ops/source.h"
 #include "ops/window_agg.h"
+#include "state/slate_store.h"
 
 namespace cameo {
 namespace {
@@ -134,18 +135,26 @@ TEST(GraphTest, RouteKeyHashSplitsColumnarByKey) {
   batch.progress = Seconds(1);
   for (std::int64_t k = 0; k < 100; ++k) batch.Append(k, 1.0, 10);
   auto out = g.Route(g.stage(a).operators[0], 0, std::move(batch));
+  // Every replica receives a delivery: rows for the keys it owns, or a
+  // progress-only batch, so keyed shards' watermarks always advance.
+  ASSERT_EQ(out.size(), 4u);
   std::int64_t total = 0;
+  std::size_t with_rows = 0;
   for (const auto& d : out) {
-    total += d.batch.size();
     EXPECT_EQ(d.batch.progress, Seconds(1)) << "progress preserved per split";
-    // Same key never lands on two replicas: verified by re-hashing.
+    if (!d.batch.columnar()) {
+      EXPECT_EQ(d.batch.size(), 0) << "row-less delivery is progress-only";
+      continue;
+    }
+    ++with_rows;
+    total += d.batch.size();
+    // Same key never lands on two replicas: verified by re-mixing.
     for (std::int64_t k : d.batch.keys) {
-      EXPECT_EQ(std::hash<std::int64_t>{}(k) % 4,
-                std::hash<std::int64_t>{}(d.batch.keys[0]) % 4);
+      EXPECT_EQ(KeyMix(k) % 4, KeyMix(d.batch.keys[0]) % 4);
     }
   }
   EXPECT_EQ(total, 100);
-  EXPECT_GE(out.size(), 2u) << "100 keys should span several replicas";
+  EXPECT_GE(with_rows, 2u) << "100 keys should span several replicas";
 }
 
 TEST(GraphTest, RouteKeyHashSameKeySameReplica) {
@@ -160,9 +169,72 @@ TEST(GraphTest, RouteKeyHashSameKeySameReplica) {
   b2.Append(42, 2.0, 2);
   auto d1 = g.Route(sender, 0, std::move(b1));
   auto d2 = g.Route(sender, 0, std::move(b2));
-  ASSERT_EQ(d1.size(), 1u);
-  ASSERT_EQ(d2.size(), 1u);
-  EXPECT_EQ(d1[0].target, d2[0].target);
+  ASSERT_EQ(d1.size(), 4u);
+  ASSERT_EQ(d2.size(), 4u);
+  auto owner = [](const std::vector<DataflowGraph::Delivery>& ds) {
+    for (const auto& d : ds) {
+      if (d.batch.columnar()) return d.target;
+    }
+    ADD_FAILURE() << "no replica received the row";
+    return OperatorId{};
+  };
+  EXPECT_EQ(owner(d1), owner(d2));
+}
+
+TEST(GraphTest, RouteKeyHashKeylessBroadcastsProgress) {
+  DataflowGraph g;
+  JobId job = g.AddJob({.name = "j"});
+  StageId a = g.AddStage(job, "a", 1, SourceFactory());
+  StageId b = g.AddStage(job, "b", 3, SinkFactory());
+  g.Connect(a, b, Partition::kKeyHash);
+  auto out =
+      g.Route(g.stage(a).operators[0], 0, EventBatch::Synthetic(7, Seconds(2)));
+  ASSERT_EQ(out.size(), 3u);
+  std::int64_t synthetic = 0;
+  for (const auto& d : out) {
+    EXPECT_EQ(d.batch.progress, Seconds(2));
+    synthetic += d.batch.synthetic_count;
+  }
+  // The synthetic tuple count lands exactly once (on key 0's owner).
+  EXPECT_EQ(synthetic, 7);
+}
+
+TEST(GraphTest, RouteKeyHashHotSplitSpreadsHotKeyOnly) {
+  DataflowGraph g;
+  JobId job = g.AddJob({.name = "j"});
+  StageId a = g.AddStage(job, "a", 1, SourceFactory());
+  StageId b = g.AddStage(job, "b", 4, SinkFactory());
+  g.Connect(a, b, Partition::kKeyHash, /*split=*/4);
+  EventBatch batch;
+  batch.progress = Seconds(1);
+  // One scorching key (9000 of 10000 rows) plus a cold tail.
+  for (int i = 0; i < 9000; ++i) batch.Append(7, 1.0, 10);
+  for (std::int64_t k = 0; k < 1000; ++k) batch.Append(1000 + k, 1.0, 10);
+  auto out = g.Route(g.stage(a).operators[0], 0, std::move(batch));
+  ASSERT_EQ(out.size(), 4u);
+  std::size_t replicas_with_hot = 0;
+  std::int64_t hot_rows = 0;
+  std::int64_t total = 0;
+  for (const auto& d : out) {
+    total += d.batch.size();
+    bool has_hot = false;
+    for (std::int64_t k : d.batch.keys) {
+      if (k == 7) {
+        has_hot = true;
+        ++hot_rows;
+      } else {
+        // Cold keys still route exactly as the unsplit path would.
+        EXPECT_EQ(KeyMix(k) % 4,
+                  static_cast<std::uint64_t>(
+                      &d - out.data()));
+      }
+    }
+    if (has_hot) ++replicas_with_hot;
+  }
+  EXPECT_EQ(total, 10000);
+  EXPECT_EQ(hot_rows, 9000);
+  EXPECT_GE(replicas_with_hot, 2u)
+      << "the hot key must spread across sub-routes";
 }
 
 TEST(GraphTest, MultiplePortsRouteIndependently) {

@@ -4,6 +4,8 @@
 
 #include <map>
 #include <tuple>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "ops/agg_kernels.h"
@@ -735,6 +737,125 @@ TEST(AggKernelTest, ScatteredPlanMatchesRowWiseOnInterleavedTimes) {
     EXPECT_EQ(a.keys, b.keys);
     EXPECT_EQ(a.values, b.values);
     ++it;
+  }
+}
+
+TEST(AggKernelTest, ShuffledTimestampsMatchContiguousFastPathBitExactly) {
+  // The same rows, once time-sorted (contiguous fast path) and once shuffled
+  // (scatter pass), must produce bit-identical window results. Values are
+  // integer-valued doubles, so per-window accumulation is exact regardless
+  // of fold order and "bit-exact" is a meaningful assertion.
+  const LogicalTime S = 10;
+  for (const bool per_key : {false, true}) {
+    for (const AggKind kind : {AggKind::kSum, AggKind::kCount, AggKind::kMax}) {
+      const AggKernel kernel(kind, per_key);
+      Rng rng(31);
+      EventBatch sorted;
+      LogicalTime t = 1;
+      for (int i = 0; i < 400; ++i) {
+        t += rng.UniformInt(0, 2);
+        sorted.Append(rng.UniformInt(0, 9),
+                      static_cast<double>(rng.UniformInt(0, 50)), t);
+      }
+      // Deterministic shuffle of row order (Fisher-Yates on indices).
+      std::vector<std::size_t> order(sorted.keys.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[static_cast<std::size_t>(
+                                    rng.UniformInt(0, static_cast<std::int64_t>(
+                                                          i - 1)))]);
+      }
+      EventBatch shuffled;
+      for (std::size_t i : order) {
+        shuffled.Append(sorted.keys[i], sorted.values[i], sorted.times[i]);
+      }
+
+      const auto fold = [&](const EventBatch& batch) {
+        std::map<LogicalTime, AggWindowState> windows;
+        WindowPlan plan;
+        plan.Build(batch.times, S, S);
+        for (const WindowPlan::Bucket& bk : plan.buckets()) {
+          if (plan.contiguous()) {
+            kernel.FoldRows(windows[bk.first_end], batch, bk.begin, bk.count);
+          } else {
+            kernel.FoldRows(windows[bk.first_end], batch,
+                            plan.rows() + bk.begin, bk.count);
+          }
+        }
+        return windows;
+      };
+
+      WindowPlan probe;
+      probe.Build(sorted.times, S, S);
+      ASSERT_TRUE(probe.contiguous());
+      probe.Build(shuffled.times, S, S);
+      ASSERT_FALSE(probe.contiguous());
+
+      const auto a = fold(sorted);
+      const auto b = fold(shuffled);
+      ASSERT_EQ(a.size(), b.size());
+      auto it = b.begin();
+      for (const auto& [end, state] : a) {
+        ASSERT_EQ(end, it->first);
+        EventBatch ea, eb;
+        kernel.Emit(state, end, ea);
+        kernel.Emit(it->second, end, eb);
+        EXPECT_EQ(ea.keys, eb.keys);
+        EXPECT_EQ(ea.values, eb.values) << "bit-exact across row orders";
+        EXPECT_EQ(ea.times, eb.times);
+        ++it;
+      }
+    }
+  }
+}
+
+// ---------------- FlatKeyMap (now an alias of SlateStore<double>) ----------
+
+TEST(FlatKeyMapTest, RandomizedChurnMatchesUnorderedMap) {
+  FlatKeyMap map;
+  std::unordered_map<std::int64_t, double> ref;
+  Rng rng(4242);
+  for (int i = 0; i < 60'000; ++i) {
+    const std::int64_t key = rng.UniformInt(-500, 500);
+    if (rng.Uniform01() < 0.6) {
+      const double v = static_cast<double>(rng.UniformInt(1, 9));
+      map.Probe(key) += v;
+      ref[key] += v;
+    } else {
+      EXPECT_EQ(map.Erase(key), ref.erase(key) > 0);
+    }
+  }
+  ASSERT_EQ(map.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    const double* got = map.Find(k);
+    ASSERT_NE(got, nullptr);
+    EXPECT_DOUBLE_EQ(*got, v);
+  }
+}
+
+TEST(FlatKeyMapTest, TombstoneReuseThenDeterministicSortedEmission) {
+  FlatKeyMap map;
+  // Insert, erase every odd key (tombstones), reinsert some -- the map must
+  // reuse tombstoned slots and still emit sorted by key.
+  for (std::int64_t k = 0; k < 2000; ++k) map.Probe(k) = static_cast<double>(k);
+  for (std::int64_t k = 1; k < 2000; k += 2) EXPECT_TRUE(map.Erase(k));
+  EXPECT_EQ(map.tombstones(), 1000u);
+  for (std::int64_t k = 1; k < 1000; k += 2) map.Probe(k) = -1.0;
+  EXPECT_EQ(map.size(), 1500u);
+
+  std::vector<std::pair<std::int64_t, double>> out;
+  map.AppendSorted(out);
+  ASSERT_EQ(out.size(), 1500u);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].first, out[i].first);
+  }
+  for (const auto& [k, v] : out) {
+    if (k % 2 == 1) {
+      EXPECT_DOUBLE_EQ(v, -1.0);
+      EXPECT_LT(k, 1000);
+    } else {
+      EXPECT_DOUBLE_EQ(v, static_cast<double>(k));
+    }
   }
 }
 

@@ -46,6 +46,16 @@ constexpr std::uint64_t kGoldenSkewT1Outputs = 9;
 constexpr std::uint64_t kGoldenSkewT2Outputs = 9;
 constexpr std::uint64_t kGoldenSkewMet = 18;
 
+// Scenario 4: KeyedZipfSlatesSeed5
+constexpr std::uint64_t kGoldenKeyedMessages = 3258;
+constexpr std::int64_t kGoldenKeyedRowsSeen = 1'272'000;
+constexpr std::int64_t kGoldenKeyedCountEmitted = 1'120'000;
+constexpr std::int64_t kGoldenKeyedLateDropped = 0;
+constexpr std::int64_t kGoldenKeyedInserted = 23'610;
+constexpr std::int64_t kGoldenKeyedExpired = 5'413;
+constexpr std::uint64_t kGoldenKeyedOutputs = 14;
+constexpr std::int64_t kGoldenKeyedP99Ms = 4;
+
 std::int64_t P99Bucket(const RunResult& run, const std::string& prefix) {
   return static_cast<std::int64_t>(std::floor(run.GroupPercentile(prefix, 99)));
 }
@@ -131,6 +141,35 @@ TEST(ReplayTest, SkewedWorkloadSeed11) {
   EXPECT_EQ(Outputs(r, "T1-"), kGoldenSkewT1Outputs);
   EXPECT_EQ(Outputs(r, "T2-"), kGoldenSkewT2Outputs);
   EXPECT_EQ(MetCount(r, "T1-") + MetCount(r, "T2-"), kGoldenSkewMet);
+}
+
+// ---- Scenario 4: keyed slate state (Zipf skew, hot-key split, TTL) ----
+
+TEST(ReplayTest, KeyedZipfSlatesSeed5) {
+  KeyedScenarioOptions opt;
+  opt.dist = KeyDistribution::kZipf;
+  opt.num_keys = 20'000;
+  opt.zipf_s = 1.1;
+  opt.splits = 2;
+  opt.mini_batch = true;
+  opt.ttl = Seconds(3);
+  opt.duration = Seconds(8);
+  opt.seed = 5;
+  KeyedScenarioResult r = RunKeyedScenario(opt);
+
+  EXPECT_EQ(r.run.messages, kGoldenKeyedMessages);
+  EXPECT_EQ(r.rows_seen, kGoldenKeyedRowsSeen);
+  // Counts are integer-valued doubles: bit-exact per-key counting makes the
+  // emitted total pin exactly.
+  EXPECT_EQ(static_cast<std::int64_t>(r.count_emitted),
+            kGoldenKeyedCountEmitted);
+  EXPECT_EQ(r.late_dropped, kGoldenKeyedLateDropped);
+  EXPECT_EQ(r.keys_inserted, kGoldenKeyedInserted);
+  EXPECT_EQ(r.keys_expired, kGoldenKeyedExpired);
+  // Slate-lifecycle books always balance, horizon or not.
+  EXPECT_EQ(r.keys_inserted, r.keys_expired + r.keys_live);
+  EXPECT_EQ(Outputs(r.run, "KEYED"), kGoldenKeyedOutputs);
+  EXPECT_EQ(P99Bucket(r.run, "KEYED"), kGoldenKeyedP99Ms);
 }
 
 }  // namespace
