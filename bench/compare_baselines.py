@@ -22,9 +22,12 @@ compared:
   - `.min` companions (from --repeat runs) are ignored; the median is the
     gated statistic.
 
-Success-rate/throughput metrics are deliberately not gated here (higher is
-better and workload-semantics changes move them legitimately); the replay
-golden tests gate semantics.
+Deadline-met-rate metrics (keys ending in `_met_rate`, fractions in [0,1])
+are deterministic for a fixed seed and gate in the *opposite* direction: a
+fresh value below baseline * (1 - threshold) is a regression (higher is
+better). Other success-rate/throughput metrics are deliberately not gated
+here (workload-semantics changes move them legitimately); the replay golden
+tests gate semantics.
 
 Exit status: 0 when no gated metric regressed, 1 otherwise, 2 on usage
 errors. Intended to run as the `bench_compare_baselines` ctest (label
@@ -44,11 +47,18 @@ WALL_SUFFIXES = (".ns_per_op", ".ns_per_msg", ".ns_per_row")  # noisy real time
 # fresh allocation over the baseline count is a regression, even from a
 # zero baseline (which the relative gate below would have to skip).
 ALLOC_SUFFIXES = ("_allocs_per_msg",)
+# Deadline-met rates: deterministic fractions in [0, 1] where *higher* is
+# better, so the gate fires on a relative decrease instead of an increase.
+MET_SUFFIXES = ("_met_rate",)
 WALL_SLACK = 3.0
 
 
 def is_alloc_metric(key: str) -> bool:
     return any(key.endswith(s) for s in ALLOC_SUFFIXES)
+
+
+def is_met_metric(key: str) -> bool:
+    return any(key.endswith(s) for s in MET_SUFFIXES)
 
 
 def gate_budget(key: str, threshold: float, gate_wall: bool):
@@ -57,6 +67,8 @@ def gate_budget(key: str, threshold: float, gate_wall: bool):
         return None
     if is_alloc_metric(key):
         return 0.0  # absolute gate, handled separately from the ratio path
+    if is_met_metric(key):
+        return threshold  # gated on *decrease*, handled in the main loop
     if any(key.endswith(s) for s in SIM_SUFFIXES):
         return threshold
     if gate_wall and any(key.endswith(s) for s in WALL_SUFFIXES):
@@ -153,6 +165,17 @@ def main() -> int:
                     regressions.append((bench, key, b, f, f - b))
                 continue
             if b <= 0:
+                continue
+            if is_met_metric(key):
+                ratio = (f - b) / b
+                regressed = f < b * (1.0 - budget)
+                verdict = "REGRESSION" if regressed else "ok"
+                if regressed or args.list:
+                    print(f"  {verdict:10s} {key}: baseline {b:.3f} -> {f:.3f} "
+                          f"({ratio:+.1%}, budget -{budget:.0%}, "
+                          f"higher is better)")
+                if regressed:
+                    regressions.append((bench, key, b, f, ratio))
                 continue
             ratio = (f - b) / b
             verdict = "REGRESSION" if ratio > budget else "ok"

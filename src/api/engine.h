@@ -42,7 +42,9 @@ struct EngineOptions {
   /// messages one worker activation drains from a claimed operator; the
   /// Fig. 13 drain knob).
   SchedulerConfig sched;
-  /// Cameo policy: "LLF", "EDF", "SJF", or "TokenFair" (ValidPolicyNames).
+  /// Cameo scheduling policy; any name in ValidPolicyNames() (core/policies.h
+  /// registry). Unknown names fail fast at engine construction, printing the
+  /// live roster.
   std::string policy = "LLF";
   /// Fig. 15 ablation: topology-aware but not query-semantics-aware.
   bool use_query_semantics = true;

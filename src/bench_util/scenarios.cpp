@@ -117,6 +117,7 @@ RunResult RunSkewedScenario(const SkewScenarioOptions& opt) {
   eo.workers = opt.workers;
   eo.scheduler = opt.scheduler;
   eo.sched.quantum = opt.quantum;
+  eo.policy = opt.policy;
   eo.seed = opt.seed;
   SimEngine engine(eo);
 
@@ -264,6 +265,7 @@ KeyedScenarioResult RunKeyedScenario(const KeyedScenarioOptions& opt) {
   EngineOptions eo;
   eo.workers = opt.workers;
   eo.scheduler = opt.scheduler;
+  eo.policy = opt.policy;
   eo.seed = opt.seed;
   SimEngine engine(eo);
 

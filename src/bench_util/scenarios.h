@@ -101,6 +101,7 @@ struct SkewScenarioOptions {
   int workers = 4;
   SimTime duration = Seconds(60);
   SchedulerKind scheduler = SchedulerKind::kCameo;
+  std::string policy = "LLF";
   Duration quantum = kMillisecond;
   /// Tight target: bursts make most outputs miss it unless the scheduler
   /// prioritizes the critical messages (paper: success rates 0.2%-45%).
@@ -217,6 +218,7 @@ struct KeyedScenarioOptions {
   SimTime duration = Seconds(30);
   Duration constraint = Millis(800);
   SchedulerKind scheduler = SchedulerKind::kCameo;
+  std::string policy = "LLF";
   std::uint64_t seed = 1;
 };
 

@@ -59,7 +59,7 @@ void ContextConverter::CxtConvert(PriorityContext& pc, LogicalTime p,
   }
   pc.frontier_progress = p_mf;
   pc.frontier_time = t_mf;
-  policy_->AssignPriority(pc, RcForLocked(target.id()));
+  policy_->AssignPriority(pc, RcForLocked(target.id()), target.id());
 }
 
 void ContextConverter::ProcessCtxFromReply(OperatorId from,

@@ -54,7 +54,7 @@ struct SourceEvent {
 
 class ContextConverter {
  public:
-  ContextConverter(const SchedulingPolicy* policy, ConverterOptions options)
+  ContextConverter(SchedulingPolicy* policy, ConverterOptions options)
       : policy_(policy),
         options_(options),
         progress_map_(options.time_domain, options.progress_fit_window) {
@@ -102,7 +102,9 @@ class ContextConverter {
                   LogicalTime sender_slide, const Operator& target);
   const ReplyContext& RcForLocked(OperatorId target) const;
 
-  const SchedulingPolicy* policy_;
+  /// Shared across all converters of one backend; stateful policies
+  /// (Stride/Lottery/MLFQ) synchronize internally (see core/policies.h).
+  SchedulingPolicy* policy_;
   ConverterOptions options_;
   mutable std::mutex mu_;
   ProgressMap progress_map_;

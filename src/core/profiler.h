@@ -21,7 +21,20 @@
 
 namespace cameo {
 
-class CostProfiler {
+/// Read-only view of per-operator cost estimates. Decouples consumers that
+/// only ever *read* costs — notably the SJF policy's direct read path
+/// (core/policies.h) — from the profiler's recording half, and lets tests
+/// substitute a fixed table. Implementations must be safe to call
+/// concurrently with recording.
+class CostReader {
+ public:
+  virtual ~CostReader() = default;
+
+  /// Current estimate of C_o for `op`; 0 when never seen (cold start).
+  virtual Duration EstimateCost(OperatorId op) const = 0;
+};
+
+class CostProfiler : public CostReader {
  public:
   /// `smoothing` is the EWMA weight of the newest sample, in (0, 1].
   explicit CostProfiler(double smoothing = 0.25, std::uint64_t noise_seed = 7)
@@ -38,6 +51,9 @@ class CostProfiler {
   /// is enabled, the returned estimate carries N(0, sigma) noise, clamped at
   /// zero (a cost estimate cannot be negative).
   Duration Estimate(OperatorId op) const;
+
+  /// CostReader: the policy-facing alias of Estimate().
+  Duration EstimateCost(OperatorId op) const override { return Estimate(op); }
 
   /// Enables Fig. 16-style perturbation of reported estimates.
   void SetPerturbation(Duration sigma) { perturb_sigma_ = sigma; }

@@ -40,13 +40,14 @@ void SpinFor(Duration d) {
 ThreadRuntime::ThreadRuntime(RuntimeConfig config, DataflowGraph graph)
     : config_(config),
       graph_(std::move(graph)),
-      policy_(MakePolicy(config.policy)),
+      policy_(MakePolicy(config.policy, PolicyOptions{.seed = config.seed})),
       scheduler_(
           MakeScheduler(config.scheduler, config.num_workers, config.sched)),
       latency_(config.num_workers),
       start_(std::chrono::steady_clock::now()) {
   CAMEO_EXPECTS(config.num_workers >= 1 &&
                 config.num_workers <= Scheduler::kMaxWorkers);
+  policy_->BindCostReader(&profiler_);
   std::lock_guard control(control_mu_);
   for (JobId job : graph_.job_ids()) RegisterJobTables(job);
 }
@@ -327,6 +328,7 @@ void ThreadRuntime::WorkerLoop(int index) {
       SimTime exec_end = Now();
 
       profiler_.Record(target, exec_end - exec_start);
+      policy_->OnInvoked(target, op.job(), exec_end - exec_start, exec_end);
       RouteOutputs(msg, op, outs, w);
       if (msg.sender.valid()) {
         ReplyContext rc =

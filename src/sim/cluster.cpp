@@ -37,7 +37,7 @@ Cluster::Cluster(ClusterConfig config, DataflowGraph graph)
     : config_(config),
       graph_(std::move(graph)),
       rng_(config.seed),
-      policy_(MakePolicy(config.policy)),
+      policy_(MakePolicy(config.policy, PolicyOptions{.seed = config.seed})),
       scheduler_(
           MakeScheduler(config.scheduler, config.num_workers, config.sched)),
       profiler_(/*smoothing=*/0.25, /*noise_seed=*/config.seed ^ 0x9e3779b9),
@@ -45,6 +45,7 @@ Cluster::Cluster(ClusterConfig config, DataflowGraph graph)
   CAMEO_EXPECTS(config.num_workers >= 1 &&
                 config.num_workers <= Scheduler::kMaxWorkers);
   profiler_.SetPerturbation(config_.profiler_perturbation);
+  policy_->BindCostReader(&profiler_);
   timeline_.SetEnabled(config_.enable_timeline);
   SetupConverters();
   for (JobId job : graph_.job_ids()) {
@@ -382,6 +383,7 @@ void Cluster::CompleteMessage(WorkerId w, Message m, SimTime dispatch_time,
                               Duration exec_cost) {
   Operator& op = graph_.Get(m.target);
   profiler_.Record(m.target, exec_cost);
+  policy_->OnInvoked(m.target, op.job(), exec_cost, events_.now());
   if (op.is_source()) {
     latency_.OnProcessed(op.job(), m.batch.size(), events_.now());
   }

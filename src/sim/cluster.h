@@ -54,7 +54,8 @@ struct ClusterConfig {
   int num_workers = 4;
   SchedulerKind scheduler = SchedulerKind::kCameo;
   SchedulerConfig sched;
-  /// Cameo policy: "LLF", "EDF", "SJF", or "TokenFair".
+  /// Cameo scheduling policy; any name in ValidPolicyNames() (core/policies.h
+  /// registry — the roster there is the single source of truth).
   std::string policy = "LLF";
   /// Fig. 15 ablation: topology-aware but not query-semantics-aware.
   bool use_query_semantics = true;
@@ -148,6 +149,7 @@ class Cluster {
   Timeline& timeline() { return timeline_; }
   Scheduler& scheduler() { return *scheduler_; }
   CostProfiler& profiler() { return profiler_; }
+  SchedulingPolicy& policy() { return *policy_; }
   ContextConverter& converter(OperatorId op);
   const ClusterConfig& config() const { return config_; }
 

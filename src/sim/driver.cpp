@@ -46,6 +46,7 @@ RunResult SummarizeRun(Cluster& cluster, SimTime span) {
   out.utilization = cluster.utilization().Utilization();
   out.sched = cluster.scheduler().stats();
   out.messages = cluster.messages_delivered();
+  out.policy_counters = cluster.policy().Counters();
   for (JobId job : cluster.latency().jobs()) {
     JobResult r;
     r.job = job;

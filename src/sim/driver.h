@@ -33,6 +33,9 @@ struct RunResult {
   double utilization = 0;
   SchedulerStats sched;
   std::uint64_t messages = 0;
+  /// Per-policy statistics (cold starts, demotions, lottery draws, ...),
+  /// snapshotted from the cluster's SchedulingPolicy at summary time.
+  std::vector<PolicyCounter> policy_counters;
 
   const JobResult& ByName(const std::string& name) const;
 

@@ -202,7 +202,11 @@ TEST(QueryDefTest, SpecBuildersProduceIdenticalTopology) {
 TEST(ApiDeathTest, UnknownPolicyFailsFastAtEngineConstruction) {
   EngineOptions opt;
   opt.policy = "LIFO";
-  EXPECT_DEATH(SimEngine{opt}, "valid policies: LLF EDF SJF TokenFair");
+  // The death message must list the live roster — built here from
+  // ValidPolicyNames() so a registry addition can never stale this test.
+  std::string expected = "valid policies:";
+  for (const std::string& name : ValidPolicyNames()) expected += " " + name;
+  EXPECT_DEATH(SimEngine{opt}, expected);
 }
 
 // ---------------- SimEngine vs ThreadEngine parity ----------------

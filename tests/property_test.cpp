@@ -195,8 +195,8 @@ TEST(DeadlineProperty, LaxerConstraintNeverIncreasesPriority) {
     rc.valid = true;
     rc.cost_m = rng.UniformInt(0, Millis(10));
     rc.cost_path = rng.UniformInt(0, Millis(10));
-    llf.AssignPriority(a, rc);
-    llf.AssignPriority(b, rc);
+    llf.AssignPriority(a, rc, OperatorId{1});
+    llf.AssignPriority(b, rc, OperatorId{1});
     EXPECT_LT(a.pri_global, b.pri_global)
         << "tighter constraint must be more urgent";
   }
@@ -212,8 +212,8 @@ TEST(DeadlineProperty, LongerCriticalPathIsMoreUrgent) {
   rc_shallow.cost_m = rc_deep.cost_m = Millis(1);
   rc_shallow.cost_path = Millis(2);
   rc_deep.cost_path = Millis(50);
-  llf.AssignPriority(shallow, rc_shallow);
-  llf.AssignPriority(deep, rc_deep);
+  llf.AssignPriority(shallow, rc_shallow, OperatorId{1});
+  llf.AssignPriority(deep, rc_deep, OperatorId{1});
   EXPECT_LT(deep.pri_global, shallow.pri_global)
       << "more downstream work leaves less slack";
 }
@@ -235,8 +235,8 @@ TEST(DeadlineProperty, ExtensionNeverShrinksDeadline) {
     regular.latency_constraint = windowed.latency_constraint = Millis(800);
     ReplyContext rc;
     rc.valid = true;
-    llf.AssignPriority(regular, rc);
-    llf.AssignPriority(windowed, rc);
+    llf.AssignPriority(regular, rc, OperatorId{1});
+    llf.AssignPriority(windowed, rc, OperatorId{1});
     EXPECT_GE(windowed.pri_global, regular.pri_global);
   }
 }

@@ -1,10 +1,18 @@
 // Unit tests for src/sched: the four schedulers' ordering, quantum
-// preemption, operator exclusivity, and starvation control.
+// preemption, operator exclusivity, and starvation control; plus the
+// policy-comparator strict-weak-ordering property suite (every registered
+// policy, randomized contexts).
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/policies.h"
 #include "sched/cameo_scheduler.h"
 #include "sched/fifo_scheduler.h"
 #include "sched/orleans_scheduler.h"
+#include "sched/ready_queue.h"
 #include "sched/slot_scheduler.h"
 
 namespace cameo {
@@ -426,6 +434,120 @@ INSTANTIATE_TEST_SUITE_P(AllSchedulers, AnySchedulerTest,
                              default:
                                return std::string("Slot");
                            }
+                         });
+
+// ---------------- Policy-comparator ordering properties ----------------
+//
+// The scheduler's dispatch order is induced by two comparators over the
+// priorities the policies emit: ReadyKey (PRI_global, message id) for the
+// operator heap, and (PRI_local, message id) for the mailbox heap. Both
+// must be strict weak orderings (irreflexive, asymmetric, transitive) for
+// std::push_heap/sort to be defined behavior — and because the message-id
+// tie-break makes distinct messages always comparable, they must in fact be
+// strict *total* orders: exactly one of a<b / b<a for a != b, which is what
+// makes equal-priority dispatch deterministic FIFO for every policy,
+// including SJF's all-zero cold-start band. The suite runs each registered
+// policy over randomized contexts (so it covers every roster addition
+// automatically) and checks the axioms on the resulting keys.
+
+/// Mirrors the mailbox's LocalOrderGreater (mailbox.cpp) with < polarity.
+struct LocalKey {
+  Priority pri = 0;
+  std::int64_t seq = 0;
+  friend bool operator<(const LocalKey& a, const LocalKey& b) {
+    if (a.pri != b.pri) return a.pri < b.pri;
+    return a.seq < b.seq;
+  }
+};
+
+class PolicyOrderingProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PolicyOrderingProperty, ComparatorIsStrictTotalOrder) {
+  PolicyOptions opts;
+  opts.seed = 99;
+  std::unique_ptr<SchedulingPolicy> policy = MakePolicy(GetParam(), opts);
+  Rng rng(13);
+
+  // Randomized contexts: mixed jobs/targets, token state, occasional
+  // invalid Reply Contexts (the SJF cold-start band) and identical inputs
+  // (forcing equal priorities, so only the id tie-break separates keys).
+  std::vector<ReadyKey> global_keys;
+  std::vector<LocalKey> local_keys;
+  const int kSamples = 48;
+  for (int i = 0; i < kSamples; ++i) {
+    PriorityContext pc;
+    pc.id = MessageId{i};
+    pc.job = JobId{rng.UniformInt(1, 4)};
+    pc.frontier_time = rng.UniformInt(0, Seconds(100));
+    pc.frontier_progress =
+        (i % 5 == 0) ? Seconds(50) : pc.frontier_time;  // forced collisions
+    pc.latency_constraint = rng.UniformInt(Millis(1), Seconds(10));
+    pc.has_token = (i % 3 == 0);
+    pc.token_tag = rng.UniformInt(0, Seconds(10));
+    pc.token_interval = rng.UniformInt(1, 100);
+    ReplyContext rc;
+    rc.valid = (i % 4 != 0);
+    rc.cost_m = rng.UniformInt(0, Millis(50));
+    rc.cost_path = rng.UniformInt(0, Millis(50));
+    OperatorId target{rng.UniformInt(1, 6)};
+    policy->AssignPriority(pc, rc, target);
+    global_keys.push_back(ReadyKey{pc.pri_global, pc.id.value});
+    local_keys.push_back(LocalKey{pc.pri_local, pc.id.value});
+  }
+
+  auto check_axioms = [&](const auto& keys) {
+    const std::size_t n = keys.size();
+    for (std::size_t a = 0; a < n; ++a) {
+      EXPECT_FALSE(keys[a] < keys[a]) << "irreflexive, sample " << a;
+      for (std::size_t b = 0; b < n; ++b) {
+        if (a == b) continue;
+        // Asymmetry + totality: distinct ids compare one way, exactly.
+        EXPECT_NE(keys[a] < keys[b], keys[b] < keys[a])
+            << "total order on distinct ids, samples " << a << "," << b;
+        for (std::size_t c = 0; c < n; ++c) {
+          if (keys[a] < keys[b] && keys[b] < keys[c]) {
+            EXPECT_TRUE(keys[a] < keys[c])
+                << "transitive, samples " << a << "," << b << "," << c;
+          }
+        }
+      }
+    }
+  };
+  check_axioms(global_keys);
+  check_axioms(local_keys);
+}
+
+TEST_P(PolicyOrderingProperty, RepeatAssignmentKeepsKeysComparable) {
+  // Stateful policies (Stride pass accumulation, Lottery draws, MLFQ seq)
+  // emit a *different* PRI_global for the same context on every call; the
+  // induced keys must remain strictly ordered — no wraparound into the
+  // kPriorityFloor band or duplicate (pri, id) pairs.
+  std::unique_ptr<SchedulingPolicy> policy =
+      MakePolicy(GetParam(), PolicyOptions{.seed = 5});
+  std::vector<ReadyKey> keys;
+  for (int i = 0; i < 200; ++i) {
+    PriorityContext pc;
+    pc.id = MessageId{i};
+    pc.job = JobId{1 + (i % 2)};
+    pc.frontier_time = Seconds(1);
+    pc.frontier_progress = Seconds(1);
+    pc.latency_constraint = Millis(800);
+    pc.has_token = true;  // TokenFair: tokened, so keys stay off the floor
+    pc.token_tag = Millis(i);
+    pc.token_interval = 1;
+    policy->AssignPriority(pc, ReplyContext{}, OperatorId{1});
+    keys.push_back(ReadyKey{pc.pri_global, pc.id.value});
+    EXPECT_LT(pc.pri_global, kPriorityFloor) << GetParam();
+  }
+  for (std::size_t a = 0; a + 1 < keys.size(); ++a) {
+    EXPECT_NE(keys[a] < keys[a + 1], keys[a + 1] < keys[a]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyOrderingProperty,
+                         ::testing::ValuesIn(ValidPolicyNames()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
                          });
 
 }  // namespace
