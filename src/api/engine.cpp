@@ -10,6 +10,7 @@ namespace cameo {
 Engine::Engine(EngineOptions options) : options_(std::move(options)) {
   CAMEO_EXPECTS(options_.workers >= 1 &&
                 options_.workers <= Scheduler::kMaxWorkers);
+  CAMEO_EXPECTS(options_.shards >= 1);
   // Fail fast at the front door: an unknown policy string aborts here with
   // the roster, not deep inside a backend's first dispatch.
   CheckPolicyName(options_.policy);

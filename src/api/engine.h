@@ -49,10 +49,22 @@ struct EngineOptions {
   /// Fig. 15 ablation: topology-aware but not query-semantics-aware.
   bool use_query_semantics = true;
   std::uint64_t seed = 1;
+  /// Simulated machines (src/shard/): operators spread across shards by
+  /// consistent-hash placement, each shard runs its own scheduler + policy
+  /// instance, and cross-shard edges are serialized through the wire codec.
+  /// `workers` is per shard. 1 (default) reproduces the single-machine
+  /// engine bit-identically. Only the sim backend can honour > 1; the
+  /// wall-clock backend rejects it at construction.
+  int shards = 1;
 
   /// Knobs only the simulated backend can honour.
   struct SimOptions {
     Duration network_delay = kMillisecond;  // VM-to-VM hop
+    /// Cross-shard link delay model (only meaningful with shards > 1):
+    /// delay = base + jitter * U[0,1), per-channel monotone, seeded from the
+    /// run seed (deterministic replays).
+    Duration shard_link_delay = kMillisecond;
+    Duration shard_link_jitter = Micros(100);
     /// Charged when a worker switches operators (cache refill, activation
     /// swap); drives the Fig. 14 quantum trade-off.
     Duration switch_cost = Micros(20);

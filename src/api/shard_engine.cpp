@@ -1,0 +1,25 @@
+#include "api/shard_engine.h"
+
+namespace cameo {
+
+int ShardEngine::ShardOf(OperatorId op) {
+  return cluster().shard_runtime().ShardOf(op);
+}
+
+SchedulerStats ShardEngine::shard_stats(int shard) {
+  return cluster().shard_runtime().scheduler(shard).stats();
+}
+
+std::vector<PolicyCounter> ShardEngine::policy_counters() {
+  return cluster().PolicyCountersSnapshot();
+}
+
+shard::TransportStats ShardEngine::transport_stats() {
+  return cluster().shard_runtime().transport_stats();
+}
+
+shard::WireStats ShardEngine::wire_stats() {
+  return cluster().shard_runtime().wire_stats();
+}
+
+}  // namespace cameo

@@ -37,6 +37,9 @@ ClusterConfig ToClusterConfig(const EngineOptions& o) {
   cfg.seed = o.seed;
   cfg.enable_timeline = o.sim.enable_timeline;
   cfg.token_total_rate = o.sim.token_total_rate;
+  cfg.num_shards = o.shards;
+  cfg.shard_link_delay = o.sim.shard_link_delay;
+  cfg.shard_link_jitter = o.sim.shard_link_jitter;
   return cfg;
 }
 
@@ -155,7 +158,7 @@ DataflowGraph& SimEngine::graph() {
 
 SchedulerStats SimEngine::sched_stats() const {
   CAMEO_EXPECTS(cluster_ != nullptr);
-  return cluster_->scheduler().stats();
+  return cluster_->sched_stats();  // merged across shards
 }
 
 RunResult SimEngine::Summarize(SimTime span) {

@@ -24,7 +24,7 @@
 
 namespace cameo {
 
-class SimEngine final : public Engine {
+class SimEngine : public Engine {  // base of ShardEngine (api/shard_engine.h)
  public:
   explicit SimEngine(EngineOptions options);
 

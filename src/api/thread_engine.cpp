@@ -24,7 +24,13 @@ RuntimeConfig ToRuntimeConfig(const EngineOptions& o) {
 
 }  // namespace
 
-ThreadEngine::ThreadEngine(EngineOptions options) : Engine(std::move(options)) {}
+ThreadEngine::ThreadEngine(EngineOptions options) : Engine(std::move(options)) {
+  // Sharding is a sim-backend capability (src/shard/): the wall-clock
+  // runtime is one machine by definition. Reject rather than silently run
+  // an 8-shard scenario on one scheduler.
+  CAMEO_EXPECTS(options_.shards == 1 &&
+                "ThreadEngine cannot honour EngineOptions::shards > 1");
+}
 
 ThreadEngine::~ThreadEngine() { Stop(); }
 

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "api/shard_engine.h"
 #include "api/sim_engine.h"
 #include "common/check.h"
 #include "state/keyed_counter.h"
@@ -267,7 +268,12 @@ KeyedScenarioResult RunKeyedScenario(const KeyedScenarioOptions& opt) {
   eo.scheduler = opt.scheduler;
   eo.policy = opt.policy;
   eo.seed = opt.seed;
-  SimEngine engine(eo);
+  eo.shards = opt.shards;
+  eo.sim.shard_link_delay = opt.shard_link_delay;
+  eo.sim.shard_link_jitter = opt.shard_link_jitter;
+  // ShardEngine is a SimEngine; at shards == 1 the construction path is
+  // identical, which keeps the keyed replay goldens bit-stable.
+  ShardEngine engine(eo);
 
   KeySamplerFactory sampler;
   switch (opt.dist) {
@@ -324,6 +330,13 @@ KeyedScenarioResult RunKeyedScenario(const KeyedScenarioOptions& opt) {
   engine.RunFor(opt.duration);
   KeyedScenarioResult out;
   out.run = engine.Summarize(opt.duration);
+  const shard::TransportStats ts = engine.transport_stats();
+  out.frames_sent = static_cast<std::int64_t>(ts.frames_sent);
+  out.frames_received = static_cast<std::int64_t>(ts.frames_received);
+  out.wire_bytes = static_cast<std::int64_t>(ts.bytes_sent);
+  for (int s = 0; s < engine.num_shards(); ++s) {
+    out.shard_sched.push_back(engine.shard_stats(s));
+  }
   DataflowGraph& g = engine.graph();
   for (StageId sid : q.handles.stages) {
     for (OperatorId id : g.stage(sid).operators) {

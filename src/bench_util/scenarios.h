@@ -220,10 +220,24 @@ struct KeyedScenarioOptions {
   SchedulerKind scheduler = SchedulerKind::kCameo;
   std::string policy = "LLF";
   std::uint64_t seed = 1;
+
+  /// Simulated machines (EngineOptions::shards): operators spread across
+  /// `shards` independent scheduler instances with cross-shard edges going
+  /// through the wire codec + transport (src/shard/). `workers` is per
+  /// shard, so raising `shards` is weak scaling -- the fig08 panel's axis.
+  int shards = 1;
+  Duration shard_link_delay = kMillisecond;
+  Duration shard_link_jitter = Micros(100);
 };
 
 struct KeyedScenarioResult {
   RunResult run;
+  // Cross-shard traffic of the run (all zero at shards == 1).
+  std::int64_t frames_sent = 0;
+  std::int64_t frames_received = 0;
+  std::int64_t wire_bytes = 0;
+  /// Per-shard scheduler stats (size == shards), for balance reporting.
+  std::vector<SchedulerStats> shard_sched;
   // Aggregated over the counter stage's replicas (deterministic per seed).
   std::int64_t rows_seen = 0;       // rows observed by the counters
   double count_emitted = 0;         // sum of emitted per-key counts

@@ -206,6 +206,12 @@ std::vector<DataflowGraph::Delivery> DataflowGraph::Route(OperatorId sender,
   Partition part = src.partition[static_cast<std::size_t>(port)];
 
   std::vector<Delivery> out;
+  // Every branch below picks replicas by position in `dst.operators` -- the
+  // stage-global list, fixed at compile time. Shard placement renumbers
+  // nothing here: a shard maps operator ids to local scheduler state, but
+  // routing identity is the global id, so KeyMix(key) % replicas lands on
+  // the same operator whether the graph runs on 1 shard or 8
+  // (tests/shard_test.cpp Routing.* pins this).
   const auto replicas = static_cast<std::size_t>(dst.parallelism);
 
   switch (part) {
@@ -231,7 +237,13 @@ std::vector<DataflowGraph::Delivery> DataflowGraph::Route(OperatorId sender,
       break;
     }
     case Partition::kRoundRobin: {
-      std::int64_t edge = src.id.value * 1'000'000 + port;
+      // Cursor identity is the (source stage, output port) edge. The packed
+      // key must be collision-free or two edges would share a cursor and
+      // their interleaving would depend on dispatch order; 20 bits of port
+      // is checked, stage ids are graph-local and small.
+      CAMEO_EXPECTS(port < (1 << 20));
+      const std::int64_t edge =
+          (src.id.value << 20) | static_cast<std::int64_t>(port);
       out.push_back({dst.operators[NextReplica(edge, replicas)],
                      std::move(batch)});
       break;

@@ -118,6 +118,15 @@ class ThreadRuntime {
   Scheduler& scheduler() { return *scheduler_; }
   CostProfiler& profiler() { return profiler_; }
 
+  /// Thread-safe snapshot of the policy's statistics counters, readable
+  /// mid-run concurrently with the workers (every stateful policy's
+  /// Counters() locks internally; see core/policies.h). Values are exact at
+  /// quiescence and monotone-approximate under load -- the same contract as
+  /// scheduler().stats().
+  std::vector<PolicyCounter> PolicyCountersSnapshot() const {
+    return policy_->Counters();
+  }
+
  private:
   struct alignas(64) SourceState {
     std::mutex mu;  // per-channel in-order guarantee

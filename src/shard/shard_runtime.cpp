@@ -1,0 +1,152 @@
+#include "shard/shard_runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cameo::shard {
+
+ShardRuntime::ShardRuntime(ShardRuntimeOptions opts)
+    : opts_(std::move(opts)),
+      placement_(opts_.num_shards, opts_.seed),
+      transport_(std::move(opts_.transport)) {
+  CAMEO_EXPECTS(opts_.num_shards >= 1);
+  CAMEO_EXPECTS(opts_.workers_per_shard >= 1 &&
+                opts_.workers_per_shard <= Scheduler::kMaxWorkers);
+  shards_.reserve(static_cast<std::size_t>(opts_.num_shards));
+  for (int s = 0; s < opts_.num_shards; ++s) {
+    Shard sh;
+    // Same constructor arguments for every shard -- and, at num_shards == 1,
+    // exactly the arguments the pre-shard runtime passed, which is half of
+    // the bit-identity argument (the other half: no cross-shard edges).
+    sh.policy = MakePolicy(opts_.policy, PolicyOptions{.seed = opts_.seed});
+    sh.scheduler =
+        MakeScheduler(opts_.scheduler, opts_.workers_per_shard, opts_.sched);
+    shards_.push_back(std::move(sh));
+  }
+  if (transport_ == nullptr) {
+    transport_ = std::make_unique<InprocTransport>(opts_.link, opts_.seed);
+  }
+  transport_->Start(opts_.num_shards);
+}
+
+void ShardRuntime::BindCostReader(const CostReader* reader) {
+  for (Shard& sh : shards_) sh.policy->BindCostReader(reader);
+}
+
+int ShardRuntime::Enqueue(Message m, WorkerId global_producer, SimTime now) {
+  const int shard = ShardOf(m.target);
+  WorkerId producer;  // invalid: external arrival
+  if (global_producer.valid() && ShardOfWorker(global_producer) == shard) {
+    producer = LocalWorker(global_producer);
+  }
+  shards_[Idx(shard)].scheduler->Enqueue(std::move(m), producer, now);
+  return shard;
+}
+
+SimTime ShardRuntime::SendMessage(int from, int to, SimTime now,
+                                  const Message& m) {
+  WireFrame frame = AcquireFrame();
+  EncodeMessage(m, frame);
+  frames_encoded_.fetch_add(1, std::memory_order_relaxed);
+  bytes_encoded_.fetch_add(frame.bytes.size(), std::memory_order_relaxed);
+  return transport_->Send(from, to, now, std::move(frame));
+}
+
+SimTime ShardRuntime::SendReply(int from, int to, SimTime now,
+                                OperatorId sender, OperatorId reply_from,
+                                const ReplyContext& rc) {
+  WireFrame frame = AcquireFrame();
+  EncodeReply(sender, reply_from, rc, frame);
+  frames_encoded_.fetch_add(1, std::memory_order_relaxed);
+  bytes_encoded_.fetch_add(frame.bytes.size(), std::memory_order_relaxed);
+  return transport_->Send(from, to, now, std::move(frame));
+}
+
+ReceiveKind ShardRuntime::ReceiveOne(int shard, SimTime now, Message& msg,
+                                     WireReply& reply) {
+  Idx(shard);  // bounds check
+  WireFrame frame;
+  if (!transport_->Receive(shard, now, frame)) return ReceiveKind::kNone;
+  FrameKind kind;
+  ReceiveKind result = ReceiveKind::kNone;
+  if (PeekFrameKind(frame, kind)) {
+    if (kind == FrameKind::kData && DecodeMessage(frame, msg)) {
+      result = ReceiveKind::kMessage;
+    } else if (kind == FrameKind::kReply && DecodeReply(frame, reply)) {
+      result = ReceiveKind::kReply;
+    }
+  }
+  if (result == ReceiveKind::kNone) {
+    frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    frames_decoded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ReleaseFrame(std::move(frame));
+  return result;
+}
+
+SchedulerStats ShardRuntime::MergedSchedStats() const {
+  SchedulerStats total;
+  for (const Shard& sh : shards_) {
+    const SchedulerStats s = sh.scheduler->stats();
+    total.enqueued += s.enqueued;
+    total.dispatched += s.dispatched;
+    total.operator_swaps += s.operator_swaps;
+    total.continuations += s.continuations;
+    total.rejected += s.rejected;
+    total.purged += s.purged;
+  }
+  return total;
+}
+
+std::vector<PolicyCounter> ShardRuntime::PolicyCountersSnapshot() const {
+  std::vector<PolicyCounter> merged;
+  for (const Shard& sh : shards_) {
+    for (const PolicyCounter& c : sh.policy->Counters()) {
+      auto it = std::find_if(
+          merged.begin(), merged.end(),
+          [&](const PolicyCounter& m) { return m.name == c.name; });
+      if (it == merged.end()) {
+        merged.push_back(c);
+      } else {
+        it->value += c.value;
+      }
+    }
+  }
+  return merged;
+}
+
+std::size_t ShardRuntime::TotalPending() const {
+  std::size_t total = 0;
+  for (const Shard& sh : shards_) total += sh.scheduler->pending();
+  return total;
+}
+
+std::int64_t ShardRuntime::RetireOperators(const std::vector<OperatorId>& ops) {
+  if (opts_.num_shards == 1) {
+    return shards_[0].scheduler->RetireOperators(ops);
+  }
+  std::int64_t purged = 0;
+  std::vector<OperatorId> local;
+  for (int s = 0; s < opts_.num_shards; ++s) {
+    local.clear();
+    for (OperatorId op : ops) {
+      if (ShardOf(op) == s) local.push_back(op);
+    }
+    if (!local.empty()) {
+      purged += shards_[Idx(s)].scheduler->RetireOperators(local);
+    }
+  }
+  return purged;
+}
+
+WireStats ShardRuntime::wire_stats() const {
+  WireStats s;
+  s.frames_encoded = frames_encoded_.load(std::memory_order_relaxed);
+  s.frames_decoded = frames_decoded_.load(std::memory_order_relaxed);
+  s.bytes_encoded = bytes_encoded_.load(std::memory_order_relaxed);
+  s.rejected = frames_rejected_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace cameo::shard

@@ -1,0 +1,232 @@
+#include "shard/socket_transport.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace cameo::shard {
+
+namespace {
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  CAMEO_EXPECTS(flags >= 0);
+  CAMEO_EXPECTS(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+/// Blocking write of the whole buffer (the send fd stays blocking; kernel
+/// backpressure is the flow control).
+void WriteAll(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      CAMEO_EXPECTS(false && "socket write failed");
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+/// Blocking read of exactly n bytes (TCP handshake only).
+void ReadAll(int fd, std::uint8_t* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::read(fd, data + off, n - off);
+    if (r < 0 && errno == EINTR) continue;
+    CAMEO_EXPECTS(r > 0 && "socket read failed");
+    off += static_cast<std::size_t>(r);
+  }
+}
+
+}  // namespace
+
+struct SocketTransport::Channel {
+  int send_fd = -1;  // blocking writes
+  int recv_fd = -1;  // non-blocking reads
+  /// Serializes writers on this edge so frames never interleave mid-write.
+  std::mutex send_mu;
+  /// Reassembly buffer: bytes read but not yet forming a complete frame.
+  /// Consumer-only state (single consumer per destination shard).
+  std::vector<std::uint8_t> rx;
+  std::size_t rx_consumed = 0;
+
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> received{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+
+SocketTransport::SocketTransport(Mode mode) : mode_(mode) {}
+
+SocketTransport::~SocketTransport() {
+  for (std::unique_ptr<Channel>& ch : channels_) {
+    if (ch == nullptr) continue;
+    if (ch->send_fd >= 0) ::close(ch->send_fd);
+    if (ch->recv_fd >= 0) ::close(ch->recv_fd);
+  }
+}
+
+void SocketTransport::Start(int num_shards) {
+  CAMEO_EXPECTS(num_shards >= 1);
+  CAMEO_EXPECTS(channels_.empty());
+  num_shards_ = num_shards;
+  channels_.resize(static_cast<std::size_t>(num_shards) * num_shards);
+  for (std::unique_ptr<Channel>& ch : channels_) {
+    ch = std::make_unique<Channel>();
+  }
+  if (mode_ == Mode::kUnixPair) {
+    StartUnixPairs();
+  } else {
+    StartTcpLoopback();
+  }
+}
+
+void SocketTransport::StartUnixPairs() {
+  for (int from = 0; from < num_shards_; ++from) {
+    for (int to = 0; to < num_shards_; ++to) {
+      Channel& ch = ChannelAt(from, to);
+      int fds[2];
+      CAMEO_EXPECTS(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0);
+      ch.send_fd = fds[0];
+      ch.recv_fd = fds[1];
+      SetNonBlocking(ch.recv_fd);
+    }
+  }
+}
+
+void SocketTransport::StartTcpLoopback() {
+  // One ephemeral-port listener; each directed edge dials in and announces
+  // itself with an 8-byte (from, to) hello -- the same connection-mapping
+  // handshake a multi-process deployment would run.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  CAMEO_EXPECTS(listener >= 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  CAMEO_EXPECTS(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof addr) == 0);
+  socklen_t len = sizeof addr;
+  CAMEO_EXPECTS(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                              &len) == 0);
+  CAMEO_EXPECTS(::listen(listener, num_shards_ * num_shards_) == 0);
+
+  for (int from = 0; from < num_shards_; ++from) {
+    for (int to = 0; to < num_shards_; ++to) {
+      Channel& ch = ChannelAt(from, to);
+      const int client = ::socket(AF_INET, SOCK_STREAM, 0);
+      CAMEO_EXPECTS(client >= 0);
+      CAMEO_EXPECTS(::connect(client, reinterpret_cast<sockaddr*>(&addr),
+                              sizeof addr) == 0);
+      int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      std::uint8_t hello[8];
+      const std::uint32_t f = static_cast<std::uint32_t>(from);
+      const std::uint32_t t = static_cast<std::uint32_t>(to);
+      std::memcpy(hello, &f, 4);
+      std::memcpy(hello + 4, &t, 4);
+      WriteAll(client, hello, sizeof hello);
+
+      const int server = ::accept(listener, nullptr, nullptr);
+      CAMEO_EXPECTS(server >= 0);
+      ReadAll(server, hello, sizeof hello);
+      std::uint32_t hf, ht;
+      std::memcpy(&hf, hello, 4);
+      std::memcpy(&ht, hello + 4, 4);
+      // Accept order matches connect order here (sequential dial-in), but
+      // the hello is authoritative: map the accepted fd to the edge it
+      // announced.
+      Channel& announced = ChannelAt(static_cast<int>(hf),
+                                     static_cast<int>(ht));
+      CAMEO_EXPECTS(announced.recv_fd == -1);
+      announced.recv_fd = server;
+      SetNonBlocking(server);
+      ch.send_fd = client;
+    }
+  }
+  ::close(listener);
+}
+
+SocketTransport::Channel& SocketTransport::ChannelAt(int from, int to) {
+  CAMEO_EXPECTS(from >= 0 && from < num_shards_ && to >= 0 &&
+                to < num_shards_);
+  return *channels_[static_cast<std::size_t>(from) * num_shards_ + to];
+}
+
+SimTime SocketTransport::Send(int from, int to, SimTime now, WireFrame frame) {
+  Channel& ch = ChannelAt(from, to);
+  const std::uint32_t frame_len =
+      static_cast<std::uint32_t>(frame.bytes.size());
+  {
+    std::lock_guard lock(ch.send_mu);
+    WriteAll(ch.send_fd, reinterpret_cast<const std::uint8_t*>(&frame_len),
+             sizeof frame_len);
+    WriteAll(ch.send_fd, frame.bytes.data(), frame.bytes.size());
+  }
+  ch.sent.fetch_add(1, std::memory_order_relaxed);
+  ch.bytes.fetch_add(frame.bytes.size(), std::memory_order_relaxed);
+  ReleaseFrame(std::move(frame));  // buffer fully copied into the kernel
+  return now;                      // no modeled delay on real sockets
+}
+
+bool SocketTransport::Receive(int to, SimTime now, WireFrame& out) {
+  for (int from = 0; from < num_shards_; ++from) {
+    Channel& ch = ChannelAt(from, to);
+    if (ch.recv_fd < 0) continue;
+    // Drain whatever the kernel has buffered into the reassembly buffer.
+    std::uint8_t chunk[4096];
+    for (;;) {
+      const ssize_t r = ::read(ch.recv_fd, chunk, sizeof chunk);
+      if (r > 0) {
+        ch.rx.insert(ch.rx.end(), chunk, chunk + r);
+        if (r < static_cast<ssize_t>(sizeof chunk)) break;
+        continue;
+      }
+      if (r < 0 && errno == EINTR) continue;
+      break;  // r == 0 (peer closed) or EAGAIN/EWOULDBLOCK
+    }
+    // A complete [u32 length][frame] available?
+    const std::size_t avail = ch.rx.size() - ch.rx_consumed;
+    if (avail < sizeof(std::uint32_t)) continue;
+    std::uint32_t frame_len;
+    std::memcpy(&frame_len, ch.rx.data() + ch.rx_consumed, sizeof frame_len);
+    if (avail < sizeof frame_len + frame_len) continue;
+    WireFrame frame = AcquireFrame();
+    const std::uint8_t* body =
+        ch.rx.data() + ch.rx_consumed + sizeof frame_len;
+    frame.bytes.assign(body, body + frame_len);
+    frame.deliver_at = now;
+    ch.rx_consumed += sizeof frame_len + frame_len;
+    // Compact once everything buffered has been consumed (the common case
+    // between bursts) so the buffer does not grow without bound.
+    if (ch.rx_consumed == ch.rx.size()) {
+      ch.rx.clear();
+      ch.rx_consumed = 0;
+    }
+    ch.received.fetch_add(1, std::memory_order_relaxed);
+    out = std::move(frame);
+    return true;
+  }
+  return false;
+}
+
+TransportStats SocketTransport::stats() const {
+  TransportStats s;
+  for (const std::unique_ptr<Channel>& ch : channels_) {
+    if (ch == nullptr) continue;
+    s.frames_sent += ch->sent.load(std::memory_order_relaxed);
+    s.frames_received += ch->received.load(std::memory_order_relaxed);
+    s.bytes_sent += ch->bytes.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace cameo::shard

@@ -1,0 +1,70 @@
+// Transport: the inter-shard channel abstraction.
+//
+// Shards exchange only serialized WireFrames; a Transport provides one
+// logical channel per directed (from, to) shard pair with two guarantees the
+// cross-shard watermark contract depends on:
+//
+//  - **Serialized**: a frame is delivered exactly once, intact (the wire
+//    checksum catches corruption; a transport never splits or merges
+//    frames).
+//  - **Ordered per edge**: frames sent on one (from, to) channel are
+//    received in send order, and their modeled delivery times are
+//    monotonically non-decreasing. This is what lets a batch's `progress`
+//    act as a watermark across machines -- progress on a channel never
+//    regresses, so the receiving operator's frontier only moves forward
+//    (same contract the in-process mailbox gives the scheduler).
+//
+// Channels between different shard pairs are independent: no cross-channel
+// ordering is promised, exactly like TCP connections between machine pairs.
+//
+// Send() returns the modeled delivery time so a discrete-event caller can
+// schedule the receive; wall-clock callers ignore it and poll Receive.
+// Implementations:
+//  - InprocTransport (inproc_transport.h): lock-free in-memory channels with
+//    a seeded delay distribution -- the sim's deterministic stand-in for a
+//    network.
+//  - SocketTransport (socket_transport.h): length-prefixed frames over
+//    Unix-domain or TCP-loopback sockets -- real kernel buffering, used by
+//    the CI smoke test and the eventual multi-process runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.h"
+#include "shard/wire.h"
+
+namespace cameo::shard {
+
+/// Monotone counters, merged on read across channels.
+struct TransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  /// Sent but not yet received -- the conservation tests pin
+  /// sent == received + in_flight at every quiescent point.
+  std::uint64_t in_flight() const { return frames_sent - frames_received; }
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sizes the channel matrix. Must be called once before any Send/Receive.
+  virtual void Start(int num_shards) = 0;
+
+  /// Ships `frame` on the (from, to) channel. Returns the modeled delivery
+  /// time (>= now, non-decreasing per channel); the frame must not be read
+  /// before then. Takes ownership of the frame's buffer.
+  virtual SimTime Send(int from, int to, SimTime now, WireFrame frame) = 0;
+
+  /// Pops the next frame addressed to shard `to` whose delivery time has
+  /// passed (deliver_at <= now), in per-channel send order. Returns false
+  /// when nothing is due. The caller owns `out` and must ReleaseFrame it.
+  virtual bool Receive(int to, SimTime now, WireFrame& out) = 0;
+
+  virtual TransportStats stats() const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace cameo::shard

@@ -1,0 +1,279 @@
+#include "shard/wire.h"
+
+#include <cstring>
+
+#include "common/pool.h"
+
+namespace cameo::shard {
+
+namespace {
+
+// ---- little-endian fixed-width writer / bounds-checked reader ----
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  void U8(std::uint8_t v) { buf_.push_back(v); }
+  void U16(std::uint16_t v) { Raw(&v, sizeof v); }
+  void U32(std::uint32_t v) { Raw(&v, sizeof v); }
+  void U64(std::uint64_t v) { Raw(&v, sizeof v); }
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void F64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    U64(bits);
+  }
+
+  template <typename T>
+  void Column(const std::vector<T>& col) {
+    static_assert(sizeof(T) == 8);
+    const std::size_t n = buf_.size();
+    buf_.resize(n + col.size() * 8);
+    if (!col.empty()) std::memcpy(buf_.data() + n, col.data(), col.size() * 8);
+  }
+
+ private:
+  void Raw(const void* p, std::size_t n) {
+    const std::size_t at = buf_.size();
+    buf_.resize(at + n);
+    std::memcpy(buf_.data() + at, p, n);  // host is little-endian (x86/arm64)
+  }
+
+  std::vector<std::uint8_t>& buf_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool U8(std::uint8_t& v) { return Raw(&v, sizeof v); }
+  bool U16(std::uint16_t& v) { return Raw(&v, sizeof v); }
+  bool U32(std::uint32_t& v) { return Raw(&v, sizeof v); }
+  bool U64(std::uint64_t& v) { return Raw(&v, sizeof v); }
+  bool I64(std::int64_t& v) {
+    std::uint64_t u;
+    if (!U64(u)) return false;
+    v = static_cast<std::int64_t>(u);
+    return true;
+  }
+  bool F64(double& v) {
+    std::uint64_t bits;
+    if (!U64(bits)) return false;
+    std::memcpy(&v, &bits, sizeof v);
+    return true;
+  }
+
+  template <typename T>
+  bool Column(std::vector<T>& col, std::size_t rows) {
+    static_assert(sizeof(T) == 8);
+    if (size_ - pos_ < rows * 8) return false;
+    col.resize(rows);
+    if (rows > 0) std::memcpy(col.data(), data_ + pos_, rows * 8);
+    pos_ += rows * 8;
+    return true;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool Raw(void* p, std::size_t n) {
+    if (size_ - pos_ < n) return false;
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t Fnv1a(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Writes the 16-byte header placeholder; payload length is patched in
+/// FinishFrame once the payload has been written.
+void BeginFrame(std::vector<std::uint8_t>& buf, FrameKind kind) {
+  buf.clear();
+  Writer w(buf);
+  w.U32(kWireMagic);
+  w.U8(static_cast<std::uint8_t>(kind));
+  w.U8(kWireVersion);
+  w.U16(0);  // reserved
+  w.U64(0);  // payload_len placeholder
+}
+
+void FinishFrame(std::vector<std::uint8_t>& buf) {
+  const std::uint64_t payload_len = buf.size() - kWireHeaderSize;
+  std::memcpy(buf.data() + 8, &payload_len, sizeof payload_len);
+  const std::uint64_t sum = Fnv1a(buf.data(), buf.size());
+  Writer w(buf);
+  w.U64(sum);
+}
+
+/// Validates magic/version/length/checksum; on success returns a payload
+/// reader and the frame kind.
+bool OpenFrame(const WireFrame& frame, FrameKind& kind, Reader& payload) {
+  const std::vector<std::uint8_t>& b = frame.bytes;
+  if (b.size() < kWireHeaderSize + kWireTrailerSize) return false;
+  Reader h(b.data(), kWireHeaderSize);
+  std::uint32_t magic;
+  std::uint8_t k, version;
+  std::uint16_t reserved;
+  std::uint64_t payload_len;
+  if (!h.U32(magic) || !h.U8(k) || !h.U8(version) || !h.U16(reserved) ||
+      !h.U64(payload_len)) {
+    return false;
+  }
+  if (magic != kWireMagic || version != kWireVersion) return false;
+  if (k != static_cast<std::uint8_t>(FrameKind::kData) &&
+      k != static_cast<std::uint8_t>(FrameKind::kReply)) {
+    return false;
+  }
+  if (payload_len != b.size() - kWireHeaderSize - kWireTrailerSize) {
+    return false;
+  }
+  std::uint64_t sum;
+  std::memcpy(&sum, b.data() + b.size() - kWireTrailerSize, sizeof sum);
+  if (sum != Fnv1a(b.data(), b.size() - kWireTrailerSize)) return false;
+  kind = static_cast<FrameKind>(k);
+  payload = Reader(b.data() + kWireHeaderSize, b.size() - kWireHeaderSize -
+                                                   kWireTrailerSize);
+  return true;
+}
+
+}  // namespace
+
+void EncodeMessage(const Message& m, WireFrame& frame) {
+  BeginFrame(frame.bytes, FrameKind::kData);
+  Writer w(frame.bytes);
+  // Message envelope.
+  w.I64(m.id.value);
+  w.I64(m.target.value);
+  w.I64(m.sender.value);
+  w.I64(m.event_time);
+  w.I64(m.enqueue_time);
+  // PriorityContext: the full §5.3 layout -- the receiving shard's scheduler
+  // orders this message without any shared-memory state.
+  w.I64(m.pc.id.value);
+  w.I64(m.pc.pri_local);
+  w.I64(m.pc.pri_global);
+  w.I64(m.pc.frontier_progress);
+  w.I64(m.pc.frontier_time);
+  w.I64(m.pc.latency_constraint);
+  w.I64(m.pc.job.value);
+  w.U8(m.pc.has_token ? 1 : 0);
+  w.I64(m.pc.token_tag);
+  w.I64(m.pc.token_interval);
+  // EventBatch: progress watermark, synthetic face, then the columns.
+  w.I64(m.batch.progress);
+  w.I64(m.batch.synthetic_count);
+  w.U64(m.batch.keys.size());
+  w.Column(m.batch.keys);
+  w.Column(m.batch.values);
+  w.Column(m.batch.times);
+  FinishFrame(frame.bytes);
+}
+
+void EncodeReply(OperatorId sender, OperatorId from, const ReplyContext& rc,
+                 WireFrame& frame) {
+  BeginFrame(frame.bytes, FrameKind::kReply);
+  Writer w(frame.bytes);
+  w.I64(sender.value);
+  w.I64(from.value);
+  w.I64(rc.cost_m);
+  w.I64(rc.cost_path);
+  w.I64(rc.queueing_delay);
+  w.U8(rc.valid ? 1 : 0);
+  FinishFrame(frame.bytes);
+}
+
+bool PeekFrameKind(const WireFrame& frame, FrameKind& kind) {
+  if (frame.bytes.size() < kWireHeaderSize) return false;
+  const std::uint8_t k = frame.bytes[4];
+  if (k != static_cast<std::uint8_t>(FrameKind::kData) &&
+      k != static_cast<std::uint8_t>(FrameKind::kReply)) {
+    return false;
+  }
+  kind = static_cast<FrameKind>(k);
+  return true;
+}
+
+bool DecodeMessage(const WireFrame& frame, Message& out) {
+  FrameKind kind;
+  Reader r(nullptr, 0);
+  if (!OpenFrame(frame, kind, r) || kind != FrameKind::kData) return false;
+
+  // Decode into a local first: `out` must stay untouched on failure, and no
+  // pooled column capacity is adopted until the row count has been validated
+  // against the remaining payload.
+  Message m;
+  std::uint8_t has_token;
+  std::uint64_t rows;
+  if (!r.I64(m.id.value) || !r.I64(m.target.value) || !r.I64(m.sender.value) ||
+      !r.I64(m.event_time) || !r.I64(m.enqueue_time) ||
+      !r.I64(m.pc.id.value) || !r.I64(m.pc.pri_local) ||
+      !r.I64(m.pc.pri_global) || !r.I64(m.pc.frontier_progress) ||
+      !r.I64(m.pc.frontier_time) || !r.I64(m.pc.latency_constraint) ||
+      !r.I64(m.pc.job.value) || !r.U8(has_token) || !r.I64(m.pc.token_tag) ||
+      !r.I64(m.pc.token_interval) || !r.I64(m.batch.progress) ||
+      !r.I64(m.batch.synthetic_count) || !r.U64(rows)) {
+    return false;
+  }
+  m.pc.has_token = has_token != 0;
+  // Exactly three 8-byte columns must remain. The division guard rejects a
+  // corrupt row count large enough to wrap `rows * 24`.
+  if (rows > r.remaining() / 24 || r.remaining() != rows * 24) return false;
+  if (rows > 0) {
+    // Adopt pooled capacity through the batch's own Append pathway, then
+    // bulk-copy: the first Append swaps in recycled column buffers.
+    m.batch.Append(0, 0, 0);
+    m.batch.keys.clear();
+    m.batch.values.clear();
+    m.batch.times.clear();
+    if (!r.Column(m.batch.keys, rows) || !r.Column(m.batch.values, rows) ||
+        !r.Column(m.batch.times, rows)) {
+      m.batch.Recycle();  // hand adopted capacity straight back
+      return false;
+    }
+  }
+  out = std::move(m);
+  return true;
+}
+
+bool DecodeReply(const WireFrame& frame, WireReply& out) {
+  FrameKind kind;
+  Reader r(nullptr, 0);
+  if (!OpenFrame(frame, kind, r) || kind != FrameKind::kReply) return false;
+  WireReply reply;
+  std::uint8_t valid;
+  if (!r.I64(reply.sender.value) || !r.I64(reply.from.value) ||
+      !r.I64(reply.rc.cost_m) || !r.I64(reply.rc.cost_path) ||
+      !r.I64(reply.rc.queueing_delay) || !r.U8(valid) || r.remaining() != 0) {
+    return false;
+  }
+  reply.rc.valid = valid != 0;
+  out = reply;
+  return true;
+}
+
+WireFrame AcquireFrame() {
+  WireFrame f = RecycleStash<WireFrame>::Global().Take().value_or(WireFrame{});
+  f.bytes.clear();
+  f.deliver_at = 0;
+  return f;
+}
+
+void ReleaseFrame(WireFrame frame) {
+  RecycleStash<WireFrame>::Global().Put(std::move(frame));
+}
+
+}  // namespace cameo::shard

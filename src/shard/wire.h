@@ -1,0 +1,101 @@
+// Pooled wire codec for inter-shard messaging.
+//
+// Two shards coordinate only through what crosses this boundary, so the
+// frame format carries everything Cameo's timestamp-based scheduling needs:
+// the full PriorityContext (PRI_local/PRI_global plus the dataflow-defined
+// field and token state), the EventBatch columns, and the batch's stream
+// progress -- the watermark that keeps downstream operators' frontiers
+// advancing across machines. Reply Contexts (the upstream ack path of
+// Algorithm 1) get their own frame kind.
+//
+// Frame layout (little-endian, fixed-width):
+//
+//   [u32 magic][u8 kind][u8 version][u16 reserved][u64 payload_len]
+//   [payload bytes ...]
+//   [u64 FNV-1a checksum over header+payload]
+//
+// Decoding is defensive: a frame that is truncated, has a bad magic/kind/
+// length, or fails the checksum is rejected (DecodeMessage/DecodeReply
+// return false) without touching the output message and without leaking
+// pooled column buffers -- columns are adopted into the output batch only
+// after every bounds check has passed.
+//
+// Allocation discipline: frame byte buffers are recycled through
+// AcquireFrame/ReleaseFrame (a RecycleStash, common/pool.h) and decoded
+// batches adopt pooled column capacity, so the steady-state encode->ship->
+// decode cycle performs no heap allocation per message (proven in
+// tests/alloc_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "dataflow/message.h"
+
+namespace cameo::shard {
+
+/// One serialized frame plus its modeled delivery time (set by the
+/// transport's Send; wall-clock transports leave it at the send time).
+struct WireFrame {
+  std::vector<std::uint8_t> bytes;
+  SimTime deliver_at = 0;
+};
+
+enum class FrameKind : std::uint8_t {
+  kData = 1,   // a Message (PriorityContext + EventBatch columns)
+  kReply = 2,  // a ReplyContext ack travelling upstream
+};
+
+inline constexpr std::uint32_t kWireMagic = 0x43414D39;  // "CAM9"
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Header (magic, kind, version, reserved, payload_len) + trailing checksum.
+inline constexpr std::size_t kWireHeaderSize = 16;
+inline constexpr std::size_t kWireTrailerSize = 8;
+
+/// A decoded reply frame: `sender` is the upstream operator the ack is
+/// addressed to, `from` the downstream operator that produced it.
+struct WireReply {
+  OperatorId sender;
+  OperatorId from;
+  ReplyContext rc;
+};
+
+/// Codec statistics (monotone; read-side merge across shards).
+struct WireStats {
+  std::uint64_t frames_encoded = 0;
+  std::uint64_t frames_decoded = 0;
+  std::uint64_t bytes_encoded = 0;
+  /// Frames rejected by magic/length/checksum validation.
+  std::uint64_t rejected = 0;
+};
+
+/// Serializes `m` into `frame.bytes` (replacing its contents; capacity is
+/// reused). The message itself is not consumed -- the caller still owns its
+/// column buffers and recycles them once the frame is shipped.
+void EncodeMessage(const Message& m, WireFrame& frame);
+
+/// Serializes a reply ack into `frame.bytes`.
+void EncodeReply(OperatorId sender, OperatorId from, const ReplyContext& rc,
+                 WireFrame& frame);
+
+/// Kind of a well-formed frame, without validating the checksum; returns
+/// false when the header is truncated or malformed.
+bool PeekFrameKind(const WireFrame& frame, FrameKind& kind);
+
+/// Decodes a data frame into `out`. Returns false -- leaving `out` untouched
+/// and adopting no pooled buffers -- on any validation failure.
+bool DecodeMessage(const WireFrame& frame, Message& out);
+
+/// Decodes a reply frame into `out`; same failure contract.
+bool DecodeReply(const WireFrame& frame, WireReply& out);
+
+/// Takes a recycled frame buffer from the thread-local stash (empty bytes,
+/// warm capacity) or constructs a fresh one when the stash is cold.
+WireFrame AcquireFrame();
+
+/// Parks `frame`'s buffer for reuse. Call once the frame's last reader is
+/// done (after a successful decode, or after a rejected frame is dropped).
+void ReleaseFrame(WireFrame frame);
+
+}  // namespace cameo::shard

@@ -37,15 +37,26 @@ Cluster::Cluster(ClusterConfig config, DataflowGraph graph)
     : config_(config),
       graph_(std::move(graph)),
       rng_(config.seed),
-      policy_(MakePolicy(config.policy, PolicyOptions{.seed = config.seed})),
-      scheduler_(
-          MakeScheduler(config.scheduler, config.num_workers, config.sched)),
       profiler_(/*smoothing=*/0.25, /*noise_seed=*/config.seed ^ 0x9e3779b9),
-      workers_(static_cast<std::size_t>(config.num_workers)) {
+      workers_(static_cast<std::size_t>(config.num_workers) *
+               static_cast<std::size_t>(config.num_shards)) {
   CAMEO_EXPECTS(config.num_workers >= 1 &&
                 config.num_workers <= Scheduler::kMaxWorkers);
+  CAMEO_EXPECTS(config.num_shards >= 1);
+  shard::ShardRuntimeOptions ro;
+  ro.num_shards = config_.num_shards;
+  ro.workers_per_shard = config_.num_workers;
+  ro.scheduler = config_.scheduler;
+  ro.sched = config_.sched;
+  ro.policy = config_.policy;
+  ro.seed = config_.seed;
+  ro.link = {config_.shard_link_delay, config_.shard_link_jitter};
+  runtime_ = std::make_unique<shard::ShardRuntime>(std::move(ro));
   profiler_.SetPerturbation(config_.profiler_perturbation);
-  policy_->BindCostReader(&profiler_);
+  // Every shard's policy reads the shared profiler. Profiler entries are
+  // per-operator and an operator executes only on its owning shard, so the
+  // shared map is semantically per-shard state.
+  runtime_->BindCostReader(&profiler_);
   timeline_.SetEnabled(config_.enable_timeline);
   SetupConverters();
   for (JobId job : graph_.job_ids()) {
@@ -63,8 +74,11 @@ void Cluster::SetupConverters() {
     options.use_query_semantics = config_.use_query_semantics;
     options.time_domain = spec.time_domain;
     for (OperatorId op : graph_.OperatorsOf(job)) {
-      converters_.emplace(
-          op, std::make_unique<ContextConverter>(policy_.get(), options));
+      // Bound to the *owning shard's* policy instance: an operator's send
+      // path consults only its own machine's policy state (paper §5.3 --
+      // contexts are built at the sender, no global scheduler state).
+      converters_.emplace(op, std::make_unique<ContextConverter>(
+                                  runtime_->policy_of(op), options));
     }
   }
 }
@@ -99,8 +113,8 @@ void Cluster::RegisterLateJob(JobId job) {
   options.use_query_semantics = config_.use_query_semantics;
   options.time_domain = spec.time_domain;
   for (OperatorId op : graph_.OperatorsOf(job)) {
-    converters_.emplace(
-        op, std::make_unique<ContextConverter>(policy_.get(), options));
+    converters_.emplace(op, std::make_unique<ContextConverter>(
+                                runtime_->policy_of(op), options));
   }
   latency_.RegisterJob(job, spec.latency_constraint, spec.output_window,
                        spec.output_slide);
@@ -189,7 +203,7 @@ void Cluster::RemoveQueryNow(JobId job) {
   // discarded, never silently lost (conservation: enqueued = dispatched +
   // purged at quiescence; messages_purged() reads the stats so purges an
   // active mailbox defers to its owner's release are counted too).
-  scheduler_->RetireOperators(ops);
+  runtime_->RetireOperators(ops);
   if (config_.token_total_rate > 0) RebalanceTokens();
 }
 
@@ -292,15 +306,38 @@ void Cluster::PumpSource(std::size_t idx) {
 
 void Cluster::Deliver(Message m, WorkerId producer) {
   ++messages_delivered_;
-  scheduler_->Enqueue(std::move(m), producer, events_.now());
-  KickIdleWorker();
+  const int shard = runtime_->Enqueue(std::move(m), producer, events_.now());
+  KickIdleWorkers(shard);
 }
 
-void Cluster::KickIdleWorker() {
-  // Kick every idle worker: slot-based scheduling pins operators to specific
-  // workers, so only the owning worker can serve a given message. A kicked
-  // worker that finds nothing simply goes idle again.
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
+void Cluster::ReceiveShardFrame(int shard) {
+  // One receive event per transport Send, scheduled at the frame's modeled
+  // delivery time -- so by the time the last same-timestamp event fires,
+  // every due frame has been popped; a dry poll would be a conservation bug.
+  Message msg;
+  shard::WireReply reply;
+  switch (runtime_->ReceiveOne(shard, events_.now(), msg, reply)) {
+    case shard::ReceiveKind::kMessage:
+      Deliver(std::move(msg), WorkerId{});
+      break;
+    case shard::ReceiveKind::kReply:
+      converter(reply.sender).ProcessCtxFromReply(reply.from, reply.rc);
+      break;
+    case shard::ReceiveKind::kNone:
+      CAMEO_CHECK(false && "scheduled receive found no due frame");
+  }
+}
+
+void Cluster::KickIdleWorkers(int shard) {
+  // Kick every idle worker of the shard: slot-based scheduling pins
+  // operators to specific workers, so only the owning worker can serve a
+  // given message. A kicked worker that finds nothing simply goes idle
+  // again. Workers of other shards are never kicked -- their schedulers
+  // hold no new work.
+  const std::size_t begin =
+      static_cast<std::size_t>(shard) * config_.num_workers;
+  const std::size_t end = begin + static_cast<std::size_t>(config_.num_workers);
+  for (std::size_t i = begin; i < end; ++i) {
     WorkerState& ws = workers_[i];
     if (ws.busy || ws.kicked) continue;
     ws.kicked = true;
@@ -315,7 +352,11 @@ void Cluster::TryDispatch(WorkerId w) {
   if (ws.busy) return;
   batch_scratch_.clear();
   exec_scratch_.clear();
-  if (scheduler_->DequeueBatch(w, events_.now(), batch_scratch_) == 0) return;
+  Scheduler& sched = runtime_->scheduler(runtime_->ShardOfWorker(w));
+  if (sched.DequeueBatch(runtime_->LocalWorker(w), events_.now(),
+                         batch_scratch_) == 0) {
+    return;
+  }
 
   // The whole activation (claim-and-drain batch, one operator) executes as
   // one busy period: per-message costs are sampled up front in dispatch
@@ -383,7 +424,8 @@ void Cluster::CompleteMessage(WorkerId w, Message m, SimTime dispatch_time,
                               Duration exec_cost) {
   Operator& op = graph_.Get(m.target);
   profiler_.Record(m.target, exec_cost);
-  policy_->OnInvoked(m.target, op.job(), exec_cost, events_.now());
+  runtime_->policy_of(m.target)->OnInvoked(m.target, op.job(), exec_cost,
+                                           events_.now());
   if (op.is_source()) {
     latency_.OnProcessed(op.job(), m.batch.size(), events_.now());
   }
@@ -392,6 +434,7 @@ void Cluster::CompleteMessage(WorkerId w, Message m, SimTime dispatch_time,
   InvokeContext ctx{events_.now(), &emitter, &rng_};
   op.Invoke(m, ctx);
 
+  const int src_shard = runtime_->ShardOf(m.target);
   for (auto& out : emitter.outs()) {
     for (auto& d : graph_.Route(m.target, out.port, std::move(out.batch))) {
       Message md;
@@ -403,14 +446,27 @@ void Cluster::CompleteMessage(WorkerId w, Message m, SimTime dispatch_time,
       md.sender = m.target;
       md.event_time = out.event_time;
       md.batch = std::move(d.batch);
-      auto deliver = [this, md = std::move(md), w]() mutable {
-        Deliver(std::move(md), w);
-      };
-      static_assert(sizeof(deliver) <= EventQueue::kActionCapacity,
-                    "delivery closure outgrew the inline event buffer; the "
-                    "common sim path would heap-allocate every delivery");
-      events_.Schedule(events_.now() + config_.network_delay,
-                       std::move(deliver));
+      const int dst_shard = runtime_->ShardOf(d.target);
+      if (dst_shard == src_shard) {
+        // Intra-shard hop: same path (and same virtual-time schedule) as the
+        // pre-shard cluster.
+        auto deliver = [this, md = std::move(md), w]() mutable {
+          Deliver(std::move(md), w);
+        };
+        static_assert(sizeof(deliver) <= EventQueue::kActionCapacity,
+                      "delivery closure outgrew the inline event buffer; the "
+                      "common sim path would heap-allocate every delivery");
+        events_.Schedule(events_.now() + config_.network_delay,
+                         std::move(deliver));
+      } else {
+        // Cross-shard hop: serialize through the wire codec and ship on the
+        // transport; the receive event fires at the modeled delivery time.
+        const SimTime at =
+            runtime_->SendMessage(src_shard, dst_shard, events_.now(), md);
+        md.batch.Recycle();  // columns are on the wire now; park the buffers
+        events_.Schedule(
+            at, [this, dst_shard] { ReceiveShardFrame(dst_shard); });
+      }
     }
   }
 
@@ -419,10 +475,18 @@ void Cluster::CompleteMessage(WorkerId w, Message m, SimTime dispatch_time,
     ReplyContext rc = converter(m.target).PrepareReply(
         profiler_.Estimate(m.target), dispatch_time - m.enqueue_time,
         op.is_sink());
-    events_.Schedule(events_.now() + config_.network_delay,
-                     [this, sender = m.sender, from = m.target, rc] {
-                       converter(sender).ProcessCtxFromReply(from, rc);
-                     });
+    const int sender_shard = runtime_->ShardOf(m.sender);
+    if (sender_shard == src_shard) {
+      events_.Schedule(events_.now() + config_.network_delay,
+                       [this, sender = m.sender, from = m.target, rc] {
+                         converter(sender).ProcessCtxFromReply(from, rc);
+                       });
+    } else {
+      const SimTime at = runtime_->SendReply(
+          src_shard, sender_shard, events_.now(), m.sender, m.target, rc);
+      events_.Schedule(
+          at, [this, sender_shard] { ReceiveShardFrame(sender_shard); });
+    }
   }
 
   if (op.is_sink()) {
@@ -439,7 +503,8 @@ void Cluster::CompleteMessage(WorkerId w, Message m, SimTime dispatch_time,
 }
 
 void Cluster::FinishActivation(WorkerId w, OperatorId op) {
-  scheduler_->OnComplete(op, w, events_.now());
+  runtime_->scheduler(runtime_->ShardOfWorker(w))
+      .OnComplete(op, runtime_->LocalWorker(w), events_.now());
   WorkerState& ws = workers_[static_cast<std::size_t>(w.value)];
   ws.busy = false;
   TryDispatch(w);
@@ -452,7 +517,7 @@ void Cluster::Run(SimTime until) {
   pumped_sources_ = sources_.size();
   events_.RunUntil(until);
   utilization_.SetSpan(until);
-  utilization_.SetWorkerCount(config_.num_workers);
+  utilization_.SetWorkerCount(config_.num_workers * config_.num_shards);
 }
 
 }  // namespace cameo

@@ -39,6 +39,7 @@
 #include "metrics/timeline.h"
 #include "metrics/utilization.h"
 #include "sched/scheduler.h"
+#include "shard/shard_runtime.h"
 #include "sim/event_queue.h"
 #include "workload/generators.h"
 #include "workload/keyed.h"
@@ -51,7 +52,20 @@ namespace cameo {
 // MakeScheduler factory).
 
 struct ClusterConfig {
+  /// Workers *per shard* (the pre-shard meaning is unchanged at the default
+  /// num_shards = 1).
   int num_workers = 4;
+  /// Simulated machines. Operators spread across shards by consistent-hash
+  /// placement; each shard runs its own scheduler + policy instance and
+  /// cross-shard edges go through the serialized transport (src/shard/).
+  /// 1 reproduces the pre-shard cluster bit-identically.
+  int num_shards = 1;
+  /// Cross-shard link delay model (InprocTransport): delay = base +
+  /// jitter * U[0,1), per-channel monotone. Defaults match the intra-shard
+  /// `network_delay` hop so turning on sharding does not change the mean
+  /// path latency.
+  Duration shard_link_delay = kMillisecond;
+  Duration shard_link_jitter = Micros(100);
   SchedulerKind scheduler = SchedulerKind::kCameo;
   SchedulerConfig sched;
   /// Cameo scheduling policy; any name in ValidPolicyNames() (core/policies.h
@@ -133,7 +147,7 @@ class Cluster {
   /// Derived from scheduler stats so purges deferred to a worker's release
   /// path (mailbox active mid-invocation at departure) are included.
   std::int64_t messages_purged() const {
-    return static_cast<std::int64_t>(scheduler_->stats().purged);
+    return static_cast<std::int64_t>(runtime_->MergedSchedStats().purged);
   }
 
   /// Runs the simulation until virtual time `until`. May be called again
@@ -147,11 +161,24 @@ class Cluster {
   LatencyRecorder& latency() { return latency_; }
   UtilizationTracker& utilization() { return utilization_; }
   Timeline& timeline() { return timeline_; }
-  Scheduler& scheduler() { return *scheduler_; }
+  /// Shard 0's scheduler / policy (the only pair at num_shards == 1).
+  /// Multi-shard readers want the merged views below.
+  Scheduler& scheduler() { return runtime_->scheduler(0); }
   CostProfiler& profiler() { return profiler_; }
-  SchedulingPolicy& policy() { return *policy_; }
+  SchedulingPolicy& policy() { return runtime_->policy(0); }
   ContextConverter& converter(OperatorId op);
   const ClusterConfig& config() const { return config_; }
+
+  /// Scheduler stats summed across every shard's stat shards (exact at
+  /// quiescence, same contract as the single-scheduler stats()).
+  SchedulerStats sched_stats() const { return runtime_->MergedSchedStats(); }
+  /// Thread-safe mid-run snapshot of policy counters merged across shards
+  /// by name (each policy locks internally -- no run-end barrier needed).
+  std::vector<PolicyCounter> PolicyCountersSnapshot() const {
+    return runtime_->PolicyCountersSnapshot();
+  }
+  shard::ShardRuntime& shard_runtime() { return *runtime_; }
+  const shard::ShardRuntime& shard_runtime() const { return *runtime_; }
 
   std::uint64_t messages_delivered() const { return messages_delivered_; }
 
@@ -196,7 +223,10 @@ class Cluster {
   void RebalanceTokens();
   void PumpSource(std::size_t idx);
   void Deliver(Message m, WorkerId producer);
-  void KickIdleWorker();
+  void KickIdleWorkers(int shard);
+  /// Receive event for one due transport frame addressed to `shard`: decodes
+  /// and either delivers the message locally or applies the reply ack.
+  void ReceiveShardFrame(int shard);
   /// Claims an operator via the batched dispatch contract and schedules one
   /// busy period covering the whole drained batch.
   void TryDispatch(WorkerId w);
@@ -212,8 +242,10 @@ class Cluster {
   DataflowGraph graph_;
   EventQueue events_;
   Rng rng_;
-  std::unique_ptr<SchedulingPolicy> policy_;
-  std::unique_ptr<Scheduler> scheduler_;
+  /// Placement, per-shard scheduler+policy instances, transport, wire codec.
+  /// Workers are addressed globally (shard * num_workers + local); the
+  /// runtime maps them onto each shard's scheduler.
+  std::unique_ptr<shard::ShardRuntime> runtime_;
   std::unordered_map<OperatorId, std::unique_ptr<ContextConverter>> converters_;
   std::unordered_map<OperatorId, TokenBucket> token_buckets_;
   CostProfiler profiler_;

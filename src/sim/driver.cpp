@@ -44,9 +44,11 @@ double RunResult::GroupThroughput(const std::string& prefix) const {
 RunResult SummarizeRun(Cluster& cluster, SimTime span) {
   RunResult out;
   out.utilization = cluster.utilization().Utilization();
-  out.sched = cluster.scheduler().stats();
+  out.sched = cluster.sched_stats();  // merged across shards
   out.messages = cluster.messages_delivered();
-  out.policy_counters = cluster.policy().Counters();
+  // Thread-safe snapshot (each policy locks internally), merged across
+  // shards by counter name -- also readable mid-run, not just at summary.
+  out.policy_counters = cluster.PolicyCountersSnapshot();
   for (JobId job : cluster.latency().jobs()) {
     JobResult r;
     r.job = job;

@@ -17,10 +17,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.h"
 #include "common/pool.h"
 #include "common/rng.h"
 #include "sched/cameo_scheduler.h"
 #include "sched/fifo_scheduler.h"
+#include "shard/wire.h"
 #include "sim/event_queue.h"
 #include "state/keyed_counter.h"
 
@@ -208,6 +210,47 @@ TEST(ZeroAllocTest, ColumnarBatchRecycleSteadyState) {
   if (kCountingReliable) {
     EXPECT_EQ(after - before, 0)
         << "recycled column buffers must satisfy steady-state Appends";
+  }
+}
+
+TEST(ZeroAllocTest, WireCodecEncodeShipDecodeSteadyState) {
+  // The full inter-shard cycle: build a columnar message, encode it into a
+  // recycled frame, decode into a fresh message that adopts pooled columns,
+  // recycle everything. Frame buffers ride the RecycleStash, columns ride
+  // the column pool -- once both are warm, zero heap allocations per message.
+  auto cycle = [](std::int64_t seed) {
+    cameo::Message m;
+    m.id = cameo::MessageId{seed};
+    m.target = cameo::OperatorId{seed % 64};
+    m.pc.id = m.id;
+    m.pc.pri_global = seed;
+    m.batch.progress = seed;
+    for (int i = 0; i < 128; ++i) {
+      m.batch.Append(seed + i, static_cast<double>(i), seed + i);
+    }
+    cameo::shard::WireFrame frame = cameo::shard::AcquireFrame();
+    cameo::shard::EncodeMessage(m, frame);
+    cameo::Message out;
+    CAMEO_CHECK(cameo::shard::DecodeMessage(frame, out));
+    const std::int64_t tag = out.batch.keys.empty() ? 0 : out.batch.keys[0];
+    cameo::shard::ReleaseFrame(std::move(frame));
+    out.batch.Recycle();
+    m.batch.Recycle();
+    return tag;
+  };
+  for (int i = 0; i < 64; ++i) cycle(i);  // warm frame stash + column pool
+
+  const std::int64_t before = HeapAllocs();
+  std::int64_t sum = 0;
+  constexpr int kMessages = 2000;
+  for (int i = 0; i < kMessages; ++i) sum += cycle(i);
+  const std::int64_t after = HeapAllocs();
+  EXPECT_NE(sum, 0);
+  if (kCountingReliable) {
+    EXPECT_EQ(after - before, 0)
+        << "steady-state encode->ship->decode must not touch the heap "
+        << "(allocs/msg = "
+        << static_cast<double>(after - before) / kMessages << ")";
   }
 }
 

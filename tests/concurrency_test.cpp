@@ -14,6 +14,7 @@
 #include "ops/source.h"
 #include "runtime/thread_runtime.h"
 #include "sched/scheduler.h"
+#include "shard/shard_runtime.h"
 #include "workload/tenants.h"
 
 namespace cameo {
@@ -361,6 +362,177 @@ TEST(ConcurrencyTest, ChurnHammerAddRemoveUnderLiveIngest) {
     EXPECT_EQ(stats.purged, 0u) << ToString(kind);
     rt.Stop();
   }
+}
+
+// ---- Cross-shard conservation under churn + worker flexing ----
+
+// Hammers a 3-shard ShardRuntime directly: producer threads enqueue locally
+// or ship frames through the transport to the target's owning shard, a
+// mutator thread churns short-lived operators (enqueue a burst, retire,
+// purge) while flexing which workers are active, and per-shard consumers
+// drain. The invariant: every message ingested anywhere ends up dispatched,
+// purged, or in flight on *exactly one* shard -- at quiescence the in-flight
+// term is zero and the ledger must balance exactly. Run under TSan.
+TEST(ConcurrencyTest, CrossShardConservationUnderChurnAndFlexing) {
+  constexpr int kShards = 3;
+  constexpr int kWorkersPerShard = 2;
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 3000;
+  constexpr int kChurnCycles = 40;
+  constexpr int kChurnBurst = 25;
+  // Producer traffic targets ops [0, kSteadyOps); churned operators get
+  // fresh ids >= kSteadyOps, so a retired operator never sees another send.
+  constexpr std::int64_t kSteadyOps = 16;
+
+  shard::ShardRuntimeOptions opts;
+  opts.num_shards = kShards;
+  opts.workers_per_shard = kWorkersPerShard;
+  opts.seed = 99;
+  opts.link = {};  // zero modeled delay: frames are due the moment they land
+  shard::ShardRuntime rt(std::move(opts));
+
+  constexpr std::int64_t kProducerTotal =
+      static_cast<std::int64_t>(kProducers) * kPerProducer;
+  std::vector<std::atomic<std::uint8_t>> seen(
+      static_cast<std::size_t>(kProducerTotal));
+  std::atomic<std::int64_t> dispatched{0};
+  std::atomic<std::int64_t> purged{0};
+  std::atomic<std::int64_t> mutator_sent{0};
+  std::atomic<std::int64_t> replies_shipped{0};
+  std::atomic<std::int64_t> replies_received{0};
+  std::atomic<bool> sends_done{false};
+  std::atomic<int> flex_epoch{0};
+
+  auto make_msg = [](std::int64_t id, OperatorId target) {
+    Message m;
+    m.id = MessageId{id};
+    m.target = target;
+    m.pc.id = m.id;
+    m.pc.pri_global = (id * 7919) % 1000;
+    m.pc.pri_local = id;
+    m.batch = EventBatch::Synthetic(1, id + 1);
+    return m;
+  };
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::int64_t id =
+            static_cast<std::int64_t>(p) * kPerProducer + i;
+        const OperatorId target{id % kSteadyOps};
+        const int dst = rt.ShardOf(target);
+        // Alternate local enqueues with wire-serialized cross-shard sends
+        // (the sender pretends to live on a different shard).
+        const int src = (dst + 1 + (i % (kShards - 1))) % kShards;
+        Message m = make_msg(id, target);
+        if (i % 2 == 0) {
+          rt.Enqueue(std::move(m), WorkerId{}, id);
+        } else {
+          rt.SendMessage(src, dst, /*now=*/id, m);
+        }
+        // Sprinkle reply acks over the same channels: they must neither be
+        // lost nor ever count against message conservation.
+        if (i % 64 == 0) {
+          ReplyContext rc;
+          rc.cost_m = i;
+          rc.valid = true;
+          rt.SendReply(src, dst, id, target, OperatorId{id % kSteadyOps},
+                       rc);
+          replies_shipped.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Mutator: churn short-lived operators and flex the active worker set.
+  threads.emplace_back([&] {
+    for (int cyc = 0; cyc < kChurnCycles; ++cyc) {
+      const OperatorId op{kSteadyOps + cyc};
+      for (int i = 0; i < kChurnBurst; ++i) {
+        rt.Enqueue(make_msg(-1 - cyc * kChurnBurst - i, op), WorkerId{},
+                   cyc);
+        mutator_sent.fetch_add(1, std::memory_order_relaxed);
+      }
+      purged.fetch_add(rt.RetireOperators({op}), std::memory_order_relaxed);
+      if (cyc % 5 == 4) flex_epoch.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+
+  // Consumers: local worker 0 of each shard also drains the shard's
+  // transport inbox (single consumer per destination, per the Transport
+  // contract); worker 1 parks on odd flex epochs (worker flexing).
+  for (int s = 0; s < kShards; ++s) {
+    for (int w = 0; w < kWorkersPerShard; ++w) {
+      threads.emplace_back([&, s, w] {
+        const WorkerId local{w};
+        for (;;) {
+          if (w == 0) {
+            Message msg;
+            shard::WireReply reply;
+            switch (rt.ReceiveOne(s, kTimeMax, msg, reply)) {
+              case shard::ReceiveKind::kMessage:
+                rt.Enqueue(std::move(msg), WorkerId{}, 0);
+                continue;
+              case shard::ReceiveKind::kReply:
+                replies_received.fetch_add(1, std::memory_order_relaxed);
+                continue;
+              case shard::ReceiveKind::kNone:
+                break;
+            }
+          } else if ((flex_epoch.load(std::memory_order_relaxed) & 1) != 0) {
+            std::this_thread::yield();  // parked: the pool flexed down
+            continue;
+          }
+          std::optional<Message> m = rt.scheduler(s).Dequeue(
+              local, dispatched.load(std::memory_order_relaxed));
+          if (m.has_value()) {
+            if (m->id.value >= 0) {
+              seen[static_cast<std::size_t>(m->id.value)].fetch_add(1);
+            }
+            rt.scheduler(s).OnComplete(m->target, local, 0);
+            dispatched.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (sends_done.load(std::memory_order_acquire) &&
+              dispatched.load(std::memory_order_relaxed) +
+                      purged.load(std::memory_order_relaxed) ==
+                  kProducerTotal + mutator_sent.load(
+                                       std::memory_order_relaxed)) {
+            return;
+          }
+          std::this_thread::yield();
+        }
+      });
+    }
+  }
+
+  // Producers + mutator are the first kProducers + 1 threads.
+  for (int i = 0; i < kProducers + 1; ++i) threads[static_cast<std::size_t>(i)].join();
+  sends_done.store(true, std::memory_order_release);
+  for (std::size_t i = kProducers + 1; i < threads.size(); ++i) {
+    threads[i].join();
+  }
+
+  // The ledger balances: ingested == dispatched + purged, in-flight == 0.
+  EXPECT_EQ(dispatched.load() + purged.load(),
+            kProducerTotal + mutator_sent.load());
+  EXPECT_EQ(rt.transport_stats().in_flight(), 0u);
+  EXPECT_EQ(rt.TotalPending(), 0u);
+  EXPECT_EQ(replies_received.load(), replies_shipped.load());
+  // Per-message exactness for the steady traffic: each id exactly once.
+  for (std::int64_t id = 0; id < kProducerTotal; ++id) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(id)].load(), 1)
+        << "message " << id << " lost or duplicated";
+  }
+  // Merged stats agree with the consumer-side ledger.
+  const SchedulerStats stats = rt.MergedSchedStats();
+  EXPECT_EQ(stats.enqueued, stats.dispatched + stats.purged);
+  EXPECT_EQ(stats.dispatched, static_cast<std::uint64_t>(dispatched.load()));
+  const shard::WireStats ws = rt.wire_stats();
+  EXPECT_EQ(ws.frames_encoded, ws.frames_decoded);
+  EXPECT_EQ(ws.rejected, 0u);
 }
 
 }  // namespace

@@ -56,6 +56,13 @@ constexpr std::int64_t kGoldenKeyedExpired = 5'413;
 constexpr std::uint64_t kGoldenKeyedOutputs = 14;
 constexpr std::int64_t kGoldenKeyedP99Ms = 4;
 
+// Scenario 5: ShardedKeyedSeed13 (shards=2, wire-serialized cross-shard edges)
+constexpr std::uint64_t kGoldenShardMessages = 1668;
+constexpr std::int64_t kGoldenShardRowsSeen = 636'000;
+constexpr std::int64_t kGoldenShardFramesSent = 714;
+constexpr std::uint64_t kGoldenShardOutputs = 14;
+constexpr std::int64_t kGoldenShardP99Ms = 4;
+
 std::int64_t P99Bucket(const RunResult& run, const std::string& prefix) {
   return static_cast<std::int64_t>(std::floor(run.GroupPercentile(prefix, 99)));
 }
@@ -170,6 +177,36 @@ TEST(ReplayTest, KeyedZipfSlatesSeed5) {
   EXPECT_EQ(r.keys_inserted, r.keys_expired + r.keys_live);
   EXPECT_EQ(Outputs(r.run, "KEYED"), kGoldenKeyedOutputs);
   EXPECT_EQ(P99Bucket(r.run, "KEYED"), kGoldenKeyedP99Ms);
+}
+
+// ---- Scenario 5: sharded keyed run (2 shards, modeled transport) ----
+
+// The multi-shard runtime is deterministic end to end for a fixed seed: the
+// InprocTransport's delay model draws from a seeded RNG and per-channel
+// delivery order is total, so the frame count itself is a golden. Any drift
+// in placement, wire encoding, or cross-shard watermark propagation moves
+// these numbers.
+TEST(ReplayTest, ShardedKeyedSeed13) {
+  KeyedScenarioOptions opt;
+  opt.dist = KeyDistribution::kZipf;
+  opt.num_keys = 10'000;
+  opt.zipf_s = 0.9;
+  opt.sources = 2;
+  opt.counters = 4;
+  opt.splits = 2;
+  opt.shards = 2;
+  opt.workers = 2;  // per shard
+  opt.duration = Seconds(8);
+  opt.seed = 13;
+  KeyedScenarioResult r = RunKeyedScenario(opt);
+
+  EXPECT_EQ(r.run.messages, kGoldenShardMessages);
+  EXPECT_EQ(r.rows_seen, kGoldenShardRowsSeen);
+  EXPECT_EQ(r.frames_sent, kGoldenShardFramesSent);
+  // Transport drains at quiescence: every frame shipped was delivered.
+  EXPECT_EQ(r.frames_sent, r.frames_received);
+  EXPECT_EQ(Outputs(r.run, "KEYED"), kGoldenShardOutputs);
+  EXPECT_EQ(P99Bucket(r.run, "KEYED"), kGoldenShardP99Ms);
 }
 
 }  // namespace

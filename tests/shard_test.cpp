@@ -1,0 +1,712 @@
+// The src/shard/ subsystem: placement, wire codec, transports, ShardRuntime,
+// and the sharded cluster's cross-shard contracts.
+//
+// The wire-codec sections are the randomized round-trip property suite of
+// the codec's decode-is-defensive contract: encode -> decode must be
+// bit-identical, and truncated/corrupted/misdirected frames must be
+// rejected without touching the output message and without leaking pooled
+// buffers (both sanitizer legs run this suite; ASan's leak checker is what
+// turns "no leak" into a hard failure).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "api/shard_engine.h"
+#include "bench_util/scenarios.h"
+#include "common/rng.h"
+#include "dataflow/graph.h"
+#include "ops/sink.h"
+#include "ops/source.h"
+#include "shard/inproc_transport.h"
+#include "shard/placement.h"
+#include "shard/socket_transport.h"
+#include "shard/wire.h"
+#include "state/slate_store.h"
+
+namespace cameo::shard {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Placement.
+// ---------------------------------------------------------------------------
+
+TEST(Placement, SingleShardOwnsEverything) {
+  ShardPlacement p(1, /*seed=*/7);
+  for (std::int64_t v = 0; v < 1000; ++v) {
+    EXPECT_EQ(p.ShardOf(OperatorId{v}), 0);
+  }
+}
+
+TEST(Placement, DeterministicAcrossInstances) {
+  ShardPlacement a(4, /*seed=*/11);
+  ShardPlacement b(4, /*seed=*/11);
+  for (std::int64_t v = 0; v < 10'000; ++v) {
+    ASSERT_EQ(a.ShardOf(OperatorId{v}), b.ShardOf(OperatorId{v})) << v;
+  }
+}
+
+TEST(Placement, SeedChangesLayout) {
+  ShardPlacement a(4, /*seed=*/1);
+  ShardPlacement b(4, /*seed=*/2);
+  int moved = 0;
+  for (std::int64_t v = 0; v < 10'000; ++v) {
+    if (a.ShardOf(OperatorId{v}) != b.ShardOf(OperatorId{v})) ++moved;
+  }
+  EXPECT_GT(moved, 1000);  // different seed => a genuinely different ring
+}
+
+TEST(Placement, BalancedAndCoversAllShards) {
+  constexpr int kShards = 8;
+  constexpr std::int64_t kOps = 20'000;
+  ShardPlacement p(kShards, /*seed=*/3);
+  std::vector<int> load(kShards, 0);
+  for (std::int64_t v = 0; v < kOps; ++v) ++load[p.ShardOf(OperatorId{v})];
+  const double mean = static_cast<double>(kOps) / kShards;
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_GT(load[s], 0) << "shard " << s << " owns nothing";
+    // kVirtualNodes = 64 keeps max/mean under ~1.3; gate with headroom.
+    EXPECT_LT(load[s], mean * 1.6) << "shard " << s << " overloaded";
+  }
+}
+
+TEST(Placement, StableUnderGrowth) {
+  constexpr std::int64_t kOps = 20'000;
+  ShardPlacement before(4, /*seed=*/5);
+  ShardPlacement after(5, /*seed=*/5);
+  int moved = 0;
+  for (std::int64_t v = 0; v < kOps; ++v) {
+    const int b = before.ShardOf(OperatorId{v});
+    const int a = after.ShardOf(OperatorId{v});
+    if (a != b) {
+      ++moved;
+      // Consistent hashing: a relocated operator moves *to the new shard*;
+      // operators never shuffle between surviving shards.
+      EXPECT_EQ(a, 4) << "operator " << v << " moved between old shards";
+    }
+  }
+  // Expected relocation is ~1/5 of the keys; gate well above the mean but
+  // far below the ~4/5 a mod-N rehash would move.
+  EXPECT_LT(moved, kOps * 2 / 5);
+  EXPECT_GT(moved, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec: round-trip properties (satellite: randomized property suite).
+// ---------------------------------------------------------------------------
+
+Message RandomMessage(Rng& rng, std::int64_t rows) {
+  Message m;
+  m.id = MessageId{rng.UniformInt(0, 1'000'000)};
+  m.target = OperatorId{rng.UniformInt(0, 5000)};
+  m.sender = OperatorId{rng.UniformInt(-1, 5000)};  // -1: external arrival
+  m.event_time = rng.UniformInt(0, kSecond * 100);
+  m.enqueue_time = rng.UniformInt(0, kSecond * 100);
+  m.pc.id = m.id;
+  m.pc.pri_local = rng.UniformInt(-1000, kSecond);
+  m.pc.pri_global = rng.UniformInt(-1000, kSecond);
+  m.pc.frontier_progress = rng.UniformInt(0, kSecond * 100);
+  m.pc.frontier_time = rng.UniformInt(0, kSecond * 100);
+  m.pc.latency_constraint = rng.UniformInt(0, kSecond * 10);
+  m.pc.job = JobId{static_cast<std::int32_t>(rng.UniformInt(0, 100))};
+  m.pc.has_token = rng.Chance(0.5);
+  m.pc.token_tag = rng.UniformInt(0, kSecond);
+  m.pc.token_interval = rng.UniformInt(0, 1000);
+  m.batch.progress = rng.UniformInt(0, kSecond * 100);
+  m.batch.synthetic_count = rng.Chance(0.3) ? rng.UniformInt(0, 100'000) : 0;
+  for (std::int64_t i = 0; i < rows; ++i) {
+    m.batch.Append(rng.UniformInt(-1'000'000, 1'000'000),
+                   rng.Uniform(-1e12, 1e12), rng.UniformInt(0, kSecond * 100));
+  }
+  return m;
+}
+
+void ExpectBitIdentical(const Message& a, const Message& b) {
+  EXPECT_EQ(a.id.value, b.id.value);
+  EXPECT_EQ(a.target.value, b.target.value);
+  EXPECT_EQ(a.sender.value, b.sender.value);
+  EXPECT_EQ(a.event_time, b.event_time);
+  EXPECT_EQ(a.enqueue_time, b.enqueue_time);
+  EXPECT_EQ(a.pc.id.value, b.pc.id.value);
+  EXPECT_EQ(a.pc.pri_local, b.pc.pri_local);
+  EXPECT_EQ(a.pc.pri_global, b.pc.pri_global);
+  EXPECT_EQ(a.pc.frontier_progress, b.pc.frontier_progress);
+  EXPECT_EQ(a.pc.frontier_time, b.pc.frontier_time);
+  EXPECT_EQ(a.pc.latency_constraint, b.pc.latency_constraint);
+  EXPECT_EQ(a.pc.job.value, b.pc.job.value);
+  EXPECT_EQ(a.pc.has_token, b.pc.has_token);
+  EXPECT_EQ(a.pc.token_tag, b.pc.token_tag);
+  EXPECT_EQ(a.pc.token_interval, b.pc.token_interval);
+  EXPECT_EQ(a.batch.progress, b.batch.progress);
+  EXPECT_EQ(a.batch.synthetic_count, b.batch.synthetic_count);
+  ASSERT_EQ(a.batch.keys, b.batch.keys);
+  ASSERT_EQ(a.batch.times, b.batch.times);
+  // Doubles must survive bit-exactly, not approximately: compare storage.
+  ASSERT_EQ(a.batch.values.size(), b.batch.values.size());
+  if (!a.batch.values.empty()) {
+    EXPECT_EQ(std::memcmp(a.batch.values.data(), b.batch.values.data(),
+                          a.batch.values.size() * sizeof(double)),
+              0);
+  }
+}
+
+TEST(WireCodec, RoundTripRandomized) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int64_t rows = rng.UniformInt(0, 300);
+    Message in = RandomMessage(rng, rows);
+    WireFrame frame = AcquireFrame();
+    EncodeMessage(in, frame);
+    EXPECT_GE(frame.bytes.size(), kWireHeaderSize + kWireTrailerSize);
+    FrameKind kind{};
+    ASSERT_TRUE(PeekFrameKind(frame, kind));
+    EXPECT_EQ(kind, FrameKind::kData);
+    Message out;
+    ASSERT_TRUE(DecodeMessage(frame, out)) << "trial " << trial;
+    ExpectBitIdentical(in, out);
+    out.batch.Recycle();
+    in.batch.Recycle();
+    ReleaseFrame(std::move(frame));
+  }
+}
+
+TEST(WireCodec, ReplyRoundTripRandomized) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const OperatorId sender{rng.UniformInt(0, 5000)};
+    const OperatorId from{rng.UniformInt(0, 5000)};
+    ReplyContext rc;
+    rc.cost_m = rng.UniformInt(0, kSecond);
+    rc.cost_path = rng.UniformInt(0, kSecond);
+    rc.queueing_delay = rng.UniformInt(0, kSecond);
+    rc.valid = rng.Chance(0.8);
+    WireFrame frame = AcquireFrame();
+    EncodeReply(sender, from, rc, frame);
+    FrameKind kind{};
+    ASSERT_TRUE(PeekFrameKind(frame, kind));
+    EXPECT_EQ(kind, FrameKind::kReply);
+    WireReply out;
+    ASSERT_TRUE(DecodeReply(frame, out));
+    EXPECT_EQ(out.sender.value, sender.value);
+    EXPECT_EQ(out.from.value, from.value);
+    EXPECT_EQ(out.rc.cost_m, rc.cost_m);
+    EXPECT_EQ(out.rc.cost_path, rc.cost_path);
+    EXPECT_EQ(out.rc.queueing_delay, rc.queueing_delay);
+    EXPECT_EQ(out.rc.valid, rc.valid);
+    ReleaseFrame(std::move(frame));
+  }
+}
+
+TEST(WireCodec, EveryTruncationRejected) {
+  Rng rng(9);
+  Message in = RandomMessage(rng, 16);
+  WireFrame frame = AcquireFrame();
+  EncodeMessage(in, frame);
+  const std::vector<std::uint8_t> full = frame.bytes;
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    frame.bytes.assign(full.begin(), full.begin() + static_cast<long>(len));
+    Message out;
+    out.batch.progress = -777;  // sentinel: decode failure must not touch out
+    EXPECT_FALSE(DecodeMessage(frame, out)) << "len " << len;
+    EXPECT_EQ(out.batch.progress, -777);
+    EXPECT_TRUE(out.batch.keys.empty());
+  }
+  in.batch.Recycle();
+  ReleaseFrame(std::move(frame));
+}
+
+TEST(WireCodec, EveryByteCorruptionRejected) {
+  Rng rng(10);
+  Message in = RandomMessage(rng, 8);
+  WireFrame frame = AcquireFrame();
+  EncodeMessage(in, frame);
+  const std::vector<std::uint8_t> full = frame.bytes;
+  int rejected = 0;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    frame.bytes = full;
+    frame.bytes[i] ^= 0x5A;
+    Message out;
+    Message scratch;  // decode may succeed only if the flip cancels -- never
+    if (!DecodeMessage(frame, scratch)) {
+      ++rejected;
+      EXPECT_TRUE(scratch.batch.keys.empty());
+    } else {
+      scratch.batch.Recycle();
+    }
+  }
+  // FNV-1a catches every single-byte flip of this frame (the checksum also
+  // covers the header, so magic/kind/length flips reject too).
+  EXPECT_EQ(rejected, static_cast<int>(full.size()));
+  in.batch.Recycle();
+  ReleaseFrame(std::move(frame));
+}
+
+TEST(WireCodec, KindMismatchRejected) {
+  Rng rng(11);
+  Message in = RandomMessage(rng, 4);
+  WireFrame data = AcquireFrame();
+  EncodeMessage(in, data);
+  WireReply reply_out;
+  EXPECT_FALSE(DecodeReply(data, reply_out));
+
+  WireFrame reply = AcquireFrame();
+  EncodeReply(OperatorId{1}, OperatorId{2}, ReplyContext{}, reply);
+  Message msg_out;
+  EXPECT_FALSE(DecodeMessage(reply, msg_out));
+  EXPECT_TRUE(msg_out.batch.keys.empty());
+
+  in.batch.Recycle();
+  ReleaseFrame(std::move(data));
+  ReleaseFrame(std::move(reply));
+}
+
+TEST(WireCodec, LengthFieldLyingRejected) {
+  Rng rng(12);
+  Message in = RandomMessage(rng, 4);
+  WireFrame frame = AcquireFrame();
+  EncodeMessage(in, frame);
+  // Inflate the payload_len field (offset 8, u64 LE) past the buffer.
+  const std::vector<std::uint8_t> full = frame.bytes;
+  for (std::uint64_t lie :
+       {std::uint64_t{1} << 40, std::uint64_t{1} << 62,
+        static_cast<std::uint64_t>(full.size())}) {
+    frame.bytes = full;
+    std::memcpy(frame.bytes.data() + 8, &lie, sizeof(lie));
+    Message out;
+    EXPECT_FALSE(DecodeMessage(frame, out));
+    EXPECT_TRUE(out.batch.keys.empty());
+  }
+  in.batch.Recycle();
+  ReleaseFrame(std::move(frame));
+}
+
+TEST(WireCodec, FrameBuffersRecycle) {
+  // AcquireFrame after ReleaseFrame reuses capacity (the zero-alloc cycle's
+  // backbone; exact alloc counts are gated in tests/alloc_test.cpp).
+  WireFrame a = AcquireFrame();
+  Message m;
+  m.batch.Append(1, 2.0, 3);
+  EncodeMessage(m, a);
+  const std::size_t cap = a.bytes.capacity();
+  ReleaseFrame(std::move(a));
+  WireFrame b = AcquireFrame();
+  EXPECT_TRUE(b.bytes.empty());
+  EXPECT_GE(b.bytes.capacity(), cap);
+  ReleaseFrame(std::move(b));
+  m.batch.Recycle();
+}
+
+// ---------------------------------------------------------------------------
+// InprocTransport.
+// ---------------------------------------------------------------------------
+
+WireFrame MakeDataFrame(std::int64_t tag) {
+  Message m;
+  m.id = MessageId{tag};
+  m.target = OperatorId{tag};
+  m.batch.progress = tag;
+  WireFrame f = AcquireFrame();
+  EncodeMessage(m, f);
+  return f;
+}
+
+std::int64_t FrameTag(const WireFrame& f) {
+  Message m;
+  CAMEO_CHECK(DecodeMessage(f, m));
+  const std::int64_t tag = m.batch.progress;
+  m.batch.Recycle();
+  return tag;
+}
+
+TEST(InprocTransportTest, DeliversInSendOrderWithMonotoneTimes) {
+  InprocTransport t({.base = Millis(1), .jitter = Millis(5)}, /*seed=*/3);
+  t.Start(2);
+  constexpr int kFrames = 100;
+  std::vector<SimTime> deliver_at;
+  for (int i = 0; i < kFrames; ++i) {
+    deliver_at.push_back(t.Send(0, 1, /*now=*/i, MakeDataFrame(i)));
+  }
+  // Jitter would reorder; the monotone clamp must not let it.
+  for (int i = 1; i < kFrames; ++i) {
+    EXPECT_GE(deliver_at[i], deliver_at[i - 1]);
+    EXPECT_GE(deliver_at[i], i + Millis(1));  // >= base delay
+  }
+  WireFrame out;
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(t.Receive(1, kTimeMax, out)) << i;
+    EXPECT_EQ(FrameTag(out), i);  // strict send order
+    EXPECT_EQ(out.deliver_at, deliver_at[i]);
+    ReleaseFrame(std::move(out));
+  }
+  EXPECT_FALSE(t.Receive(1, kTimeMax, out));
+  EXPECT_EQ(t.stats().in_flight(), 0u);
+}
+
+TEST(InprocTransportTest, NothingDeliveredBeforeItsTime) {
+  InprocTransport t({.base = Millis(10)}, /*seed=*/1);
+  t.Start(2);
+  const SimTime at = t.Send(0, 1, /*now=*/0, MakeDataFrame(1));
+  EXPECT_EQ(at, Millis(10));
+  WireFrame out;
+  EXPECT_FALSE(t.Receive(1, at - 1, out));
+  EXPECT_TRUE(t.Receive(1, at, out));
+  ReleaseFrame(std::move(out));
+}
+
+TEST(InprocTransportTest, DelaySequenceIsSeedDeterministic) {
+  auto sequence = [](std::uint64_t seed) {
+    InprocTransport t({.base = Micros(100), .jitter = Millis(2)}, seed);
+    t.Start(3);
+    std::vector<SimTime> times;
+    for (int i = 0; i < 50; ++i) {
+      times.push_back(t.Send(i % 2, 2, i * Micros(10), MakeDataFrame(i)));
+    }
+    WireFrame out;
+    while (t.Receive(2, kTimeMax, out)) ReleaseFrame(std::move(out));
+    return times;
+  };
+  EXPECT_EQ(sequence(5), sequence(5));
+  EXPECT_NE(sequence(5), sequence(6));
+}
+
+TEST(InprocTransportTest, ChannelsAreIndependent) {
+  InprocTransport t({}, 1);
+  t.Start(3);
+  t.Send(0, 2, 0, MakeDataFrame(100));
+  t.Send(1, 2, 0, MakeDataFrame(200));
+  t.Send(0, 1, 0, MakeDataFrame(300));
+  WireFrame out;
+  // Destination 1 sees only its frame.
+  ASSERT_TRUE(t.Receive(1, kTimeMax, out));
+  EXPECT_EQ(FrameTag(out), 300);
+  ReleaseFrame(std::move(out));
+  EXPECT_FALSE(t.Receive(1, kTimeMax, out));
+  // Destination 2 sees both of its frames (source iteration order is fixed).
+  std::set<std::int64_t> tags;
+  while (t.Receive(2, kTimeMax, out)) {
+    tags.insert(FrameTag(out));
+    ReleaseFrame(std::move(out));
+  }
+  EXPECT_EQ(tags, (std::set<std::int64_t>{100, 200}));
+}
+
+TEST(InprocTransportTest, ConcurrentSendersKeepPerChannelOrder) {
+  InprocTransport t({.jitter = Micros(50)}, 9);
+  t.Start(3);
+  constexpr int kPerSender = 500;
+  // Two producer threads, each owning one source shard: per-channel send
+  // order is each thread's program order.
+  std::thread s0([&] {
+    for (int i = 0; i < kPerSender; ++i) t.Send(0, 2, i, MakeDataFrame(i));
+  });
+  std::thread s1([&] {
+    for (int i = 0; i < kPerSender; ++i) {
+      t.Send(1, 2, i, MakeDataFrame(kPerSender + i));
+    }
+  });
+  s0.join();
+  s1.join();
+  std::int64_t next0 = 0, next1 = kPerSender;
+  int received = 0;
+  WireFrame out;
+  while (t.Receive(2, kTimeMax, out)) {
+    const std::int64_t tag = FrameTag(out);
+    if (tag < kPerSender) {
+      EXPECT_EQ(tag, next0++);
+    } else {
+      EXPECT_EQ(tag, next1++);
+    }
+    ++received;
+    ReleaseFrame(std::move(out));
+  }
+  EXPECT_EQ(received, 2 * kPerSender);
+  EXPECT_EQ(t.stats().frames_sent, static_cast<std::uint64_t>(received));
+}
+
+// ---------------------------------------------------------------------------
+// SocketTransport (the CI socket smoke runs this suite; see ci.yml).
+// ---------------------------------------------------------------------------
+
+void RoundTripOver(SocketTransport& t) {
+  t.Start(2);
+  Rng rng(33);
+  constexpr int kFrames = 40;
+  std::vector<Message> sent;
+  for (int i = 0; i < kFrames; ++i) {
+    sent.push_back(RandomMessage(rng, rng.UniformInt(0, 64)));
+    WireFrame f = AcquireFrame();
+    EncodeMessage(sent.back(), f);
+    t.Send(0, 1, /*now=*/i, std::move(f));
+  }
+  int received = 0;
+  WireFrame out;
+  // Socket delivery is asynchronous (kernel buffering): poll until drained.
+  for (int spin = 0; received < kFrames && spin < 100'000; ++spin) {
+    if (!t.Receive(1, kTimeMax, out)) continue;
+    Message m;
+    ASSERT_TRUE(DecodeMessage(out, m));
+    ExpectBitIdentical(sent[static_cast<std::size_t>(received)], m);
+    m.batch.Recycle();
+    ReleaseFrame(std::move(out));
+    ++received;
+  }
+  EXPECT_EQ(received, kFrames);
+  for (Message& m : sent) m.batch.Recycle();
+}
+
+TEST(SocketTransportTest, UnixPairRoundTrip) {
+  SocketTransport t(SocketTransport::Mode::kUnixPair);
+  RoundTripOver(t);
+}
+
+TEST(SocketTransportTest, TcpLoopbackRoundTrip) {
+  SocketTransport t(SocketTransport::Mode::kTcpLoopback);
+  RoundTripOver(t);
+}
+
+TEST(SocketTransportTest, LargeFrameReassembles) {
+  // A frame far larger than a socket buffer: exercises partial writes on the
+  // sender (the writer thread blocks mid-frame) and reassembly across many
+  // short reads on the receiver.
+  SocketTransport t(SocketTransport::Mode::kUnixPair);
+  t.Start(2);
+  Rng rng(44);
+  Message big = RandomMessage(rng, 60'000);  // ~1.4 MB of columns
+  WireFrame f = AcquireFrame();
+  EncodeMessage(big, f);
+  const std::size_t frame_size = f.bytes.size();
+  std::thread writer([&t, frame = std::move(f)]() mutable {
+    t.Send(0, 1, 0, std::move(frame));
+  });
+  WireFrame out;
+  bool got = false;
+  for (int spin = 0; !got && spin < 10'000'000; ++spin) {
+    got = t.Receive(1, kTimeMax, out);
+  }
+  writer.join();
+  ASSERT_TRUE(got);
+  EXPECT_EQ(out.bytes.size(), frame_size);
+  Message m;
+  ASSERT_TRUE(DecodeMessage(out, m));
+  ExpectBitIdentical(big, m);
+  m.batch.Recycle();
+  big.batch.Recycle();
+  ReleaseFrame(std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// Routing stability under sharding (satellite: regression pins).
+// ---------------------------------------------------------------------------
+
+OperatorFactory SourceFactory() {
+  return [](int) { return std::make_unique<SourceOp>("src", CostModel{}); };
+}
+
+OperatorFactory SinkFactory() {
+  return [](int) { return std::make_unique<SinkOp>("sink", CostModel{}); };
+}
+
+TEST(RoutingStability, KeyHashMappingIsKeyMixModReplicas) {
+  // Pins the exact key -> replica function. If this mapping ever changes,
+  // keyed state migrates between replicas and every sharded replay breaks:
+  // bump wire/version notes and regenerate goldens deliberately.
+  DataflowGraph g;
+  JobId job = g.AddJob({.name = "pin", .latency_constraint = Millis(100)});
+  StageId a = g.AddStage(job, "a", 1, SourceFactory());
+  StageId b = g.AddStage(job, "b", 4, SinkFactory());
+  g.Connect(a, b, Partition::kKeyHash);
+  EventBatch batch;
+  for (std::int64_t k = 0; k < 64; ++k) batch.Append(k, 1.0, k);
+  batch.progress = 64;
+  auto out = g.Route(g.stage(a).operators[0], 0, std::move(batch));
+  ASSERT_EQ(out.size(), 4u);  // every replica gets rows or a progress batch
+  for (const auto& d : out) {
+    // Position of the target within the stage's global replica list.
+    const auto& ops = g.stage(b).operators;
+    const auto it = std::find(ops.begin(), ops.end(), d.target);
+    ASSERT_NE(it, ops.end());
+    const auto replica = static_cast<std::uint64_t>(it - ops.begin());
+    for (std::int64_t k : d.batch.keys) {
+      EXPECT_EQ(KeyMix(k) % 4, replica) << "key " << k;
+    }
+  }
+}
+
+TEST(RoutingStability, DecisionsIdenticalUnderAnyPlacement) {
+  // Route() picks replicas from the stage-global operator list; shard
+  // placement must not be able to change the picks. Two structurally
+  // identical graphs + any ShardPlacement agree on every delivery.
+  auto build = [](DataflowGraph& g) {
+    JobId job = g.AddJob({.name = "p", .latency_constraint = Millis(100)});
+    StageId a = g.AddStage(job, "a", 2, SourceFactory());
+    StageId b = g.AddStage(job, "b", 3, SinkFactory());
+    g.Connect(a, b, Partition::kKeyHash);
+    return std::pair{a, b};
+  };
+  DataflowGraph g1, g2;
+  auto [a1, b1] = build(g1);
+  auto [a2, b2] = build(g2);
+  (void)b1;
+  (void)b2;
+  Rng rng(15);
+  for (int trial = 0; trial < 20; ++trial) {
+    EventBatch batch;
+    for (int i = 0; i < 50; ++i) {
+      batch.Append(rng.UniformInt(0, 1000), 1.0, i);
+    }
+    batch.progress = 50;
+    EventBatch copy = batch;
+    auto d1 = g1.Route(g1.stage(a1).operators[0], 0, std::move(batch));
+    auto d2 = g2.Route(g2.stage(a2).operators[0], 0, std::move(copy));
+    ASSERT_EQ(d1.size(), d2.size());
+    for (std::size_t i = 0; i < d1.size(); ++i) {
+      EXPECT_EQ(d1[i].target.value, d2[i].target.value);
+      EXPECT_EQ(d1[i].batch.keys, d2[i].batch.keys);
+    }
+  }
+  // And placement is downstream of routing: whatever shard owns a target,
+  // the target id itself is placement-independent by construction.
+  ShardPlacement p1(1), p4(4), p8(8);
+  for (std::int64_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(p1.ShardOf(OperatorId{v}), 0);
+    EXPECT_LT(p4.ShardOf(OperatorId{v}), 4);
+    EXPECT_LT(p8.ShardOf(OperatorId{v}), 8);
+  }
+}
+
+TEST(RoutingStability, RoundRobinCursorsPerEdgeIndependent) {
+  DataflowGraph g;
+  JobId job = g.AddJob({.name = "rr", .latency_constraint = Millis(100)});
+  StageId a = g.AddStage(job, "a", 1, SourceFactory());
+  StageId b = g.AddStage(job, "b", 3, SinkFactory());
+  StageId c = g.AddStage(job, "c", 3, SinkFactory());
+  g.Connect(a, b, Partition::kRoundRobin);
+  g.Connect(a, c, Partition::kRoundRobin);
+  const OperatorId sender = g.stage(a).operators[0];
+  // Port 0 advances its cursor twice; port 1's cursor must still start at 0.
+  auto d0a = g.Route(sender, 0, EventBatch::Synthetic(1, 1));
+  auto d0b = g.Route(sender, 0, EventBatch::Synthetic(1, 2));
+  auto d1 = g.Route(sender, 1, EventBatch::Synthetic(1, 3));
+  EXPECT_EQ(d0a[0].target.value, g.stage(b).operators[0].value);
+  EXPECT_EQ(d0b[0].target.value, g.stage(b).operators[1].value);
+  EXPECT_EQ(d1[0].target.value, g.stage(c).operators[0].value);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded cluster end-to-end contracts.
+// ---------------------------------------------------------------------------
+
+KeyedScenarioOptions SmallKeyedRun(int shards) {
+  KeyedScenarioOptions opt;
+  opt.num_keys = 2000;
+  opt.sources = 2;
+  opt.counters = 4;
+  opt.msgs_per_sec = 10;
+  opt.tuples_per_msg = 200;
+  opt.workers = 2;
+  opt.duration = Seconds(4);
+  opt.shards = shards;
+  opt.seed = 21;
+  return opt;
+}
+
+TEST(ShardedCluster, ConservationAndTransportDrainAtQuiescence) {
+  KeyedScenarioResult r = RunKeyedScenario(SmallKeyedRun(3));
+  // Every ingested message is dispatched or purged, across all shards.
+  EXPECT_EQ(r.run.sched.enqueued,
+            r.run.sched.dispatched + r.run.sched.purged);
+  // The transport is empty when virtual time quiesces, and every frame that
+  // crossed a boundary was decoded exactly once.
+  EXPECT_GT(r.frames_sent, 0);  // 3 shards: edges do cross boundaries
+  EXPECT_EQ(r.frames_sent, r.frames_received);
+  ASSERT_EQ(r.shard_sched.size(), 3u);
+  std::uint64_t dispatched = 0;
+  for (const SchedulerStats& s : r.shard_sched) dispatched += s.dispatched;
+  EXPECT_EQ(dispatched, r.run.sched.dispatched);
+}
+
+TEST(ShardedCluster, WatermarksCrossShardsAndWindowsClose) {
+  // Windowed results only materialize if progress flows across the wire:
+  // a stalled cross-shard watermark would leave every window open and the
+  // sink output at zero.
+  KeyedScenarioResult r = RunKeyedScenario(SmallKeyedRun(2));
+  ASSERT_FALSE(r.run.jobs.empty());
+  EXPECT_GT(r.run.jobs[0].outputs, 0u);
+  EXPECT_GT(r.rows_seen, 0);
+  EXPECT_GT(r.count_emitted, 0);
+}
+
+TEST(ShardedCluster, SingleShardBitIdenticalToUnsharded) {
+  // shards=1 must reproduce the unsharded engine bit for bit (the replay
+  // goldens gate this globally; this is the targeted fast check).
+  KeyedScenarioResult one = RunKeyedScenario(SmallKeyedRun(1));
+  KeyedScenarioOptions unsharded = SmallKeyedRun(1);
+  unsharded.shards = 1;
+  KeyedScenarioResult two = RunKeyedScenario(unsharded);
+  ASSERT_FALSE(one.run.jobs.empty());
+  EXPECT_EQ(one.run.jobs[0].outputs, two.run.jobs[0].outputs);
+  EXPECT_EQ(one.run.jobs[0].median_ms, two.run.jobs[0].median_ms);
+  EXPECT_EQ(one.run.jobs[0].p99_ms, two.run.jobs[0].p99_ms);
+  EXPECT_EQ(one.rows_seen, two.rows_seen);
+  EXPECT_EQ(one.count_emitted, two.count_emitted);
+  EXPECT_EQ(one.frames_sent, 0);  // no boundary to cross
+}
+
+TEST(ShardedCluster, ShardCountPreservesTotals) {
+  // Routing is placement-independent, so the rows each counter replica sees
+  // are identical at any shard count; only timing differs (link delay).
+  KeyedScenarioResult one = RunKeyedScenario(SmallKeyedRun(1));
+  KeyedScenarioResult four = RunKeyedScenario(SmallKeyedRun(4));
+  EXPECT_EQ(one.rows_seen, four.rows_seen);
+  EXPECT_EQ(one.keys_inserted, four.keys_inserted);
+}
+
+TEST(ShardEngineTest, FacadeExposesShardReadSide) {
+  EngineOptions eo;
+  eo.workers = 2;
+  eo.shards = 3;
+  eo.seed = 4;
+  ShardEngine engine(eo);
+  EXPECT_EQ(engine.backend(), "shard");
+  EXPECT_EQ(engine.num_shards(), 3);
+
+  QuerySpec spec = MakeLatencySensitiveSpec("LS0");
+  IngestSpec ingest;
+  ingest.msgs_per_sec = 5;
+  ingest.tuples_per_msg = 100;
+  ingest.end = Seconds(2);
+  QueryHandle q = engine.Submit(AggregationQueryDef(spec).Ingest(ingest));
+  engine.RunFor(Seconds(1));
+
+  // Mid-run reads (satellite: snapshot accessors usable before Summarize).
+  const std::vector<PolicyCounter> counters = engine.policy_counters();
+  (void)counters;  // roster may be empty for LLF; the call must be safe
+  std::uint64_t dispatched = 0;
+  for (int s = 0; s < engine.num_shards(); ++s) {
+    dispatched += engine.shard_stats(s).dispatched;
+  }
+  EXPECT_EQ(dispatched, engine.sched_stats().dispatched);
+  for (OperatorId op : engine.graph().OperatorsOf(q.job())) {
+    const int shard = engine.ShardOf(op);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 3);
+  }
+
+  engine.RunFor(Seconds(1));
+  RunResult result = engine.Summarize(Seconds(2));
+  EXPECT_GT(result.sched.dispatched, 0u);
+  EXPECT_EQ(engine.wire_stats().frames_encoded,
+            engine.wire_stats().frames_decoded);
+}
+
+TEST(ShardEngineTest, ThreadBackendRejectsShards) {
+  EngineOptions eo;
+  eo.shards = 0;
+  EXPECT_DEATH(ShardEngine{eo}, "shards");
+}
+
+}  // namespace
+}  // namespace cameo::shard
