@@ -30,6 +30,8 @@
 #include "api/query_def.h"
 #include "common/histogram.h"
 #include "sched/scheduler.h"
+#include "shard/fault_transport.h"
+#include "shard/session.h"
 
 namespace cameo {
 
@@ -80,6 +82,15 @@ struct EngineOptions {
     /// > 0: total token issuance (tokens/s) re-shared across live
     /// token-enabled queries on every membership change.
     double token_total_rate = 0;
+    /// Reliable-delivery session layer over the shard transport
+    /// (shard/session.h). Auto-enabled when `shard_faults` injects
+    /// anything; off by default so clean runs stay bit-identical.
+    shard::SessionConfig shard_session;
+    /// Deterministic chaos schedule for the shard transport
+    /// (shard/fault_transport.h).
+    shard::FaultPlan shard_faults;
+    /// Per-shard admission-control backlog limit (0 = no shedding).
+    std::size_t admission_limit = 0;
   } sim;
 
   /// Knobs only the wall-clock backend can honour.

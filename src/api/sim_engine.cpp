@@ -40,6 +40,9 @@ ClusterConfig ToClusterConfig(const EngineOptions& o) {
   cfg.num_shards = o.shards;
   cfg.shard_link_delay = o.sim.shard_link_delay;
   cfg.shard_link_jitter = o.sim.shard_link_jitter;
+  cfg.shard_session = o.sim.shard_session;
+  cfg.shard_faults = o.sim.shard_faults;
+  cfg.admission_limit = o.sim.admission_limit;
   return cfg;
 }
 

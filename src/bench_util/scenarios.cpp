@@ -271,6 +271,9 @@ KeyedScenarioResult RunKeyedScenario(const KeyedScenarioOptions& opt) {
   eo.shards = opt.shards;
   eo.sim.shard_link_delay = opt.shard_link_delay;
   eo.sim.shard_link_jitter = opt.shard_link_jitter;
+  eo.sim.shard_session = opt.session;
+  eo.sim.shard_faults = opt.faults;
+  eo.sim.admission_limit = opt.admission_limit;
   // ShardEngine is a SimEngine; at shards == 1 the construction path is
   // identical, which keeps the keyed replay goldens bit-stable.
   ShardEngine engine(eo);
@@ -302,7 +305,7 @@ KeyedScenarioResult RunKeyedScenario(const KeyedScenarioOptions& opt) {
   IngestSpec ingest;
   ingest.msgs_per_sec = opt.msgs_per_sec;
   ingest.tuples_per_msg = opt.tuples_per_msg;
-  ingest.end = opt.duration;
+  ingest.end = opt.ingest_end > 0 ? opt.ingest_end : opt.duration;
   ingest.event_time_delay = Millis(50);
   ingest.key_sampler = std::move(sampler);
 
@@ -334,6 +337,8 @@ KeyedScenarioResult RunKeyedScenario(const KeyedScenarioOptions& opt) {
   out.frames_sent = static_cast<std::int64_t>(ts.frames_sent);
   out.frames_received = static_cast<std::int64_t>(ts.frames_received);
   out.wire_bytes = static_cast<std::int64_t>(ts.bytes_sent);
+  out.transport = ts;
+  out.shed_messages = static_cast<std::int64_t>(ts.shed_messages);
   for (int s = 0; s < engine.num_shards(); ++s) {
     out.shard_sched.push_back(engine.shard_stats(s));
   }

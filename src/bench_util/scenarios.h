@@ -228,6 +228,18 @@ struct KeyedScenarioOptions {
   int shards = 1;
   Duration shard_link_delay = kMillisecond;
   Duration shard_link_jitter = Micros(100);
+
+  // ---- chaos / robustness (PR 10) ----
+  /// Reliable-delivery session layer (auto-enabled when `faults` is armed).
+  shard::SessionConfig session;
+  /// Deterministic transport fault schedule (drop/dup/corrupt/...).
+  shard::FaultPlan faults;
+  /// Per-shard admission-control backlog limit (0 = no shedding).
+  std::size_t admission_limit = 0;
+  /// When > 0, ingestion stops at this time instead of `duration`, leaving a
+  /// grace window for retransmit chains to converge before the horizon --
+  /// the chaos bench's delivery-conservation gate depends on it.
+  SimTime ingest_end = 0;
 };
 
 struct KeyedScenarioResult {
@@ -236,6 +248,10 @@ struct KeyedScenarioResult {
   std::int64_t frames_sent = 0;
   std::int64_t frames_received = 0;
   std::int64_t wire_bytes = 0;
+  /// Full merged transport view (fault + session + shed counters).
+  shard::TransportStats transport;
+  /// Admission-control sheds merged across shards.
+  std::int64_t shed_messages = 0;
   /// Per-shard scheduler stats (size == shards), for balance reporting.
   std::vector<SchedulerStats> shard_sched;
   // Aggregated over the counter stage's replicas (deterministic per seed).

@@ -79,6 +79,9 @@ struct SchedulerStats {
   /// Messages accepted earlier but discarded by retirement purges. At
   /// quiescence, enqueued == dispatched + purged.
   std::uint64_t purged = 0;
+  /// Messages refused by admission control before reaching the scheduler
+  /// (overload shedding, shard_runtime.h). Not counted in `enqueued`.
+  std::uint64_t shed = 0;
 };
 
 class Scheduler {

@@ -111,7 +111,8 @@ SimTime InprocTransport::Send(int from, int to, SimTime now, WireFrame frame) {
   return deliver_at;
 }
 
-bool InprocTransport::Receive(int to, SimTime now, WireFrame& out) {
+bool InprocTransport::Receive(int to, SimTime now, WireFrame& out,
+                              int& from_out) {
   // Fixed source order keeps multi-channel interleaving deterministic for
   // the sim; each call pops at most one frame, so no source can starve
   // another within an event.
@@ -145,6 +146,7 @@ bool InprocTransport::Receive(int to, SimTime now, WireFrame& out) {
     out = std::move(head->frame);
     Pool<FrameNode>::Global().Delete(head);
     ch.received.fetch_add(1, std::memory_order_relaxed);
+    from_out = from;
     return true;
   }
   return false;

@@ -26,20 +26,64 @@ ShardRuntime::ShardRuntime(ShardRuntimeOptions opts)
   if (transport_ == nullptr) {
     transport_ = std::make_unique<InprocTransport>(opts_.link, opts_.seed);
   }
-  transport_->Start(opts_.num_shards);
+  // Chaos wiring: an armed fault plan wraps the transport in the injecting
+  // decorator and force-enables the session layer (raw faults without
+  // reliable delivery would break the watermark contract). Default seeds are
+  // re-keyed to the run seed so `seed` alone reproduces a chaos run.
+  wire_ = transport_.get();
+  if (opts_.faults.any()) {
+    if (opts_.faults.seed == 1) opts_.faults.seed = opts_.seed;
+    fault_transport_ =
+        std::make_unique<FaultInjectingTransport>(transport_.get(),
+                                                  opts_.faults);
+    wire_ = fault_transport_.get();
+    opts_.session.enabled = true;
+  }
+  wire_->Start(opts_.num_shards);
+  if (opts_.session.enabled) {
+    if (opts_.session.seed == 1) opts_.session.seed = opts_.seed;
+    session_ = std::make_unique<SessionLayer>(opts_.session, wire_);
+    session_->Start(opts_.num_shards);
+  }
 }
 
 void ShardRuntime::BindCostReader(const CostReader* reader) {
   for (Shard& sh : shards_) sh.policy->BindCostReader(reader);
 }
 
+bool ShardRuntime::ShouldShed(const Shard& sh, const Message& m) const {
+  if (opts_.admission_limit == 0) return false;
+  const std::size_t pending = sh.scheduler->pending();
+  if (pending < opts_.admission_limit) return false;
+  // Hard limit: refuse everything rather than grow without bound.
+  if (pending >= 2 * opts_.admission_limit) return true;
+  // Soft band: refuse work less urgent (larger PRI_global) than what the
+  // shard has been admitting, so deadline-critical messages still get in
+  // while background work absorbs the shedding.
+  const std::int64_t ewma = sh.admit_pri_ewma.load(std::memory_order_relaxed);
+  return m.pc.pri_global * 16 > ewma;
+}
+
 int ShardRuntime::Enqueue(Message m, WorkerId global_producer, SimTime now) {
   const int shard = ShardOf(m.target);
+  Shard& sh = shards_[Idx(shard)];
+  if (ShouldShed(sh, m)) {
+    sh.shed.fetch_add(1, std::memory_order_relaxed);
+    m.batch.Recycle();  // shedding must not leak pooled columns
+    return shard;
+  }
+  if (opts_.admission_limit > 0) {
+    // EWMA in x16 fixed point with alpha = 1/16.
+    const std::int64_t pri = m.pc.pri_global * 16;
+    std::int64_t ewma = sh.admit_pri_ewma.load(std::memory_order_relaxed);
+    sh.admit_pri_ewma.store(ewma + (pri - ewma) / 16,
+                            std::memory_order_relaxed);
+  }
   WorkerId producer;  // invalid: external arrival
   if (global_producer.valid() && ShardOfWorker(global_producer) == shard) {
     producer = LocalWorker(global_producer);
   }
-  shards_[Idx(shard)].scheduler->Enqueue(std::move(m), producer, now);
+  sh.scheduler->Enqueue(std::move(m), producer, now);
   return shard;
 }
 
@@ -49,7 +93,8 @@ SimTime ShardRuntime::SendMessage(int from, int to, SimTime now,
   EncodeMessage(m, frame);
   frames_encoded_.fetch_add(1, std::memory_order_relaxed);
   bytes_encoded_.fetch_add(frame.bytes.size(), std::memory_order_relaxed);
-  return transport_->Send(from, to, now, std::move(frame));
+  if (session_ != nullptr) return session_->Send(from, to, now, std::move(frame));
+  return wire_->Send(from, to, now, std::move(frame));
 }
 
 SimTime ShardRuntime::SendReply(int from, int to, SimTime now,
@@ -59,14 +104,19 @@ SimTime ShardRuntime::SendReply(int from, int to, SimTime now,
   EncodeReply(sender, reply_from, rc, frame);
   frames_encoded_.fetch_add(1, std::memory_order_relaxed);
   bytes_encoded_.fetch_add(frame.bytes.size(), std::memory_order_relaxed);
-  return transport_->Send(from, to, now, std::move(frame));
+  if (session_ != nullptr) return session_->Send(from, to, now, std::move(frame));
+  return wire_->Send(from, to, now, std::move(frame));
 }
 
 ReceiveKind ShardRuntime::ReceiveOne(int shard, SimTime now, Message& msg,
                                      WireReply& reply) {
   Idx(shard);  // bounds check
   WireFrame frame;
-  if (!transport_->Receive(shard, now, frame)) return ReceiveKind::kNone;
+  int from = -1;
+  const bool got = session_ != nullptr
+                       ? session_->Receive(shard, now, frame, from)
+                       : wire_->Receive(shard, now, frame, from);
+  if (!got) return ReceiveKind::kNone;
   FrameKind kind;
   ReceiveKind result = ReceiveKind::kNone;
   if (PeekFrameKind(frame, kind)) {
@@ -85,6 +135,20 @@ ReceiveKind ShardRuntime::ReceiveOne(int shard, SimTime now, Message& msg,
   return result;
 }
 
+SimTime ShardRuntime::ServiceSession(
+    int shard, SimTime now,
+    std::vector<std::pair<int, SimTime>>* deliveries) {
+  if (session_ == nullptr) return kTimeMax;
+  Idx(shard);  // bounds check
+  return session_->Service(shard, now, deliveries);
+}
+
+SimTime ShardRuntime::NextSessionDeadline(int shard) const {
+  if (session_ == nullptr) return kTimeMax;
+  Idx(shard);  // bounds check
+  return session_->NextDeadline(shard);
+}
+
 SchedulerStats ShardRuntime::MergedSchedStats() const {
   SchedulerStats total;
   for (const Shard& sh : shards_) {
@@ -95,6 +159,7 @@ SchedulerStats ShardRuntime::MergedSchedStats() const {
     total.continuations += s.continuations;
     total.rejected += s.rejected;
     total.purged += s.purged;
+    total.shed += sh.shed.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -138,6 +203,23 @@ std::int64_t ShardRuntime::RetireOperators(const std::vector<OperatorId>& ops) {
     }
   }
   return purged;
+}
+
+TransportStats ShardRuntime::transport_stats() const {
+  TransportStats s = wire_->stats();
+  if (session_ != nullptr) {
+    const TransportStats ses = session_->stats();
+    s.retransmits = ses.retransmits;
+    s.dup_drops = ses.dup_drops;
+    s.corrupt_drops = ses.corrupt_drops;
+    s.acks_sent = ses.acks_sent;
+    s.sent_unique = ses.sent_unique;
+    s.delivered = ses.delivered;
+  }
+  for (const Shard& sh : shards_) {
+    s.shed_messages += sh.shed.load(std::memory_order_relaxed);
+  }
+  return s;
 }
 
 WireStats ShardRuntime::wire_stats() const {

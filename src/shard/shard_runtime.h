@@ -39,8 +39,10 @@
 
 #include "core/policies.h"
 #include "sched/scheduler.h"
+#include "shard/fault_transport.h"
 #include "shard/inproc_transport.h"
 #include "shard/placement.h"
+#include "shard/session.h"
 #include "shard/transport.h"
 #include "shard/wire.h"
 
@@ -58,6 +60,19 @@ struct ShardRuntimeOptions {
   /// Injected transport (tests, the socket smoke). Defaults to an
   /// InprocTransport built from `link` and `seed`.
   std::unique_ptr<Transport> transport;
+  /// Reliable-delivery session layer (session.h). Auto-enabled when `faults`
+  /// injects anything; off by default so the clean path stays bit-identical
+  /// to the PR 9 goldens. A default seed (1) is re-keyed to `seed`.
+  SessionConfig session;
+  /// Chaos schedule (fault_transport.h). When any fault is armed the
+  /// transport is wrapped in a FaultInjectingTransport and the session layer
+  /// turns on. A default seed (1) is re-keyed to `seed`.
+  FaultPlan faults;
+  /// Overload protection: when > 0, Enqueue sheds work once a shard's
+  /// pending backlog crosses this limit -- lowest-priority (largest
+  /// PRI_global) messages first in a soft band [limit, 2*limit), everything
+  /// at >= 2*limit. 0 disables shedding.
+  std::size_t admission_limit = 0;
 };
 
 /// What one Receive() call produced.
@@ -129,9 +144,23 @@ class ShardRuntime {
   /// of `msg` / `reply` is filled according to the returned kind. A frame
   /// that fails validation is dropped and counted in wire_stats().rejected
   /// (cannot happen on the in-process transports; the counter exists for
-  /// the codec tests and real networks).
+  /// the codec tests and real networks). With the session layer enabled,
+  /// frames come out exactly once, per-channel ordered, already
+  /// checksum-validated.
   ReceiveKind ReceiveOne(int shard, SimTime now, Message& msg,
                          WireReply& reply);
+
+  /// Fires the session layer's due timers for `shard` (retransmits,
+  /// standalone acks); each frame put on the wire appends (peer, deliver_at)
+  /// to `deliveries` so a discrete-event caller can schedule receive polls.
+  /// Returns the next timer deadline (kTimeMax when idle or session off).
+  SimTime ServiceSession(int shard, SimTime now,
+                         std::vector<std::pair<int, SimTime>>* deliveries);
+
+  /// Earliest pending session timer for `shard` without firing anything.
+  SimTime NextSessionDeadline(int shard) const;
+
+  bool session_enabled() const { return session_ != nullptr; }
 
   // ---- merged read-side views ----
 
@@ -151,14 +180,29 @@ class ShardRuntime {
   /// total purged across shards.
   std::int64_t RetireOperators(const std::vector<OperatorId>& ops);
 
-  Transport& transport() { return *transport_; }
-  TransportStats transport_stats() const { return transport_->stats(); }
+  Transport& transport() { return *wire_; }
+  /// Raw transport counters merged with the session layer's robustness
+  /// counters and the admission-control shed count: one gate-able view.
+  TransportStats transport_stats() const;
   WireStats wire_stats() const;
 
  private:
   struct Shard {
     std::unique_ptr<SchedulingPolicy> policy;
     std::unique_ptr<Scheduler> scheduler;
+    /// EWMA of admitted PRI_global (<<4 fixed point), steering the soft
+    /// shedding band toward the priorities the shard actually runs.
+    std::atomic<std::int64_t> admit_pri_ewma{0};
+    std::atomic<std::uint64_t> shed{0};
+
+    Shard() = default;
+    // Construction-time only (the shards_ vector is filled before any
+    // concurrency starts); atomics transfer by load/store.
+    Shard(Shard&& o) noexcept
+        : policy(std::move(o.policy)),
+          scheduler(std::move(o.scheduler)),
+          admit_pri_ewma(o.admit_pri_ewma.load()),
+          shed(o.shed.load()) {}
   };
 
   std::size_t Idx(int shard) const {
@@ -166,10 +210,20 @@ class ShardRuntime {
     return static_cast<std::size_t>(shard);
   }
 
+  /// True when admission control decides `m` should be refused at `shard`.
+  bool ShouldShed(const Shard& sh, const Message& m) const;
+
   ShardRuntimeOptions opts_;
   ShardPlacement placement_;
   std::vector<Shard> shards_;
   std::unique_ptr<Transport> transport_;
+  /// Chaos decorator over `transport_` (present only when faults are armed).
+  std::unique_ptr<FaultInjectingTransport> fault_transport_;
+  /// The layer Send/Receive actually talk to: the fault decorator when
+  /// present, the raw transport otherwise.
+  Transport* wire_ = nullptr;
+  /// Reliable-delivery layer (present only when enabled/auto-enabled).
+  std::unique_ptr<SessionLayer> session_;
 
   // Wire-codec counters (atomic: senders on different worker threads).
   std::atomic<std::uint64_t> frames_encoded_{0};

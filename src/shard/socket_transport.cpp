@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -33,6 +34,35 @@ void WriteAll(int fd, const std::uint8_t* data, std::size_t n) {
       CAMEO_EXPECTS(false && "socket write failed");
     }
     off += static_cast<std::size_t>(w);
+  }
+}
+
+/// Gathered blocking write of [length prefix][frame] in one syscall when the
+/// kernel buffer allows. A short write -- the kernel accepted part of the
+/// vector (frame larger than the socket buffer, or a signal landed mid-write)
+/// -- advances the iovecs explicitly and retries; EINTR before any byte
+/// retries whole. Writers on an edge are serialized by the caller's lock, so
+/// a partial write never interleaves with another frame.
+void WriteVAll(int fd, const std::uint8_t* prefix, std::size_t prefix_n,
+               const std::uint8_t* body, std::size_t body_n) {
+  iovec iov[2] = {{const_cast<std::uint8_t*>(prefix), prefix_n},
+                  {const_cast<std::uint8_t*>(body), body_n}};
+  int idx = 0;
+  while (idx < 2) {
+    const ssize_t w = ::writev(fd, iov + idx, 2 - idx);
+    if (w < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      CAMEO_EXPECTS(false && "socket writev failed");
+    }
+    std::size_t done = static_cast<std::size_t>(w);
+    while (idx < 2 && done >= iov[idx].iov_len) {
+      done -= iov[idx].iov_len;
+      ++idx;
+    }
+    if (idx < 2 && done > 0) {
+      iov[idx].iov_base = static_cast<std::uint8_t*>(iov[idx].iov_base) + done;
+      iov[idx].iov_len -= done;
+    }
   }
 }
 
@@ -167,9 +197,8 @@ SimTime SocketTransport::Send(int from, int to, SimTime now, WireFrame frame) {
       static_cast<std::uint32_t>(frame.bytes.size());
   {
     std::lock_guard lock(ch.send_mu);
-    WriteAll(ch.send_fd, reinterpret_cast<const std::uint8_t*>(&frame_len),
-             sizeof frame_len);
-    WriteAll(ch.send_fd, frame.bytes.data(), frame.bytes.size());
+    WriteVAll(ch.send_fd, reinterpret_cast<const std::uint8_t*>(&frame_len),
+              sizeof frame_len, frame.bytes.data(), frame.bytes.size());
   }
   ch.sent.fetch_add(1, std::memory_order_relaxed);
   ch.bytes.fetch_add(frame.bytes.size(), std::memory_order_relaxed);
@@ -177,7 +206,8 @@ SimTime SocketTransport::Send(int from, int to, SimTime now, WireFrame frame) {
   return now;                      // no modeled delay on real sockets
 }
 
-bool SocketTransport::Receive(int to, SimTime now, WireFrame& out) {
+bool SocketTransport::Receive(int to, SimTime now, WireFrame& out,
+                              int& from_out) {
   for (int from = 0; from < num_shards_; ++from) {
     Channel& ch = ChannelAt(from, to);
     if (ch.recv_fd < 0) continue;
@@ -213,6 +243,7 @@ bool SocketTransport::Receive(int to, SimTime now, WireFrame& out) {
     }
     ch.received.fetch_add(1, std::memory_order_relaxed);
     out = std::move(frame);
+    from_out = from;
     return true;
   }
   return false;

@@ -46,7 +46,8 @@ class SocketTransport final : public Transport {
 
   void Start(int num_shards) override;
   SimTime Send(int from, int to, SimTime now, WireFrame frame) override;
-  bool Receive(int to, SimTime now, WireFrame& out) override;
+  using Transport::Receive;
+  bool Receive(int to, SimTime now, WireFrame& out, int& from) override;
   TransportStats stats() const override;
   std::string name() const override {
     return mode_ == Mode::kUnixPair ? "socket-unix" : "socket-tcp";

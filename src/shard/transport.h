@@ -36,13 +36,40 @@
 
 namespace cameo::shard {
 
-/// Monotone counters, merged on read across channels.
+/// Monotone counters, merged on read across channels. The robustness
+/// counters stay zero on a clean channel: fault counters are filled in by
+/// FaultInjectingTransport (fault_transport.h) and the session counters are
+/// merged in by ShardRuntime::transport_stats() from the session layer
+/// (session.h) -- keeping them all in one struct lets benches and tests gate
+/// on a single merged view.
 struct TransportStats {
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_received = 0;
   std::uint64_t bytes_sent = 0;
+
+  // ---- injected faults (FaultInjectingTransport) ----
+  std::uint64_t faults_dropped = 0;     // silently discarded on send
+  std::uint64_t faults_duplicated = 0;  // sent twice
+  std::uint64_t faults_corrupted = 0;   // one byte flipped in flight
+  std::uint64_t faults_delayed = 0;     // hit a delay spike
+  std::uint64_t faults_reordered = 0;   // swapped with a later frame
+  std::uint64_t partition_dropped = 0;  // discarded inside a partition window
+
+  // ---- session layer (reliable delivery; session.h) ----
+  std::uint64_t retransmits = 0;    // RTO-driven re-sends
+  std::uint64_t dup_drops = 0;      // duplicate seqs discarded at receive
+  std::uint64_t corrupt_drops = 0;  // checksum-failed frames discarded
+  std::uint64_t acks_sent = 0;      // standalone ack frames emitted
+  std::uint64_t sent_unique = 0;    // distinct app frames offered for send
+  std::uint64_t delivered = 0;      // distinct app frames released, in order
+
+  // ---- overload protection (ShardRuntime admission control) ----
+  std::uint64_t shed_messages = 0;  // messages refused by admission control
+
   /// Sent but not yet received -- the conservation tests pin
-  /// sent == received + in_flight at every quiescent point.
+  /// sent == received + in_flight at every quiescent point (on clean
+  /// channels; under injected faults dropped frames never arrive and the
+  /// session-layer `sent_unique == delivered` invariant takes over).
   std::uint64_t in_flight() const { return frames_sent - frames_received; }
 };
 
@@ -59,9 +86,17 @@ class Transport {
   virtual SimTime Send(int from, int to, SimTime now, WireFrame frame) = 0;
 
   /// Pops the next frame addressed to shard `to` whose delivery time has
-  /// passed (deliver_at <= now), in per-channel send order. Returns false
-  /// when nothing is due. The caller owns `out` and must ReleaseFrame it.
-  virtual bool Receive(int to, SimTime now, WireFrame& out) = 0;
+  /// passed (deliver_at <= now), in per-channel send order, reporting the
+  /// source shard in `from` (from the channel itself, so it is trustworthy
+  /// even when the frame bytes are corrupted). Returns false when nothing is
+  /// due. The caller owns `out` and must ReleaseFrame it.
+  virtual bool Receive(int to, SimTime now, WireFrame& out, int& from) = 0;
+
+  /// Convenience overload for callers that do not need the source shard.
+  bool Receive(int to, SimTime now, WireFrame& out) {
+    int from;
+    return Receive(to, now, out, from);
+  }
 
   virtual TransportStats stats() const = 0;
   virtual std::string name() const = 0;

@@ -99,8 +99,9 @@ std::uint64_t Fnv1a(const std::uint8_t* data, std::size_t n) {
   return h;
 }
 
-/// Writes the 16-byte header placeholder; payload length is patched in
-/// FinishFrame once the payload has been written.
+/// Writes the fixed-size header; payload length is patched in FinishFrame
+/// once the payload has been written, and the session fields stay zero until
+/// StampSession patches them.
 void BeginFrame(std::vector<std::uint8_t>& buf, FrameKind kind) {
   buf.clear();
   Writer w(buf);
@@ -109,6 +110,8 @@ void BeginFrame(std::vector<std::uint8_t>& buf, FrameKind kind) {
   w.U8(kWireVersion);
   w.U16(0);  // reserved
   w.U64(0);  // payload_len placeholder
+  w.U64(0);  // session seq (bare frame)
+  w.U64(0);  // session ack (bare frame)
 }
 
 void FinishFrame(std::vector<std::uint8_t>& buf) {
@@ -128,14 +131,15 @@ bool OpenFrame(const WireFrame& frame, FrameKind& kind, Reader& payload) {
   std::uint32_t magic;
   std::uint8_t k, version;
   std::uint16_t reserved;
-  std::uint64_t payload_len;
+  std::uint64_t payload_len, seq, ack;
   if (!h.U32(magic) || !h.U8(k) || !h.U8(version) || !h.U16(reserved) ||
-      !h.U64(payload_len)) {
+      !h.U64(payload_len) || !h.U64(seq) || !h.U64(ack)) {
     return false;
   }
   if (magic != kWireMagic || version != kWireVersion) return false;
   if (k != static_cast<std::uint8_t>(FrameKind::kData) &&
-      k != static_cast<std::uint8_t>(FrameKind::kReply)) {
+      k != static_cast<std::uint8_t>(FrameKind::kReply) &&
+      k != static_cast<std::uint8_t>(FrameKind::kAck)) {
     return false;
   }
   if (payload_len != b.size() - kWireHeaderSize - kWireTrailerSize) {
@@ -196,11 +200,41 @@ void EncodeReply(OperatorId sender, OperatorId from, const ReplyContext& rc,
   FinishFrame(frame.bytes);
 }
 
+void EncodeAck(WireFrame& frame) {
+  BeginFrame(frame.bytes, FrameKind::kAck);
+  FinishFrame(frame.bytes);
+}
+
+void StampSession(WireFrame& frame, std::uint64_t seq, std::uint64_t ack) {
+  std::vector<std::uint8_t>& b = frame.bytes;
+  if (b.size() < kWireHeaderSize + kWireTrailerSize) return;
+  std::memcpy(b.data() + kWireSeqOffset, &seq, sizeof seq);
+  std::memcpy(b.data() + kWireAckOffset, &ack, sizeof ack);
+  const std::uint64_t sum = Fnv1a(b.data(), b.size() - kWireTrailerSize);
+  std::memcpy(b.data() + b.size() - kWireTrailerSize, &sum, sizeof sum);
+}
+
+bool PeekSession(const WireFrame& frame, std::uint64_t& seq,
+                 std::uint64_t& ack) {
+  const std::vector<std::uint8_t>& b = frame.bytes;
+  if (b.size() < kWireHeaderSize) return false;
+  std::memcpy(&seq, b.data() + kWireSeqOffset, sizeof seq);
+  std::memcpy(&ack, b.data() + kWireAckOffset, sizeof ack);
+  return true;
+}
+
+bool ValidateFrame(const WireFrame& frame) {
+  FrameKind kind;
+  Reader r(nullptr, 0);
+  return OpenFrame(frame, kind, r);
+}
+
 bool PeekFrameKind(const WireFrame& frame, FrameKind& kind) {
   if (frame.bytes.size() < kWireHeaderSize) return false;
   const std::uint8_t k = frame.bytes[4];
   if (k != static_cast<std::uint8_t>(FrameKind::kData) &&
-      k != static_cast<std::uint8_t>(FrameKind::kReply)) {
+      k != static_cast<std::uint8_t>(FrameKind::kReply) &&
+      k != static_cast<std::uint8_t>(FrameKind::kAck)) {
     return false;
   }
   kind = static_cast<FrameKind>(k);

@@ -11,8 +11,16 @@
 // Frame layout (little-endian, fixed-width):
 //
 //   [u32 magic][u8 kind][u8 version][u16 reserved][u64 payload_len]
+//   [u64 seq][u64 ack]
 //   [payload bytes ...]
 //   [u64 FNV-1a checksum over header+payload]
+//
+// `seq` and `ack` are the session layer's fields (session.h): a per-channel
+// sequence number and a piggybacked cumulative ack for the reverse channel.
+// The codec writes them as zero ("bare" frame, no session); StampSession
+// patches them in place -- and recomputes the trailing checksum -- once the
+// session has assigned them, so a corrupted sequence number is caught by the
+// same checksum that guards the payload.
 //
 // Decoding is defensive: a frame that is truncated, has a bad magic/kind/
 // length, or fails the checksum is rejected (DecodeMessage/DecodeReply
@@ -45,13 +53,19 @@ struct WireFrame {
 enum class FrameKind : std::uint8_t {
   kData = 1,   // a Message (PriorityContext + EventBatch columns)
   kReply = 2,  // a ReplyContext ack travelling upstream
+  kAck = 3,    // standalone session ack (header only, empty payload)
 };
 
 inline constexpr std::uint32_t kWireMagic = 0x43414D39;  // "CAM9"
-inline constexpr std::uint8_t kWireVersion = 1;
-/// Header (magic, kind, version, reserved, payload_len) + trailing checksum.
-inline constexpr std::size_t kWireHeaderSize = 16;
+/// v2: the header grew the session seq/ack fields (PR 10).
+inline constexpr std::uint8_t kWireVersion = 2;
+/// Header (magic, kind, version, reserved, payload_len, seq, ack) + trailing
+/// checksum.
+inline constexpr std::size_t kWireHeaderSize = 32;
 inline constexpr std::size_t kWireTrailerSize = 8;
+/// Fixed header offsets of the session fields (StampSession patch targets).
+inline constexpr std::size_t kWireSeqOffset = 16;
+inline constexpr std::size_t kWireAckOffset = 24;
 
 /// A decoded reply frame: `sender` is the upstream operator the ack is
 /// addressed to, `from` the downstream operator that produced it.
@@ -78,6 +92,28 @@ void EncodeMessage(const Message& m, WireFrame& frame);
 /// Serializes a reply ack into `frame.bytes`.
 void EncodeReply(OperatorId sender, OperatorId from, const ReplyContext& rc,
                  WireFrame& frame);
+
+/// Serializes a standalone session-ack frame (empty payload; the cumulative
+/// ack itself is stamped by StampSession like any other frame).
+void EncodeAck(WireFrame& frame);
+
+/// Patches the session seq/ack header fields of an already-encoded frame in
+/// place and recomputes the trailing checksum. The session layer calls this
+/// at (re)transmission time -- retransmits re-stamp so the piggybacked ack is
+/// always the freshest cumulative value.
+void StampSession(WireFrame& frame, std::uint64_t seq, std::uint64_t ack);
+
+/// Reads the session fields without validating the checksum; returns false
+/// when the header is truncated. Receivers must ValidateFrame first -- a
+/// corrupted seq would otherwise poison the reorder buffer.
+bool PeekSession(const WireFrame& frame, std::uint64_t& seq,
+                 std::uint64_t& ack);
+
+/// Full structural validation (magic, kind, version, length, checksum)
+/// without decoding the payload. The session receive path runs this once per
+/// frame so corruption is counted and dropped before any session state is
+/// touched.
+bool ValidateFrame(const WireFrame& frame);
 
 /// Kind of a well-formed frame, without validating the checksum; returns
 /// false when the header is truncated or malformed.

@@ -51,7 +51,12 @@ Cluster::Cluster(ClusterConfig config, DataflowGraph graph)
   ro.policy = config_.policy;
   ro.seed = config_.seed;
   ro.link = {config_.shard_link_delay, config_.shard_link_jitter};
+  ro.session = config_.shard_session;
+  ro.faults = config_.shard_faults;
+  ro.admission_limit = config_.admission_limit;
   runtime_ = std::make_unique<shard::ShardRuntime>(std::move(ro));
+  chaos_mode_ = runtime_->session_enabled();
+  pump_active_.assign(static_cast<std::size_t>(config_.num_shards), false);
   profiler_.SetPerturbation(config_.profiler_perturbation);
   // Every shard's policy reads the shared profiler. Profiler entries are
   // per-operator and an operator executes only on its owning shard, so the
@@ -311,9 +316,16 @@ void Cluster::Deliver(Message m, WorkerId producer) {
 }
 
 void Cluster::ReceiveShardFrame(int shard) {
-  // One receive event per transport Send, scheduled at the frame's modeled
-  // delivery time -- so by the time the last same-timestamp event fires,
-  // every due frame has been popped; a dry poll would be a conservation bug.
+  if (chaos_mode_) {
+    // Faults decouple send events from deliveries (drops, spikes, parked
+    // reorders, session holds): a poll may yield zero or several frames.
+    DrainShardFrames(shard);
+    return;
+  }
+  // Clean path: one receive event per transport Send, scheduled at the
+  // frame's modeled delivery time -- so by the time the last same-timestamp
+  // event fires, every due frame has been popped; a dry poll would be a
+  // conservation bug.
   Message msg;
   shard::WireReply reply;
   switch (runtime_->ReceiveOne(shard, events_.now(), msg, reply)) {
@@ -325,6 +337,44 @@ void Cluster::ReceiveShardFrame(int shard) {
       break;
     case shard::ReceiveKind::kNone:
       CAMEO_CHECK(false && "scheduled receive found no due frame");
+  }
+}
+
+void Cluster::DrainShardFrames(int shard) {
+  for (;;) {
+    Message msg;
+    shard::WireReply reply;
+    switch (runtime_->ReceiveOne(shard, events_.now(), msg, reply)) {
+      case shard::ReceiveKind::kMessage:
+        Deliver(std::move(msg), WorkerId{});
+        continue;
+      case shard::ReceiveKind::kReply:
+        converter(reply.sender).ProcessCtxFromReply(reply.from, reply.rc);
+        continue;
+      case shard::ReceiveKind::kNone:
+        return;
+    }
+  }
+}
+
+void Cluster::SessionPump(int shard) {
+  pump_deliveries_.clear();
+  const SimTime deadline =
+      runtime_->ServiceSession(shard, events_.now(), &pump_deliveries_);
+  for (const auto& [peer, at] : pump_deliveries_) {
+    const SimTime when = std::max(at, events_.now());
+    events_.Schedule(when, [this, peer] { ReceiveShardFrame(peer); });
+  }
+  // Drain our own inbox: flushes parked fault-transport frames and anything
+  // that became deliverable while no receive event was scheduled (e.g. the
+  // end of a stall window).
+  DrainShardFrames(shard);
+  SimTime next = events_.now() + config_.chaos_pump_tick;
+  if (deadline < next) next = std::max(deadline, events_.now() + 1);
+  if (next <= pump_until_) {
+    events_.Schedule(next, [this, shard] { SessionPump(shard); });
+  } else {
+    pump_active_[static_cast<std::size_t>(shard)] = false;
   }
 }
 
@@ -515,6 +565,15 @@ void Cluster::Run(SimTime until) {
     PumpSource(i);
   }
   pumped_sources_ = sources_.size();
+  if (chaos_mode_) {
+    pump_until_ = until;
+    for (int s = 0; s < config_.num_shards; ++s) {
+      if (pump_active_[static_cast<std::size_t>(s)]) continue;
+      pump_active_[static_cast<std::size_t>(s)] = true;
+      events_.Schedule(events_.now() + config_.chaos_pump_tick,
+                       [this, s] { SessionPump(s); });
+    }
+  }
   events_.RunUntil(until);
   utilization_.SetSpan(until);
   utilization_.SetWorkerCount(config_.num_workers * config_.num_shards);

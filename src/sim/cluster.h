@@ -96,6 +96,22 @@ struct ClusterConfig {
   /// re-split proportionally to their specs' token rates on every scheduled
   /// query arrival/departure.
   double token_total_rate = 0;
+
+  // ---- chaos / robustness (PR 10) ----
+  /// Reliable-delivery session layer over the shard transport (session.h).
+  /// Auto-enabled when `shard_faults` injects anything. Off by default:
+  /// the clean path stays bit-identical to the pre-chaos goldens.
+  shard::SessionConfig shard_session;
+  /// Deterministic fault schedule for the shard transport
+  /// (fault_transport.h): drop/dup/corrupt/delay/reorder rates plus
+  /// partition and stall windows.
+  shard::FaultPlan shard_faults;
+  /// Per-shard admission-control backlog limit (0 = no shedding).
+  std::size_t admission_limit = 0;
+  /// Chaos-mode timer pump cadence: how often each shard services its
+  /// session timers (retransmits, delayed acks) and drains parked frames
+  /// when no receive event is otherwise scheduled.
+  Duration chaos_pump_tick = Millis(2);
 };
 
 class Cluster {
@@ -225,8 +241,17 @@ class Cluster {
   void Deliver(Message m, WorkerId producer);
   void KickIdleWorkers(int shard);
   /// Receive event for one due transport frame addressed to `shard`: decodes
-  /// and either delivers the message locally or applies the reply ack.
+  /// and either delivers the message locally or applies the reply ack. In
+  /// chaos mode this drains *all* due frames and tolerates a dry poll
+  /// (faults decouple send events from delivery).
   void ReceiveShardFrame(int shard);
+  /// Chaos-mode drain loop shared by receive events and the session pump.
+  void DrainShardFrames(int shard);
+  /// Recurring per-shard chaos event: fires due session timers (retransmits,
+  /// standalone acks), schedules receive polls for what they put on the
+  /// wire, drains the shard's own inbox, and re-arms itself until the run
+  /// horizon.
+  void SessionPump(int shard);
   /// Claims an operator via the batched dispatch contract and schedules one
   /// busy period covering the whole drained batch.
   void TryDispatch(WorkerId w);
@@ -261,6 +286,13 @@ class Cluster {
   std::vector<std::unique_ptr<ScheduledQuery>> scheduled_;
   std::int64_t next_message_id_ = 0;
   std::uint64_t messages_delivered_ = 0;
+  /// True when the session layer is live (chaos or explicit session config):
+  /// receive events become tolerant drain-alls and the session pump runs.
+  bool chaos_mode_ = false;
+  SimTime pump_until_ = 0;
+  std::vector<bool> pump_active_;
+  /// SessionPump scratch for (peer, deliver_at) pairs (capacity reuse).
+  std::vector<std::pair<int, SimTime>> pump_deliveries_;
   // TryDispatch scratch (never live across an event boundary); members so
   // their capacity is reused by every dispatch.
   std::vector<Message> batch_scratch_;

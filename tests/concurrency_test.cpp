@@ -535,5 +535,157 @@ TEST(ConcurrencyTest, CrossShardConservationUnderChurnAndFlexing) {
   EXPECT_EQ(ws.rejected, 0u);
 }
 
+// ---- 3-shard chaos hammer: session layer under threads + faults ----
+
+// The PR 10 robustness stack under real interleavings: a 3-shard runtime
+// with 5% drop, 5% dup, and 2% corruption on every cross-shard channel,
+// producer threads shipping through the (now reliable) transport while a
+// ticker advances the shared virtual clock that drives retransmit/ack
+// timers. Every message must still arrive exactly once -- the session layer
+// has to repair the losses concurrently with new traffic. Run under TSan.
+TEST(ConcurrencyTest, ThreeShardChaosHammerDeliversExactlyOnce) {
+  constexpr int kShards = 3;
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 1500;
+  constexpr std::int64_t kSteadyOps = 12;
+
+  shard::ShardRuntimeOptions opts;
+  opts.num_shards = kShards;
+  opts.workers_per_shard = 2;
+  opts.seed = 4242;
+  opts.link = {};  // zero modeled delay: frames are due when they land
+  opts.faults.drop_rate = 0.05;
+  opts.faults.dup_rate = 0.05;
+  opts.faults.corrupt_rate = 0.02;
+  shard::ShardRuntime rt(std::move(opts));
+  ASSERT_TRUE(rt.session_enabled());  // faults auto-arm the session layer
+
+  constexpr std::int64_t kTotal =
+      static_cast<std::int64_t>(kProducers) * kPerProducer;
+  std::vector<std::atomic<std::uint8_t>> seen(
+      static_cast<std::size_t>(kTotal));
+  std::atomic<std::int64_t> dispatched{0};
+  std::atomic<std::int64_t> replies_shipped{0};
+  std::atomic<std::int64_t> replies_received{0};
+  std::atomic<bool> sends_done{false};
+  std::atomic<bool> all_done{false};
+  // Virtual clock for the session timers (RTO, delayed acks). Finite values
+  // only: timer arming adds ack/RTO delays to `now`.
+  std::atomic<SimTime> clock{0};
+
+  auto make_msg = [](std::int64_t id, OperatorId target) {
+    Message m;
+    m.id = MessageId{id};
+    m.target = target;
+    m.pc.id = m.id;
+    m.pc.pri_global = (id * 7919) % 1000;
+    m.pc.pri_local = id;
+    m.batch = EventBatch::Synthetic(1, id + 1);
+    return m;
+  };
+
+  std::vector<std::thread> threads;
+  // Ticker: 1 virtual ms per pass keeps RTO chains short in wall time.
+  threads.emplace_back([&] {
+    while (!all_done.load(std::memory_order_acquire)) {
+      clock.fetch_add(kMillisecond, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::int64_t id =
+            static_cast<std::int64_t>(p) * kPerProducer + i;
+        const OperatorId target{id % kSteadyOps};
+        const int dst = rt.ShardOf(target);
+        const int src = (dst + 1 + (i % (kShards - 1))) % kShards;
+        const SimTime now = clock.load(std::memory_order_relaxed);
+        // Everything crosses a shard boundary: the whole load rides the
+        // faulty wire and the session has to carry it.
+        rt.SendMessage(src, dst, now, make_msg(id, target));
+        if (i % 64 == 0) {
+          ReplyContext rc;
+          rc.cost_m = i;
+          rc.valid = true;
+          rt.SendReply(src, dst, now, target, OperatorId{id % kSteadyOps},
+                       rc);
+          replies_shipped.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // One consumer per shard: services the session timers (retransmits,
+  // standalone acks), drains the inbox, and dispatches locally.
+  for (int s = 0; s < kShards; ++s) {
+    threads.emplace_back([&, s] {
+      const WorkerId local{0};
+      std::vector<std::pair<int, SimTime>> deliveries;
+      for (;;) {
+        const SimTime now = clock.load(std::memory_order_relaxed);
+        deliveries.clear();
+        rt.ServiceSession(s, now, &deliveries);
+        Message msg;
+        shard::WireReply reply;
+        switch (rt.ReceiveOne(s, now, msg, reply)) {
+          case shard::ReceiveKind::kMessage:
+            rt.Enqueue(std::move(msg), WorkerId{}, now);
+            continue;
+          case shard::ReceiveKind::kReply:
+            replies_received.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          case shard::ReceiveKind::kNone:
+            break;
+        }
+        std::optional<Message> m = rt.scheduler(s).Dequeue(local, now);
+        if (m.has_value()) {
+          if (m->id.value >= 0) {
+            seen[static_cast<std::size_t>(m->id.value)].fetch_add(1);
+          }
+          rt.scheduler(s).OnComplete(m->target, local, 0);
+          dispatched.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (sends_done.load(std::memory_order_acquire) &&
+            dispatched.load(std::memory_order_relaxed) == kTotal &&
+            replies_received.load(std::memory_order_relaxed) ==
+                replies_shipped.load(std::memory_order_relaxed)) {
+          return;
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  // Ticker is thread 0; producers are the next kProducers threads.
+  for (int i = 1; i <= kProducers; ++i) {
+    threads[static_cast<std::size_t>(i)].join();
+  }
+  sends_done.store(true, std::memory_order_release);
+  for (std::size_t i = static_cast<std::size_t>(kProducers) + 1;
+       i < threads.size(); ++i) {
+    threads[i].join();
+  }
+  all_done.store(true, std::memory_order_release);
+  threads[0].join();
+
+  // Exactly-once end to end, despite the chaos in the middle.
+  for (std::int64_t id = 0; id < kTotal; ++id) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(id)].load(), 1)
+        << "message " << id << " lost or duplicated";
+  }
+  EXPECT_EQ(dispatched.load(), kTotal);
+  EXPECT_EQ(replies_received.load(), replies_shipped.load());
+  const shard::TransportStats ts = rt.transport_stats();
+  EXPECT_EQ(ts.sent_unique, ts.delivered);
+  // The fault schedule really fired (rates x thousands of frames).
+  EXPECT_GT(ts.faults_dropped, 0u);
+  EXPECT_GT(ts.faults_duplicated, 0u);
+  EXPECT_GT(ts.retransmits, 0u);
+  EXPECT_GT(ts.dup_drops, 0u);
+}
+
 }  // namespace
 }  // namespace cameo

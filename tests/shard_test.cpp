@@ -21,8 +21,10 @@
 #include "dataflow/graph.h"
 #include "ops/sink.h"
 #include "ops/source.h"
+#include "shard/fault_transport.h"
 #include "shard/inproc_transport.h"
 #include "shard/placement.h"
+#include "shard/session.h"
 #include "shard/socket_transport.h"
 #include "shard/wire.h"
 #include "state/slate_store.h"
@@ -498,6 +500,193 @@ TEST(SocketTransportTest, LargeFrameReassembles) {
 }
 
 // ---------------------------------------------------------------------------
+// Session layer over injected faults (PR 10 chaos property suite).
+//
+// The harness drives SessionLayer -> FaultInjectingTransport ->
+// InprocTransport directly in virtual time: every step sends one frame per
+// channel (until the quota), services every shard's timers, and drains every
+// shard's deliverable frames. The properties asserted per trial are the
+// session contract verbatim: exactly-once (each tag delivered once), per-
+// channel send order, monotone release times, and full conservation
+// (delivered == sent_unique) no matter what the fault schedule did.
+// ---------------------------------------------------------------------------
+
+std::int64_t ChaosTag(int from, int to, int i) {
+  return (static_cast<std::int64_t>(from) * 8 + to) * 1'000'000 + i;
+}
+
+struct ChaosRunOutcome {
+  std::uint64_t digest = 1469598103934665603ull;  // FNV-1a over deliveries
+  TransportStats session;
+  TransportStats faults;
+  int delivered_total = 0;
+  bool order_ok = true;
+  bool monotone_ok = true;
+};
+
+ChaosRunOutcome RunSessionChaos(int shards, int per_channel,
+                                const FaultPlan& plan) {
+  InprocTransport inner({.base = Micros(200), .jitter = Micros(50)},
+                        plan.seed);
+  FaultInjectingTransport faulty(&inner, plan);
+  SessionConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = plan.seed;
+  SessionLayer session(cfg, &faulty);
+  faulty.Start(shards);
+  session.Start(shards);
+
+  const int channels = shards * shards;
+  std::vector<int> sent(static_cast<std::size_t>(channels), 0);
+  std::vector<int> delivered(static_cast<std::size_t>(channels), 0);
+  std::vector<SimTime> last_at(static_cast<std::size_t>(channels), kTimeMin);
+  const int total = per_channel * shards * (shards - 1);
+
+  ChaosRunOutcome out;
+  auto mix = [&out](std::uint64_t v) {
+    out.digest = (out.digest ^ v) * 1099511628211ull;
+  };
+
+  SimTime now = 0;
+  const SimTime horizon = Seconds(120);
+  std::vector<std::pair<int, SimTime>> deliveries;
+  while (out.delivered_total < total && now < horizon) {
+    now += Micros(500);
+    for (int from = 0; from < shards; ++from) {
+      for (int to = 0; to < shards; ++to) {
+        if (to == from) continue;
+        const auto c = static_cast<std::size_t>(from * shards + to);
+        if (sent[c] < per_channel) {
+          session.Send(from, to, now,
+                       MakeDataFrame(ChaosTag(from, to, sent[c])));
+          ++sent[c];
+        }
+      }
+    }
+    for (int s = 0; s < shards; ++s) {
+      deliveries.clear();
+      session.Service(s, now, &deliveries);
+      WireFrame frame;
+      int from = -1;
+      while (session.Receive(s, now, frame, from)) {
+        const std::int64_t tag = FrameTag(frame);
+        const auto c = static_cast<std::size_t>(from * shards + s);
+        if (tag != ChaosTag(from, s, delivered[c])) out.order_ok = false;
+        if (frame.deliver_at < last_at[c]) out.monotone_ok = false;
+        last_at[c] = frame.deliver_at;
+        ++delivered[c];
+        ++out.delivered_total;
+        mix(static_cast<std::uint64_t>(tag));
+        mix(static_cast<std::uint64_t>(frame.deliver_at));
+        ReleaseFrame(std::move(frame));
+      }
+    }
+  }
+  out.session = session.stats();
+  out.faults = faulty.stats();
+  return out;
+}
+
+TEST(SessionChaos, CleanChannelDeliversWithoutRetransmits) {
+  // No faults: the session layer is pure bookkeeping -- everything arrives
+  // first try, the RTO never fires, and dedup never triggers.
+  FaultPlan plan;
+  plan.seed = 7;
+  ChaosRunOutcome r = RunSessionChaos(3, 200, plan);
+  EXPECT_EQ(r.delivered_total, 3 * 2 * 200);
+  EXPECT_TRUE(r.order_ok);
+  EXPECT_TRUE(r.monotone_ok);
+  EXPECT_EQ(r.session.retransmits, 0u);
+  EXPECT_EQ(r.session.dup_drops, 0u);
+  EXPECT_EQ(r.session.corrupt_drops, 0u);
+  EXPECT_EQ(r.session.sent_unique, r.session.delivered);
+}
+
+TEST(SessionChaos, ExactlyOnceInOrderUnderRandomFaultSchedules) {
+  // The randomized property suite: arbitrary drop/dup/corrupt/delay/reorder
+  // mixes (plus an occasional partition and stall window) must never break
+  // exactly-once, per-channel order, or watermark monotonicity.
+  Rng meta(424242);
+  for (int trial = 0; trial < 6; ++trial) {
+    FaultPlan plan;
+    plan.seed = 1000 + static_cast<std::uint64_t>(trial);
+    plan.drop_rate = meta.Uniform01() * 0.25;
+    plan.dup_rate = meta.Uniform01() * 0.20;
+    plan.corrupt_rate = meta.Uniform01() * 0.15;
+    plan.delay_rate = meta.Uniform01() * 0.20;
+    plan.reorder_rate = meta.Uniform01() * 0.20;
+    if (meta.Chance(0.5)) {
+      plan.partitions.push_back({0, 1, Millis(50), Millis(250)});
+    }
+    if (meta.Chance(0.5)) {
+      plan.stalls.push_back({2, Millis(100), Millis(200)});
+    }
+    SCOPED_TRACE("trial " + std::to_string(trial) +
+                 " drop=" + std::to_string(plan.drop_rate) +
+                 " dup=" + std::to_string(plan.dup_rate) +
+                 " corrupt=" + std::to_string(plan.corrupt_rate));
+    ChaosRunOutcome r = RunSessionChaos(3, 120, plan);
+    EXPECT_EQ(r.delivered_total, 3 * 2 * 120);
+    EXPECT_TRUE(r.order_ok);
+    EXPECT_TRUE(r.monotone_ok);
+    // Conservation: every distinct app frame offered was released once.
+    EXPECT_EQ(r.session.sent_unique, r.session.delivered);
+    // The schedule actually engaged the machinery it claims to test.
+    if (plan.drop_rate > 0.02 || !plan.partitions.empty()) {
+      EXPECT_GT(r.session.retransmits, 0u);
+    }
+    if (plan.dup_rate > 0.02) {
+      EXPECT_GT(r.session.dup_drops, 0u);
+    }
+    if (plan.corrupt_rate > 0.02) {
+      EXPECT_GT(r.session.corrupt_drops, 0u);
+    }
+  }
+}
+
+TEST(SessionChaos, FixedSeedRepliesBitForBit) {
+  // A chaos run is a pure function of its seed: same plan, same seed ->
+  // the same deliveries at the same virtual times with the same fault and
+  // retransmit counters. A different seed draws a different schedule.
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.drop_rate = 0.10;
+  plan.dup_rate = 0.08;
+  plan.corrupt_rate = 0.05;
+  plan.delay_rate = 0.10;
+  plan.reorder_rate = 0.08;
+  ChaosRunOutcome a = RunSessionChaos(3, 150, plan);
+  ChaosRunOutcome b = RunSessionChaos(3, 150, plan);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.session.retransmits, b.session.retransmits);
+  EXPECT_EQ(a.session.dup_drops, b.session.dup_drops);
+  EXPECT_EQ(a.session.corrupt_drops, b.session.corrupt_drops);
+  EXPECT_EQ(a.session.acks_sent, b.session.acks_sent);
+  EXPECT_EQ(a.faults.faults_dropped, b.faults.faults_dropped);
+  EXPECT_EQ(a.faults.faults_duplicated, b.faults.faults_duplicated);
+
+  plan.seed = 78;
+  ChaosRunOutcome c = RunSessionChaos(3, 150, plan);
+  EXPECT_NE(a.digest, c.digest);
+}
+
+TEST(SessionChaos, PartitionHealsAndBacklogDrains) {
+  // A hard 400 ms partition between the only two shards: everything sent
+  // inside the window is dropped on the floor, and the retransmit chain must
+  // replay the entire backlog after the heal -- in order, exactly once.
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.partitions.push_back({0, 1, 0, Millis(400)});
+  ChaosRunOutcome r = RunSessionChaos(2, 100, plan);
+  EXPECT_EQ(r.delivered_total, 2 * 1 * 100);
+  EXPECT_TRUE(r.order_ok);
+  EXPECT_TRUE(r.monotone_ok);
+  EXPECT_GT(r.faults.partition_dropped, 0u);
+  EXPECT_GT(r.session.retransmits, 0u);
+  EXPECT_EQ(r.session.sent_unique, r.session.delivered);
+}
+
+// ---------------------------------------------------------------------------
 // Routing stability under sharding (satellite: regression pins).
 // ---------------------------------------------------------------------------
 
@@ -662,6 +851,99 @@ TEST(ShardedCluster, ShardCountPreservesTotals) {
   KeyedScenarioResult four = RunKeyedScenario(SmallKeyedRun(4));
   EXPECT_EQ(one.rows_seen, four.rows_seen);
   EXPECT_EQ(one.keys_inserted, four.keys_inserted);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos end-to-end: fault injection + session layer under the full cluster.
+// ---------------------------------------------------------------------------
+
+KeyedScenarioOptions ChaosKeyedRun() {
+  // Same workload as SmallKeyedRun(2) but with ingestion stopping 2 s before
+  // the horizon, so retransmit chains converge before virtual time runs out
+  // (the delivery-conservation gates depend on that grace window).
+  KeyedScenarioOptions opt = SmallKeyedRun(2);
+  opt.duration = Seconds(6);
+  opt.ingest_end = Seconds(4);
+  return opt;
+}
+
+TEST(ChaosCluster, DeliveryConservedUnderDropDupCorrupt) {
+  KeyedScenarioResult clean = RunKeyedScenario(ChaosKeyedRun());
+
+  KeyedScenarioOptions opt = ChaosKeyedRun();
+  opt.faults.drop_rate = 0.05;
+  opt.faults.dup_rate = 0.05;
+  opt.faults.corrupt_rate = 0.02;
+  KeyedScenarioResult chaos = RunKeyedScenario(opt);
+
+  // The schedule engaged: frames really were lost/duplicated in flight.
+  EXPECT_GT(chaos.transport.faults_dropped, 0u);
+  EXPECT_GT(chaos.transport.faults_duplicated, 0u);
+  EXPECT_GT(chaos.transport.retransmits, 0u);
+  // ...and the session layer hid every bit of it from the dataflow: each
+  // distinct app frame was released exactly once, and the counters saw the
+  // same rows as the fault-free run.
+  EXPECT_EQ(chaos.transport.sent_unique, chaos.transport.delivered);
+  EXPECT_EQ(chaos.rows_seen, clean.rows_seen);
+  EXPECT_EQ(chaos.run.sched.enqueued,
+            chaos.run.sched.dispatched + chaos.run.sched.purged);
+}
+
+TEST(ChaosCluster, ChaosRunsAreBitDeterministic) {
+  KeyedScenarioOptions opt = ChaosKeyedRun();
+  opt.faults.drop_rate = 0.08;
+  opt.faults.dup_rate = 0.05;
+  opt.faults.delay_rate = 0.10;
+  opt.faults.reorder_rate = 0.05;
+  KeyedScenarioResult a = RunKeyedScenario(opt);
+  KeyedScenarioResult b = RunKeyedScenario(opt);
+  ASSERT_FALSE(a.run.jobs.empty());
+  EXPECT_EQ(a.run.jobs[0].outputs, b.run.jobs[0].outputs);
+  EXPECT_EQ(a.run.jobs[0].median_ms, b.run.jobs[0].median_ms);
+  EXPECT_EQ(a.run.jobs[0].p99_ms, b.run.jobs[0].p99_ms);
+  EXPECT_EQ(a.rows_seen, b.rows_seen);
+  EXPECT_EQ(a.count_emitted, b.count_emitted);
+  EXPECT_EQ(a.frames_sent, b.frames_sent);
+  EXPECT_EQ(a.transport.retransmits, b.transport.retransmits);
+  EXPECT_EQ(a.transport.dup_drops, b.transport.dup_drops);
+  EXPECT_EQ(a.transport.faults_dropped, b.transport.faults_dropped);
+}
+
+TEST(ChaosCluster, SessionWithoutFaultsStaysTransparent) {
+  // The session layer alone (no injected faults) must not change what the
+  // dataflow computes -- only wire timing can shift (acks share channels).
+  KeyedScenarioResult plain = RunKeyedScenario(ChaosKeyedRun());
+  KeyedScenarioOptions opt = ChaosKeyedRun();
+  opt.session.enabled = true;
+  KeyedScenarioResult sess = RunKeyedScenario(opt);
+  EXPECT_EQ(sess.rows_seen, plain.rows_seen);
+  EXPECT_EQ(sess.transport.sent_unique, sess.transport.delivered);
+  EXPECT_EQ(sess.transport.retransmits, 0u);
+  EXPECT_EQ(sess.transport.dup_drops, 0u);
+}
+
+TEST(ChaosCluster, AdmissionSheddingEngagesAndLedgerBalances) {
+  // A backlog limit far below the offered burst: the runtime must shed (and
+  // count) low-priority work instead of queueing without bound, while the
+  // enqueue/dispatch ledger stays exact for everything admitted.
+  KeyedScenarioOptions opt = SmallKeyedRun(2);
+  opt.duration = Seconds(2);
+  opt.msgs_per_sec = 100;
+  opt.tuples_per_msg = 500;
+  opt.counter_per_tuple = Micros(20);  // 10 ms/message: arrivals outrun CPU
+  opt.admission_limit = 8;
+  KeyedScenarioResult r = RunKeyedScenario(opt);
+  EXPECT_GT(r.shed_messages, 0);
+  EXPECT_EQ(r.transport.shed_messages,
+            static_cast<std::uint64_t>(r.shed_messages));
+  // Admitted work is conserved; the (bounded) remainder is the backlog an
+  // overloaded shard legitimately still holds at the horizon.
+  EXPECT_GE(r.run.sched.enqueued,
+            r.run.sched.dispatched + r.run.sched.purged);
+  EXPECT_LE(r.run.sched.enqueued -
+                (r.run.sched.dispatched + r.run.sched.purged),
+            static_cast<std::uint64_t>(2 * 2 * opt.admission_limit));
+  EXPECT_GT(r.rows_seen, 0);  // shedding degrades, it does not wedge
 }
 
 TEST(ShardEngineTest, FacadeExposesShardReadSide) {
